@@ -1,0 +1,181 @@
+//! A*-Search over an obstacle grid (§VI-C): shortest path from source to
+//! destination through non-obstacle cells, with the Manhattan-distance
+//! heuristic (admissible on a 4-connected unit-cost grid).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rime_core::{Placement, RimeDevice, RimeError, RimePerfConfig};
+use rime_memsim::perf::{Phase, Workload};
+use rime_memsim::SystemConfig;
+use rime_workloads::ObstacleGrid;
+
+use crate::rimepq::RimePriorityQueue;
+use crate::util::{pack_u32_key, unpack_u32_key};
+
+fn manhattan(a: (u32, u32), b: (u32, u32)) -> u32 {
+    a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+}
+
+fn cell_id(grid: &ObstacleGrid, x: u32, y: u32) -> u32 {
+    y * grid.width() + x
+}
+
+/// Baseline A*: binary-heap open set. Returns the shortest path length
+/// in steps, or `None` when the destination is unreachable.
+pub fn astar_baseline(grid: &ObstacleGrid) -> Option<u32> {
+    let dest = grid.destination();
+    let mut g = vec![u32::MAX; grid.cells()];
+    let mut open: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    g[0] = 0;
+    open.push(Reverse(pack_u32_key(manhattan((0, 0), dest), 0)));
+    while let Some(Reverse(key)) = open.pop() {
+        let (_, id) = unpack_u32_key(key);
+        let (x, y) = (id % grid.width(), id / grid.width());
+        let gv = g[id as usize];
+        if (x, y) == dest {
+            return Some(gv);
+        }
+        for (nx, ny) in grid.neighbors(x, y) {
+            let nid = cell_id(grid, nx, ny);
+            let ng = gv + 1;
+            if ng < g[nid as usize] {
+                g[nid as usize] = ng;
+                let f = ng + manhattan((nx, ny), dest);
+                open.push(Reverse(pack_u32_key(f, nid)));
+            }
+        }
+    }
+    None
+}
+
+/// RIME A*: the open set lives in a [`RimePriorityQueue`].
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn astar_rime(device: &mut RimeDevice, grid: &ObstacleGrid) -> Result<Option<u32>, RimeError> {
+    let dest = grid.destination();
+    let mut g = vec![u32::MAX; grid.cells()];
+    let capacity = (4 * grid.cells() as u64 + 1).max(4);
+    let mut open = RimePriorityQueue::new(device, capacity)?;
+    g[0] = 0;
+    open.push(device, pack_u32_key(manhattan((0, 0), dest), 0))?;
+    let mut result = None;
+    while let Some(key) = open.pop_min(device)? {
+        let (_, id) = unpack_u32_key(key);
+        let (x, y) = (id % grid.width(), id / grid.width());
+        let gv = g[id as usize];
+        if (x, y) == dest {
+            result = Some(gv);
+            break;
+        }
+        for (nx, ny) in grid.neighbors(x, y) {
+            let nid = cell_id(grid, nx, ny);
+            let ng = gv + 1;
+            if ng < g[nid as usize] {
+                g[nid as usize] = ng;
+                let f = ng + manhattan((nx, ny), dest);
+                open.push(device, pack_u32_key(f, nid))?;
+            }
+        }
+    }
+    open.destroy(device)?;
+    Ok(result)
+}
+
+/// Baseline decomposition for a grid of `cells`: neighbor probes (grid
+/// reads with poor locality) plus open-set heap maintenance. Roughly
+/// 60 % of cells are expanded on the evaluated densities.
+pub fn baseline_workload(cells: u64, system: &SystemConfig) -> Workload {
+    let expansions = 3 * cells / 5;
+    let heap_levels = ((expansions.max(2) as f64).log2()
+        - (system.l2_capacity_keys() as f64 / 16.0).log2())
+    .max(1.0);
+    Workload::new(vec![
+        Phase::dependent("neighbor probes", 4 * expansions, 20.0, 4 * expansions * 8),
+        Phase::dependent(
+            "open-set heap",
+            2 * expansions,
+            50.0,
+            (2 * expansions) as f64 as u64 * heap_levels as u64 * 64,
+        ),
+    ])
+}
+
+/// Baseline throughput in million cells per second (Fig. 17's y-axis).
+pub fn baseline_throughput_mkps(cells: u64, system: &SystemConfig) -> f64 {
+    baseline_workload(cells, system)
+        .execute(system)
+        .throughput_mkps(cells)
+}
+
+/// RIME seconds: neighbor probes stay on conventional memory; the open
+/// set's extract-mins run at the device stream rate.
+pub fn rime_seconds(cells: u64, perf: &RimePerfConfig, system: &SystemConfig) -> f64 {
+    let expansions = 3 * cells / 5;
+    let probes = Workload::new(vec![Phase::dependent(
+        "neighbor probes",
+        4 * expansions,
+        20.0,
+        4 * expansions * 8,
+    )])
+    .execute(system)
+    .total_seconds();
+    probes
+        + perf.load_seconds(2 * expansions, 8, Placement::Striped)
+        + perf.stream_seconds(expansions.max(1), expansions, Placement::Striped)
+}
+
+/// RIME throughput in million cells per second.
+pub fn rime_throughput_mkps(cells: u64, perf: &RimePerfConfig, system: &SystemConfig) -> f64 {
+    cells as f64 / rime_seconds(cells, perf, system) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+
+    #[test]
+    fn open_grid_path_is_manhattan() {
+        let grid = ObstacleGrid::random(8, 8, 0.0, 71);
+        assert_eq!(astar_baseline(&grid), Some(14));
+    }
+
+    #[test]
+    fn baseline_and_rime_agree() {
+        for seed in 71..75 {
+            let grid = ObstacleGrid::random(12, 12, 0.25, seed);
+            let mut dev = RimeDevice::new(RimeConfig::small());
+            assert_eq!(
+                astar_baseline(&grid),
+                astar_rime(&mut dev, &grid).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_grid_unreachable() {
+        // Density 1.0 blocks everything except source/destination.
+        let grid = ObstacleGrid::random(6, 6, 1.0, 72);
+        assert_eq!(astar_baseline(&grid), None);
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        assert_eq!(astar_rime(&mut dev, &grid).unwrap(), None);
+    }
+
+    #[test]
+    fn fig17_shape_astar() {
+        // Fig. 17: HBM only 1–1.1×, RIME 2.3–23× over off-chip.
+        let cells = 65_000_000u64;
+        let off_sys = SystemConfig::off_chip(16);
+        let off = baseline_throughput_mkps(cells, &off_sys);
+        let hbm = baseline_throughput_mkps(cells, &SystemConfig::in_package(16));
+        let rime = rime_throughput_mkps(cells, &RimePerfConfig::table1(), &off_sys);
+        let hbm_gain = hbm / off;
+        assert!((0.95..1.5).contains(&hbm_gain), "hbm {hbm_gain}");
+        let rime_gain = rime / off;
+        assert!((1.5..25.0).contains(&rime_gain), "rime {rime_gain}");
+    }
+}

@@ -1,0 +1,216 @@
+//! 1-D k-medians clustering on RIME (§II-A: "Data clustering, an
+//! important kernel in data mining applications, depends heavily on sort
+//! and search operations"; the paper's own prior work accelerates
+//! k-medians with in-situ median computation).
+//!
+//! Lloyd-style iteration over scalar points:
+//!
+//! 1. assign each point to its nearest center,
+//! 2. recompute each center as the **median** of its cluster — an O(k)
+//!    ranking access per cluster on RIME ([`ops::kth_smallest`] at
+//!    k = size/2) instead of a sort,
+//! 3. repeat until the centers stop moving.
+//!
+//! Medians (not means) make the inner step exactly the ranking primitive
+//! RIME provides, and the result is robust to outliers.
+
+use rime_core::{ops, RimeDevice, RimeError};
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Final cluster centers, ascending.
+    pub centers: Vec<u64>,
+    /// Per-point cluster assignment (index into `centers`).
+    pub assignment: Vec<usize>,
+    /// Lloyd iterations executed.
+    pub iterations: u32,
+}
+
+fn nearest(centers: &[u64], point: u64) -> usize {
+    let mut best = 0usize;
+    let mut best_d = u64::MAX;
+    for (idx, &c) in centers.iter().enumerate() {
+        let d = c.abs_diff(point);
+        if d < best_d {
+            best_d = d;
+            best = idx;
+        }
+    }
+    best
+}
+
+fn assign(centers: &[u64], points: &[u64]) -> Vec<usize> {
+    points.iter().map(|&p| nearest(centers, p)).collect()
+}
+
+fn median_cpu(cluster: &mut [u64]) -> Option<u64> {
+    if cluster.is_empty() {
+        return None;
+    }
+    let mid = (cluster.len() - 1) / 2;
+    let (_, m, _) = cluster.select_nth_unstable(mid);
+    Some(*m)
+}
+
+/// CPU baseline k-medians (select-nth per cluster).
+pub fn kmedians_baseline(points: &[u64], k: usize, max_iters: u32) -> Clustering {
+    run(points, k, max_iters, |cluster| {
+        Ok::<_, RimeError>(median_cpu(&mut cluster.to_vec()))
+    })
+    .expect("CPU median cannot fail")
+}
+
+/// RIME k-medians: each cluster median is one ranking session
+/// (`kth_smallest` at size/2).
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn kmedians_rime(
+    device: &mut RimeDevice,
+    points: &[u64],
+    k: usize,
+    max_iters: u32,
+) -> Result<Clustering, RimeError> {
+    run(points, k, max_iters, |cluster| {
+        if cluster.is_empty() {
+            return Ok(None);
+        }
+        let region = device.alloc(cluster.len() as u64)?;
+        device.write(region, 0, cluster)?;
+        let median = ops::kth_smallest::<u64>(device, region, (cluster.len() as u64 - 1) / 2)?;
+        device.free(region)?;
+        Ok(median)
+    })
+}
+
+fn run<E>(
+    points: &[u64],
+    k: usize,
+    max_iters: u32,
+    mut median: impl FnMut(&[u64]) -> Result<Option<u64>, E>,
+) -> Result<Clustering, E> {
+    let k = k.clamp(1, points.len().max(1));
+    if points.is_empty() {
+        return Ok(Clustering {
+            centers: Vec::new(),
+            assignment: Vec::new(),
+            iterations: 0,
+        });
+    }
+    // Deterministic seeding: k evenly spaced order statistics spanning
+    // the full value range (first and last included).
+    let mut seeded = points.to_vec();
+    seeded.sort_unstable();
+    let mut centers: Vec<u64> = (0..k)
+        .map(|i| {
+            let pos = if k == 1 {
+                (points.len() - 1) / 2
+            } else {
+                i * (points.len() - 1) / (k - 1)
+            };
+            seeded[pos]
+        })
+        .collect();
+    centers.dedup();
+
+    let mut iterations = 0u32;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let assignment = assign(&centers, points);
+        let mut clusters: Vec<Vec<u64>> = vec![Vec::new(); centers.len()];
+        for (&p, &a) in points.iter().zip(&assignment) {
+            clusters[a].push(p);
+        }
+        let mut next = Vec::with_capacity(centers.len());
+        for (idx, cluster) in clusters.iter().enumerate() {
+            match median(cluster)? {
+                Some(m) => next.push(m),
+                None => next.push(centers[idx]), // empty cluster keeps its center
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        if next == centers {
+            break;
+        }
+        centers = next;
+    }
+    let assignment = assign(&centers, points);
+    Ok(Clustering {
+        centers,
+        assignment,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rime_core::RimeConfig;
+
+    fn blobs(seed: u64) -> Vec<u64> {
+        // Three well-separated 1-D blobs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for center in [1_000u64, 50_000, 900_000] {
+            for _ in 0..60 {
+                pts.push(center + rng.gen_range(0..500));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn baseline_and_rime_agree() {
+        let points = blobs(1);
+        let base = kmedians_baseline(&points, 3, 20);
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let rime = kmedians_rime(&mut dev, &points, 3, 20).unwrap();
+        assert_eq!(base, rime);
+    }
+
+    #[test]
+    fn finds_the_three_blobs() {
+        let points = blobs(2);
+        let c = kmedians_baseline(&points, 3, 20);
+        assert_eq!(c.centers.len(), 3);
+        assert!(c.centers[0] < 2_000);
+        assert!((49_000..52_000).contains(&c.centers[1]));
+        assert!(c.centers[2] > 899_000);
+        // Every point lands in its own blob's cluster.
+        for (&p, &a) in points.iter().zip(&c.assignment) {
+            assert!(
+                c.centers[a].abs_diff(p) < 5_000,
+                "point {p} center {}",
+                c.centers[a]
+            );
+        }
+    }
+
+    #[test]
+    fn k_one_center_is_global_median() {
+        let points = vec![1u64, 2, 3, 4, 100];
+        let c = kmedians_baseline(&points, 1, 10);
+        assert_eq!(c.centers, vec![3], "median, robust to the outlier");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = kmedians_baseline(&[], 3, 10);
+        assert!(empty.centers.is_empty());
+        let single = kmedians_baseline(&[7], 3, 10);
+        assert_eq!(single.centers, vec![7]);
+        assert_eq!(single.assignment, vec![0]);
+    }
+
+    #[test]
+    fn converges_before_iteration_cap() {
+        let points = blobs(3);
+        let c = kmedians_baseline(&points, 3, 100);
+        assert!(c.iterations < 20, "iterations {}", c.iterations);
+    }
+}

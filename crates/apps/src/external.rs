@@ -1,0 +1,120 @@
+//! External sorting: datasets larger than the RIME capacity.
+//!
+//! §V supports multiple DIMMs, but a dataset can still exceed the
+//! installed RIME capacity. The classic external-sort structure maps
+//! directly onto the device: RIME-sort capacity-sized *runs* one after
+//! another (each run is a load → ordered stream → drain cycle), keep the
+//! sorted runs in conventional storage, and k-way-merge them on the CPU.
+//! Bandwidth complexity stays O(N) per pass — one RIME pass plus one
+//! merge pass for any N up to (capacity × fan-in).
+
+use rime_core::{ops, RimeDevice, RimeError};
+
+/// Sorts `keys` of any length using at most `run_slots` device slots at
+/// a time.
+///
+/// # Errors
+///
+/// Propagates device errors. `run_slots` is clamped to at least 1.
+///
+/// # Example
+///
+/// ```
+/// use rime_apps::external::external_sort;
+/// use rime_core::{RimeConfig, RimeDevice};
+///
+/// # fn main() -> Result<(), rime_core::RimeError> {
+/// let mut dev = RimeDevice::new(RimeConfig::small());
+/// let keys = vec![5u64, 3, 9, 1, 7, 2, 8, 4];
+/// // Pretend the device only fits 3 keys at a time.
+/// let sorted = external_sort(&mut dev, &keys, 3)?;
+/// assert_eq!(sorted, vec![1, 2, 3, 4, 5, 7, 8, 9]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn external_sort(
+    device: &mut RimeDevice,
+    keys: &[u64],
+    run_slots: usize,
+) -> Result<Vec<u64>, RimeError> {
+    if keys.is_empty() {
+        return Ok(Vec::new());
+    }
+    let run_slots = run_slots.max(1);
+    // Phase 1: produce sorted runs through the device, one at a time.
+    let mut runs: Vec<Vec<u64>> = Vec::with_capacity(keys.len().div_ceil(run_slots));
+    for chunk in keys.chunks(run_slots) {
+        let region = device.alloc(chunk.len() as u64)?;
+        device.write(region, 0, chunk)?;
+        runs.push(ops::sort_into_vec::<u64>(device, region)?);
+        device.free(region)?;
+    }
+    // Phase 2: CPU k-way merge over the runs (loser-tree via BinaryHeap).
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut cursors: Vec<usize> = vec![0; runs.len()];
+    for (idx, run) in runs.iter().enumerate() {
+        if let Some(&head) = run.first() {
+            heap.push(std::cmp::Reverse((head, idx)));
+        }
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    while let Some(std::cmp::Reverse((value, idx))) = heap.pop() {
+        out.push(value);
+        cursors[idx] += 1;
+        if let Some(&next) = runs[idx].get(cursors[idx]) {
+            heap.push(std::cmp::Reverse((next, idx)));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+    use rime_workloads::keys::{generate_u64, KeyDistribution};
+
+    fn check(keys: Vec<u64>, run_slots: usize) {
+        let mut want = keys.clone();
+        want.sort_unstable();
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        assert_eq!(external_sort(&mut dev, &keys, run_slots).unwrap(), want);
+    }
+
+    #[test]
+    fn sorts_with_tiny_runs() {
+        check(generate_u64(500, KeyDistribution::Uniform, 77), 7);
+    }
+
+    #[test]
+    fn sorts_with_one_big_run() {
+        check(generate_u64(200, KeyDistribution::Uniform, 78), 10_000);
+    }
+
+    #[test]
+    fn run_size_one_degenerates_to_merge_only() {
+        check(vec![4, 2, 9, 1], 1);
+    }
+
+    #[test]
+    fn duplicates_and_empty() {
+        check(
+            generate_u64(300, KeyDistribution::FewDistinct { distinct: 4 }, 79),
+            16,
+        );
+        check(vec![], 8);
+    }
+
+    #[test]
+    fn larger_than_device_capacity() {
+        // Force more data through than the device holds at once.
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let cap = dev.capacity() as usize;
+        let keys = generate_u64(cap / 16, KeyDistribution::Uniform, 80);
+        let run = cap / 64;
+        let mut want = keys.clone();
+        want.sort_unstable();
+        assert_eq!(external_sort(&mut dev, &keys, run).unwrap(), want);
+        assert_eq!(dev.largest_free(), dev.capacity(), "all runs freed");
+    }
+}

@@ -1,0 +1,146 @@
+//! GroupBy (§VI-C): split a table into groups by key, then aggregate.
+//!
+//! "Sorting is at the heart of modern large-scale GroupBy functions"; the
+//! paper's baseline uses quicksort for the highest throughput, and the
+//! RIME version replaces the sort with an ordered stream out of memory.
+//! The aggregation here is SUM per group (any fold works identically).
+
+use rime_core::{ops, RimeDevice, RimeError};
+use rime_core::{Placement, RimePerfConfig};
+use rime_kernels::SortAlgorithm;
+use rime_memsim::perf::{Phase, Workload};
+use rime_memsim::SystemConfig;
+use rime_workloads::KvTable;
+
+use crate::util::{pack_u32_key, unpack_u32_key};
+
+/// Aggregated output: one `(group key, sum of payload low bits)` row per
+/// group, ordered by key.
+pub type Groups = Vec<(u32, u64)>;
+
+fn aggregate_sorted(rows: impl Iterator<Item = (u32, u32)>) -> Groups {
+    let mut out: Groups = Vec::new();
+    for (key, value) in rows {
+        match out.last_mut() {
+            Some((k, sum)) if *k == key => *sum += value as u64,
+            _ => out.push((key, value as u64)),
+        }
+    }
+    out
+}
+
+/// Baseline GroupBy: sort (key, value) records on the CPU, then scan.
+pub fn groupby_baseline(table: &KvTable) -> Groups {
+    let mut packed: Vec<u64> = table
+        .keys
+        .iter()
+        .zip(&table.values)
+        .map(|(&k, &v)| pack_u32_key(k as u32, v as u32))
+        .collect();
+    packed.sort_unstable();
+    aggregate_sorted(packed.into_iter().map(unpack_u32_key))
+}
+
+/// RIME GroupBy: store packed records in a region, stream them out in
+/// order with repeated `rime_min`, aggregating on the fly.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn groupby_rime(device: &mut RimeDevice, table: &KvTable) -> Result<Groups, RimeError> {
+    if table.is_empty() {
+        return Ok(Vec::new());
+    }
+    let packed: Vec<u64> = table
+        .keys
+        .iter()
+        .zip(&table.values)
+        .map(|(&k, &v)| pack_u32_key(k as u32, v as u32))
+        .collect();
+    let region = device.alloc(packed.len() as u64)?;
+    device.write(region, 0, &packed)?;
+    let mut stream = ops::sorted::<u64>(device, region)?;
+    let mut rows = Vec::with_capacity(packed.len());
+    while let Some(key) = stream.try_next()? {
+        rows.push(unpack_u32_key(key));
+    }
+    device.free(region)?;
+    Ok(aggregate_sorted(rows.into_iter()))
+}
+
+/// Baseline phase decomposition: a quicksort of `rows` records plus a
+/// streaming aggregation pass.
+pub fn baseline_workload(rows: u64, system: &SystemConfig) -> Workload {
+    let mut workload = SortAlgorithm::Quick.workload(rows, system);
+    workload.push(Phase::streaming("aggregate scan", rows, 25.0, rows * 16));
+    workload
+}
+
+/// Baseline throughput in million rows per second (Fig. 16 y-axis).
+pub fn baseline_throughput_mkps(rows: u64, system: &SystemConfig) -> f64 {
+    baseline_workload(rows, system)
+        .execute(system)
+        .throughput_mkps(rows)
+}
+
+/// RIME GroupBy seconds: bulk-load the records, stream them back in
+/// order (aggregation overlaps the stream on the CPU).
+pub fn rime_seconds(rows: u64, perf: &RimePerfConfig) -> f64 {
+    perf.load_seconds(rows, 8, Placement::Striped)
+        + perf.stream_seconds(rows, rows, Placement::Striped)
+}
+
+/// RIME throughput in million rows per second.
+pub fn rime_throughput_mkps(rows: u64, perf: &RimePerfConfig) -> f64 {
+    rows as f64 / rime_seconds(rows, perf) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+
+    #[test]
+    fn baseline_and_rime_agree() {
+        let table = KvTable::grouped(800, 12, 21);
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let base = groupby_baseline(&table);
+        let rime = groupby_rime(&mut dev, &table).unwrap();
+        assert_eq!(base, rime);
+        assert!(base.len() <= 12);
+    }
+
+    #[test]
+    fn aggregation_sums_by_group() {
+        let table = KvTable {
+            keys: vec![2, 1, 2, 1, 1],
+            values: vec![10, 1, 30, 2, 4],
+        };
+        let got = groupby_baseline(&table);
+        assert_eq!(got, vec![(1, 7), (2, 40)]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = KvTable {
+            keys: vec![],
+            values: vec![],
+        };
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        assert!(groupby_rime(&mut dev, &table).unwrap().is_empty());
+        assert!(groupby_baseline(&table).is_empty());
+    }
+
+    #[test]
+    fn fig16_shape_rime_beats_baselines() {
+        // Fig. 16: RIME 5.4–23.1× over off-chip; HBM 1.1–2×.
+        let rows = 65_000_000u64;
+        let off = baseline_throughput_mkps(rows, &SystemConfig::off_chip(16));
+        let hbm = baseline_throughput_mkps(rows, &SystemConfig::in_package(16));
+        let rime = rime_throughput_mkps(rows, &RimePerfConfig::table1());
+        assert!(hbm > off, "hbm {hbm} vs off {off}");
+        assert!(rime > 4.0 * hbm, "rime {rime} vs hbm {hbm}");
+        let gain = rime / off;
+        assert!((4.0..40.0).contains(&gain), "gain {gain}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Kruskal's minimum spanning tree (§VI-C): sort all edges by weight,
+//! then grow the MST with a union-find — the paper's canonical
+//! sort-dominated graph workload (IEEE-754 weights).
+
+use rime_core::{ops, Placement, RimeDevice, RimeError, RimePerfConfig};
+use rime_kernels::SortAlgorithm;
+use rime_memsim::perf::{Phase, Workload};
+use rime_memsim::SystemConfig;
+use rime_workloads::Graph;
+
+use crate::util::{pack_f32_key, unpack_f32_key};
+
+/// Union-find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: u32) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n as usize],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Unites the sets of `a` and `b`; returns `false` if already united.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+}
+
+fn mst_from_sorted(graph: &Graph, order: impl Iterator<Item = usize>) -> (f64, usize) {
+    let mut uf = UnionFind::new(graph.vertices);
+    let mut weight = 0.0f64;
+    let mut picked = 0usize;
+    for edge_idx in order {
+        let e = graph.edges[edge_idx];
+        if uf.union(e.u, e.v) {
+            weight += e.w as f64;
+            picked += 1;
+            if picked as u32 == graph.vertices - 1 {
+                break;
+            }
+        }
+    }
+    (weight, picked)
+}
+
+/// Baseline Kruskal: CPU sort of the edge list, then union-find.
+/// Returns (MST weight, MST edge count).
+pub fn kruskal_baseline(graph: &Graph) -> (f64, usize) {
+    let mut order: Vec<usize> = (0..graph.edge_count()).collect();
+    order.sort_unstable_by(|&a, &b| graph.edges[a].w.total_cmp(&graph.edges[b].w));
+    mst_from_sorted(graph, order.into_iter())
+}
+
+/// RIME Kruskal: edges stored as packed `(weight, index)` keys; the sort
+/// is an ordered stream out of memory.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn kruskal_rime(device: &mut RimeDevice, graph: &Graph) -> Result<(f64, usize), RimeError> {
+    let packed: Vec<u64> = graph
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(idx, e)| pack_f32_key(e.w, idx as u32))
+        .collect();
+    let region = device.alloc(packed.len() as u64)?;
+    device.write(region, 0, &packed)?;
+    let sorted = ops::sort_into_vec::<u64>(device, region)?;
+    device.free(region)?;
+    Ok(mst_from_sorted(
+        graph,
+        sorted.into_iter().map(|k| unpack_f32_key(k).1 as usize),
+    ))
+}
+
+/// Baseline decomposition: quicksort of `edges` keys plus a union-find
+/// pass with dependent parent-array accesses.
+pub fn baseline_workload(edges: u64, system: &SystemConfig) -> Workload {
+    let mut workload = SortAlgorithm::Quick.workload(edges, system);
+    // Each union-find operation chases ~2 parent pointers; the parent
+    // array (4 B/vertex) misses for large graphs.
+    workload.push(Phase::dependent("union-find", edges, 60.0, edges * 8));
+    workload
+}
+
+/// Baseline throughput in million edges per second (Fig. 17 y-axis).
+pub fn baseline_throughput_mkps(edges: u64, system: &SystemConfig) -> f64 {
+    baseline_workload(edges, system)
+        .execute(system)
+        .throughput_mkps(edges)
+}
+
+/// RIME seconds: load packed edges, stream them in order, union-find on
+/// the CPU (overlapped with the stream; charged as the dependent phase).
+pub fn rime_seconds(edges: u64, perf: &RimePerfConfig, system: &SystemConfig) -> f64 {
+    let stream = perf.load_seconds(edges, 8, Placement::Striped)
+        + perf.stream_seconds(edges, edges, Placement::Striped);
+    let uf = Workload::new(vec![Phase::dependent("union-find", edges, 60.0, edges * 8)])
+        .execute(system)
+        .total_seconds();
+    stream.max(uf)
+}
+
+/// RIME throughput in million edges per second.
+pub fn rime_throughput_mkps(edges: u64, perf: &RimePerfConfig, system: &SystemConfig) -> f64 {
+    edges as f64 / rime_seconds(edges, perf, system) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_ne!(uf.find(0), uf.find(2));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+    }
+
+    #[test]
+    fn baseline_and_rime_agree() {
+        let graph = Graph::random_connected(200, 1_500, 41);
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let (wb, nb) = kruskal_baseline(&graph);
+        let (wr, nr) = kruskal_rime(&mut dev, &graph).unwrap();
+        assert_eq!(nb, 199);
+        assert_eq!(nb, nr);
+        assert!((wb - wr).abs() < 1e-6 * wb.max(1.0), "{wb} vs {wr}");
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_on_known_graph() {
+        use rime_workloads::WeightedEdge;
+        // Triangle 0-1 (1.0), 1-2 (2.0), 0-2 (10.0): MST = 3.0.
+        let graph = Graph::from_edges(
+            3,
+            vec![
+                WeightedEdge { u: 0, v: 1, w: 1.0 },
+                WeightedEdge { u: 1, v: 2, w: 2.0 },
+                WeightedEdge {
+                    u: 0,
+                    v: 2,
+                    w: 10.0,
+                },
+            ],
+        );
+        let (w, n) = kruskal_baseline(&graph);
+        assert_eq!(n, 2);
+        assert!((w - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig17_shape_kruskal() {
+        // Fig. 17: HBM 2.8–3.7×, RIME 8.5–20.9× over off-chip.
+        let edges = 65_000_000u64;
+        let off_sys = SystemConfig::off_chip(16);
+        let hbm_sys = SystemConfig::in_package(16);
+        let off = baseline_throughput_mkps(edges, &off_sys);
+        let hbm = baseline_throughput_mkps(edges, &hbm_sys);
+        let rime = rime_throughput_mkps(edges, &RimePerfConfig::table1(), &off_sys);
+        assert!(hbm / off > 1.3, "hbm gain {}", hbm / off);
+        let gain = rime / off;
+        assert!((5.0..40.0).contains(&gain), "rime gain {gain}");
+    }
+}

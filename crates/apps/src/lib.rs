@@ -1,0 +1,44 @@
+//! # rime-apps
+//!
+//! The six applications of the paper's evaluation (§VI-C), each in two
+//! versions — a conventional-CPU baseline and a RIME-accelerated one —
+//! plus the analytic models that regenerate Figs. 16–19:
+//!
+//! | app | figure | module |
+//! |-----|--------|--------|
+//! | GroupBy | Fig. 16 | [`groupby`] |
+//! | MergeJoin | Fig. 16 | [`mergejoin`] |
+//! | Kruskal's MST | Fig. 17 | [`kruskal`] |
+//! | Prim's MST | Fig. 17 | [`prim`] |
+//! | Dijkstra's shortest paths | Fig. 17 | [`dijkstra`] |
+//! | A*-Search | Fig. 17 | [`astar`] |
+//! | Strict priority queue | Fig. 18 | [`spq`] |
+//!
+//! The functional versions are cross-validated against each other (and
+//! against textbook implementations) on real data; the analytic models
+//! reuse the same structural decompositions at paper scale.
+//!
+//! [`rimepq`] provides the RIME-backed strict priority queue the graph
+//! applications and the packet workload share; [`query`] adds the
+//! `ORDER BY … LIMIT` / scalar-aggregate / `DISTINCT` operators the
+//! paper's introduction motivates, [`external`] sorts datasets larger
+//! than the installed RIME capacity, and [`clustering`] is the
+//! ranking-based k-medians kernel §II-A motivates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astar;
+pub mod clustering;
+pub mod dijkstra;
+pub mod external;
+pub mod groupby;
+pub mod kruskal;
+pub mod mergejoin;
+pub mod prim;
+pub mod query;
+pub mod rimepq;
+pub mod spq;
+pub mod util;
+
+pub use rimepq::RimePriorityQueue;

@@ -1,0 +1,147 @@
+//! Sort MergeJoin (§VI-C): join two key-value tables by sorting both and
+//! merging, keeping only keys present in both (Fig. 6's join semantics).
+
+use rime_core::{ops, Placement, RimeDevice, RimeError, RimePerfConfig};
+use rime_kernels::SortAlgorithm;
+use rime_memsim::perf::{Phase, Workload};
+use rime_memsim::SystemConfig;
+use rime_workloads::JoinTables;
+
+/// Baseline sort-merge join: returns the ascending multiset of matching
+/// keys (pairwise duplicate semantics, as in [`ops::merge_join`]).
+pub fn mergejoin_baseline(tables: &JoinTables) -> Vec<u64> {
+    let mut left = tables.left.keys.clone();
+    let mut right = tables.right.keys.clone();
+    left.sort_unstable();
+    right.sort_unstable();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut out = Vec::new();
+    while i < left.len() && j < right.len() {
+        match left[i].cmp(&right[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(left[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// RIME merge-join: both tables live in RIME regions; the join consumes
+/// two ordered streams directly (no CPU-side sort at all).
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn mergejoin_rime(device: &mut RimeDevice, tables: &JoinTables) -> Result<Vec<u64>, RimeError> {
+    if tables.left.is_empty() || tables.right.is_empty() {
+        return Ok(Vec::new());
+    }
+    let left = device.alloc(tables.left.len() as u64)?;
+    device.write(left, 0, &tables.left.keys)?;
+    let right = device.alloc(tables.right.len() as u64)?;
+    device.write(right, 0, &tables.right.keys)?;
+    let joined = ops::merge_join::<u64>(device, left, right)?;
+    device.free(left)?;
+    device.free(right)?;
+    Ok(joined)
+}
+
+/// Baseline decomposition: two quicksorts plus a streaming merge scan.
+pub fn baseline_workload(rows_per_table: u64, system: &SystemConfig) -> Workload {
+    let mut workload = SortAlgorithm::Quick.workload(rows_per_table, system);
+    workload.extend(
+        SortAlgorithm::Quick
+            .workload(rows_per_table, system)
+            .phases()
+            .iter()
+            .cloned(),
+    );
+    workload.push(Phase::streaming(
+        "merge scan",
+        2 * rows_per_table,
+        20.0,
+        2 * rows_per_table * 16,
+    ));
+    workload
+}
+
+/// Baseline throughput in million rows per second over `2 × rows`.
+pub fn baseline_throughput_mkps(rows_per_table: u64, system: &SystemConfig) -> f64 {
+    baseline_workload(rows_per_table, system)
+        .execute(system)
+        .throughput_mkps(2 * rows_per_table)
+}
+
+/// RIME seconds: load both tables, then stream `2 × rows` ordered values.
+pub fn rime_seconds(rows_per_table: u64, perf: &RimePerfConfig) -> f64 {
+    perf.load_seconds(2 * rows_per_table, 8, Placement::Striped)
+        + perf.stream_seconds(2 * rows_per_table, 2 * rows_per_table, Placement::Striped)
+}
+
+/// RIME throughput in million rows per second over `2 × rows`.
+pub fn rime_throughput_mkps(rows_per_table: u64, perf: &RimePerfConfig) -> f64 {
+    2.0 * rows_per_table as f64 / rime_seconds(rows_per_table, perf) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+
+    #[test]
+    fn baseline_and_rime_agree() {
+        let tables = JoinTables::with_overlap(600, 0.4, 31);
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        assert_eq!(
+            mergejoin_baseline(&tables),
+            mergejoin_rime(&mut dev, &tables).unwrap()
+        );
+    }
+
+    #[test]
+    fn join_keeps_only_shared_keys() {
+        use rime_workloads::KvTable;
+        let tables = JoinTables {
+            left: KvTable {
+                keys: vec![1, 3, 5, 5, 9],
+                values: vec![0; 5],
+            },
+            right: KvTable {
+                keys: vec![5, 2, 9, 5],
+                values: vec![0; 4],
+            },
+        };
+        assert_eq!(mergejoin_baseline(&tables), vec![5, 5, 9]);
+    }
+
+    #[test]
+    fn empty_join() {
+        use rime_workloads::KvTable;
+        let tables = JoinTables {
+            left: KvTable {
+                keys: vec![],
+                values: vec![],
+            },
+            right: KvTable {
+                keys: vec![1],
+                values: vec![2],
+            },
+        };
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        assert!(mergejoin_rime(&mut dev, &tables).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fig16_shape() {
+        // Fig. 16: RIME 5.6–24.1× over off-chip DDR4 for MergeJoin.
+        let rows = 32_000_000u64;
+        let off = baseline_throughput_mkps(rows, &SystemConfig::off_chip(16));
+        let rime = rime_throughput_mkps(rows, &RimePerfConfig::table1());
+        let gain = rime / off;
+        assert!((4.0..40.0).contains(&gain), "gain {gain}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Prim's minimum spanning tree (§VI-C): grow the tree from a vertex,
+//! repeatedly taking the cheapest crossing edge — like Dijkstra but
+//! producing an MST rather than a shortest-path tree.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rime_core::{Placement, RimeDevice, RimeError, RimePerfConfig};
+use rime_memsim::perf::{Phase, Workload};
+use rime_memsim::SystemConfig;
+use rime_workloads::Graph;
+
+use crate::rimepq::RimePriorityQueue;
+use crate::util::{pack_f32_key, unpack_f32_key};
+
+/// Baseline lazy Prim with a binary heap. Returns (MST weight, edges).
+pub fn prim_baseline(graph: &Graph) -> (f64, usize) {
+    let mut in_tree = vec![false; graph.vertices as usize];
+    let mut heap: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut weight = 0.0f64;
+    let mut picked = 0usize;
+    in_tree[0] = true;
+    for &(n, w) in graph.neighbors(0) {
+        heap.push(Reverse(pack_f32_key(w, n)));
+    }
+    while let Some(Reverse(key)) = heap.pop() {
+        let (w, v) = unpack_f32_key(key);
+        if in_tree[v as usize] {
+            continue;
+        }
+        in_tree[v as usize] = true;
+        weight += w as f64;
+        picked += 1;
+        for &(n, nw) in graph.neighbors(v) {
+            if !in_tree[n as usize] {
+                heap.push(Reverse(pack_f32_key(nw, n)));
+            }
+        }
+    }
+    (weight, picked)
+}
+
+/// RIME Prim: the crossing-edge frontier lives in a [`RimePriorityQueue`].
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn prim_rime(device: &mut RimeDevice, graph: &Graph) -> Result<(f64, usize), RimeError> {
+    let mut in_tree = vec![false; graph.vertices as usize];
+    let capacity = (2 * graph.edge_count() as u64 + 1).max(4);
+    let mut pq = RimePriorityQueue::new(device, capacity)?;
+    let mut weight = 0.0f64;
+    let mut picked = 0usize;
+    in_tree[0] = true;
+    for &(n, w) in graph.neighbors(0) {
+        pq.push(device, pack_f32_key(w, n))?;
+    }
+    while let Some(key) = pq.pop_min(device)? {
+        let (w, v) = unpack_f32_key(key);
+        if in_tree[v as usize] {
+            continue;
+        }
+        in_tree[v as usize] = true;
+        weight += w as f64;
+        picked += 1;
+        for &(n, nw) in graph.neighbors(v) {
+            if !in_tree[n as usize] {
+                pq.push(device, pack_f32_key(nw, n))?;
+            }
+        }
+    }
+    pq.destroy(device)?;
+    Ok((weight, picked))
+}
+
+/// Baseline decomposition: adjacency streaming plus heap maintenance
+/// (same structure as Dijkstra; Prim touches each edge up to twice).
+pub fn baseline_workload(vertices: u64, edges: u64, system: &SystemConfig) -> Workload {
+    let heap_levels = ((vertices.max(2) as f64).log2()
+        - (system.l2_capacity_keys() as f64 / 64.0).log2().max(0.0))
+    .max(1.0);
+    let ops = 2 * edges + vertices;
+    Workload::new(vec![
+        Phase::streaming("adjacency scan", 2 * edges, 25.0, 2 * edges * 8),
+        Phase::dependent(
+            "heap ops",
+            ops,
+            70.0,
+            (ops as f64 * heap_levels) as u64 * 64,
+        ),
+    ])
+}
+
+/// Baseline throughput in million edges per second.
+pub fn baseline_throughput_mkps(vertices: u64, edges: u64, system: &SystemConfig) -> f64 {
+    baseline_workload(vertices, edges, system)
+        .execute(system)
+        .throughput_mkps(edges)
+}
+
+/// RIME seconds (structure as in [`crate::dijkstra::rime_seconds`]).
+pub fn rime_seconds(
+    vertices: u64,
+    edges: u64,
+    perf: &RimePerfConfig,
+    system: &SystemConfig,
+) -> f64 {
+    let scan = Workload::new(vec![Phase::streaming(
+        "adjacency scan",
+        2 * edges,
+        25.0,
+        2 * edges * 8,
+    )])
+    .execute(system)
+    .total_seconds();
+    let pops = vertices + edges / 3;
+    scan + perf.load_seconds(2 * edges, 8, Placement::Striped)
+        + perf.stream_seconds(edges.max(1), pops, Placement::Striped)
+}
+
+/// RIME throughput in million edges per second.
+pub fn rime_throughput_mkps(
+    vertices: u64,
+    edges: u64,
+    perf: &RimePerfConfig,
+    system: &SystemConfig,
+) -> f64 {
+    edges as f64 / rime_seconds(vertices, edges, perf, system) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal_baseline;
+    use rime_core::RimeConfig;
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        // Two MST algorithms must agree on total weight.
+        let graph = Graph::random_connected(150, 900, 61);
+        let (kw, kn) = kruskal_baseline(&graph);
+        let (pw, pn) = prim_baseline(&graph);
+        assert_eq!(kn, pn);
+        assert!((kw - pw).abs() < 1e-3 * kw.max(1.0), "{kw} vs {pw}");
+    }
+
+    #[test]
+    fn baseline_and_rime_agree() {
+        let graph = Graph::random_connected(60, 240, 62);
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let (bw, bn) = prim_baseline(&graph);
+        let (rw, rn) = prim_rime(&mut dev, &graph).unwrap();
+        assert_eq!(bn, rn);
+        assert!((bw - rw).abs() < 1e-6 * bw.max(1.0));
+    }
+
+    #[test]
+    fn spanning_tree_covers_graph() {
+        let graph = Graph::random_connected(100, 500, 63);
+        let (_, n) = prim_baseline(&graph);
+        assert_eq!(n, 99);
+    }
+
+    #[test]
+    fn fig17_shape_prim() {
+        // Fig. 17: HBM 2–4.4×, RIME 6.3–14.3× over off-chip.
+        let (v, e) = (8_000_000u64, 65_000_000u64);
+        let off_sys = SystemConfig::off_chip(16);
+        let off = baseline_throughput_mkps(v, e, &off_sys);
+        let rime = rime_throughput_mkps(v, e, &RimePerfConfig::table1(), &off_sys);
+        let gain = rime / off;
+        assert!((3.0..30.0).contains(&gain), "rime gain {gain}");
+    }
+}

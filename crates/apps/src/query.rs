@@ -1,0 +1,194 @@
+//! Database query operators built on ranking (§II-A): `ORDER BY … LIMIT`
+//! (top-k), scalar aggregates (MIN/MAX without a scan), and duplicate
+//! removal — the operations the paper's introduction motivates ("query
+//! retrieval … OrderBy clause", "index creation, user-requested output
+//! sorting, ranking, duplicate removal").
+//!
+//! These compose the `rime_min`/`rime_max` primitive exactly like the
+//! Fig. 12 snippet: a `LIMIT k` query costs k accesses — bandwidth O(k),
+//! not O(N log N).
+
+use rime_core::{ops, RimeDevice, RimeError, SortableBits};
+
+use crate::util::{pack_u32_key, unpack_u32_key};
+use rime_workloads::KvTable;
+
+/// Sort order of an `ORDER BY` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Smallest keys first.
+    Ascending,
+    /// Largest keys first.
+    Descending,
+}
+
+/// `SELECT key, value FROM t ORDER BY key <order> LIMIT <k>` — the top-k
+/// rows of a table, served straight out of the memory in O(k) accesses.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn order_by_limit(
+    device: &mut RimeDevice,
+    table: &KvTable,
+    order: Order,
+    k: usize,
+) -> Result<Vec<(u32, u32)>, RimeError> {
+    if table.is_empty() || k == 0 {
+        return Ok(Vec::new());
+    }
+    let packed: Vec<u64> = table
+        .keys
+        .iter()
+        .zip(&table.values)
+        .map(|(&key, &v)| pack_u32_key(key as u32, v as u32))
+        .collect();
+    let region = device.alloc(packed.len() as u64)?;
+    device.write(region, 0, &packed)?;
+    device.init_all::<u64>(region)?;
+    let mut rows = Vec::with_capacity(k.min(packed.len()));
+    for _ in 0..k {
+        let next = match order {
+            Order::Ascending => device.rime_min::<u64>(region)?,
+            Order::Descending => device.rime_max::<u64>(region)?,
+        };
+        match next {
+            Some((_, key)) => rows.push(unpack_u32_key(key)),
+            None => break,
+        }
+    }
+    device.free(region)?;
+    Ok(rows)
+}
+
+/// Scalar aggregate `SELECT MIN(key), MAX(key) FROM t`: two ranking
+/// accesses, O(1) bandwidth.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn min_max<T: SortableBits>(
+    device: &mut RimeDevice,
+    keys: &[T],
+) -> Result<Option<(T, T)>, RimeError> {
+    if keys.is_empty() {
+        return Ok(None);
+    }
+    let region = device.alloc(keys.len() as u64)?;
+    device.write(region, 0, keys)?;
+    device.init_all::<T>(region)?;
+    let min = device.rime_min::<T>(region)?.expect("non-empty").1;
+    // Direction switch re-initializes internally.
+    let max = device.rime_max::<T>(region)?.expect("non-empty").1;
+    device.free(region)?;
+    Ok(Some((min, max)))
+}
+
+/// `SELECT DISTINCT key FROM t ORDER BY key`: stream the order out and
+/// drop equal neighbors — duplicate removal in one pass.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn distinct_sorted(device: &mut RimeDevice, keys: &[u64]) -> Result<Vec<u64>, RimeError> {
+    if keys.is_empty() {
+        return Ok(Vec::new());
+    }
+    let region = device.alloc(keys.len() as u64)?;
+    device.write(region, 0, keys)?;
+    let mut stream = ops::sorted::<u64>(device, region)?;
+    let mut out: Vec<u64> = Vec::new();
+    while let Some(k) = stream.try_next()? {
+        if out.last() != Some(&k) {
+            out.push(k);
+        }
+    }
+    device.free(region)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+
+    fn device() -> RimeDevice {
+        RimeDevice::new(RimeConfig::small())
+    }
+
+    fn table() -> KvTable {
+        KvTable {
+            keys: vec![30, 10, 20, 10, 40],
+            values: vec![300, 100, 200, 101, 400],
+        }
+    }
+
+    #[test]
+    fn order_by_limit_ascending() {
+        let mut dev = device();
+        let rows = order_by_limit(&mut dev, &table(), Order::Ascending, 3).unwrap();
+        assert_eq!(rows, vec![(10, 100), (10, 101), (20, 200)]);
+    }
+
+    #[test]
+    fn order_by_limit_descending() {
+        let mut dev = device();
+        let rows = order_by_limit(&mut dev, &table(), Order::Descending, 2).unwrap();
+        assert_eq!(rows, vec![(40, 400), (30, 300)]);
+    }
+
+    #[test]
+    fn limit_larger_than_table_returns_all() {
+        let mut dev = device();
+        let rows = order_by_limit(&mut dev, &table(), Order::Ascending, 100).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn limit_zero_and_empty_table() {
+        let mut dev = device();
+        assert!(order_by_limit(&mut dev, &table(), Order::Ascending, 0)
+            .unwrap()
+            .is_empty());
+        let empty = KvTable {
+            keys: vec![],
+            values: vec![],
+        };
+        assert!(order_by_limit(&mut dev, &empty, Order::Ascending, 5)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn scalar_min_max() {
+        let mut dev = device();
+        assert_eq!(
+            min_max::<i32>(&mut dev, &[3, -7, 12, 0]).unwrap(),
+            Some((-7, 12))
+        );
+        assert_eq!(
+            min_max::<f32>(&mut dev, &[1.5, -2.25]).unwrap(),
+            Some((-2.25, 1.5))
+        );
+        assert_eq!(min_max::<u32>(&mut dev, &[]).unwrap(), None);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_in_order() {
+        let mut dev = device();
+        let got = distinct_sorted(&mut dev, &[5, 2, 5, 2, 2, 9, 5]).unwrap();
+        assert_eq!(got, vec![2, 5, 9]);
+        assert_eq!(distinct_sorted(&mut dev, &[]).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_device() {
+        let mut dev = device();
+        for _ in 0..5 {
+            let rows = order_by_limit(&mut dev, &table(), Order::Ascending, 1).unwrap();
+            assert_eq!(rows, vec![(10, 100)]);
+        }
+        assert_eq!(dev.largest_free(), dev.capacity(), "no leaked regions");
+    }
+}

@@ -1,0 +1,203 @@
+//! A strict priority queue backed by a RIME region (§VI-C).
+//!
+//! Inserts are ordinary memory writes into free slots; the minimum is
+//! removed with one `rime_min` access — the structure §VII-A credits for
+//! RIME's flat priority-queue throughput ("ordinary memory writes for
+//! adding packets to the queue and low complexity accesses for removing
+//! packets").
+//!
+//! Empty slots hold a `u64::MAX` sentinel so the whole region can always
+//! be ranked; a popped slot is immediately re-written with the sentinel
+//! and recycled by later pushes. Keys are therefore restricted to
+//! `< u64::MAX`, which packed (priority, payload) keys satisfy.
+
+use std::collections::VecDeque;
+
+use rime_core::{Region, RimeDevice, RimeError};
+
+/// A min-priority queue of `u64` keys stored in a RIME region.
+#[derive(Debug)]
+pub struct RimePriorityQueue {
+    region: Region,
+    /// Region-relative free slots, recycled FIFO so rewrites rotate over
+    /// the whole region — cheap wear-leveling for the §VII-C endurance
+    /// budget (a LIFO stack would hammer one row).
+    free: VecDeque<u64>,
+    len: u64,
+}
+
+/// Sentinel marking an empty slot (never a valid key).
+pub const EMPTY: u64 = u64::MAX;
+
+impl RimePriorityQueue {
+    /// Creates a queue of at most `capacity` entries on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn new(device: &mut RimeDevice, capacity: u64) -> Result<RimePriorityQueue, RimeError> {
+        let region = device.alloc(capacity)?;
+        device.write(region, 0, &vec![EMPTY; capacity as usize])?;
+        Ok(RimePriorityQueue {
+            region,
+            free: (0..capacity).collect(),
+            len: 0,
+        })
+    }
+
+    /// Number of queued keys.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining capacity.
+    pub fn spare(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Inserts a key (an ordinary memory write).
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::OutOfBounds`] when the queue is full (reported with
+    /// the region length); propagates device errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is the reserved [`EMPTY`] sentinel.
+    pub fn push(&mut self, device: &mut RimeDevice, key: u64) -> Result<(), RimeError> {
+        assert_ne!(key, EMPTY, "u64::MAX is the empty-slot sentinel");
+        let slot = self.free.pop_front().ok_or(RimeError::OutOfBounds {
+            offset: self.region.len(),
+            len: self.region.len(),
+        })?;
+        device.write(self.region, slot, &[key])?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the minimum key (one `rime_min` access), or
+    /// `None` when empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn pop_min(&mut self, device: &mut RimeDevice) -> Result<Option<u64>, RimeError> {
+        if self.len == 0 {
+            return Ok(None);
+        }
+        // Writes invalidate the ranking session, so (re-)initialize: the
+        // hardware's select-vector walk is cheap (Fig. 11).
+        device.init_all::<u64>(self.region)?;
+        let (slot, key) = device
+            .rime_min::<u64>(self.region)?
+            .expect("non-empty queue yields a minimum");
+        debug_assert_ne!(key, EMPTY, "sentinel must never win while len > 0");
+        let local = slot - self.region.start();
+        device.write(self.region, local, &[EMPTY])?;
+        self.free.push_back(local);
+        self.len -= 1;
+        Ok(Some(key))
+    }
+
+    /// Releases the underlying region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn destroy(self, device: &mut RimeDevice) -> Result<(), RimeError> {
+        device.free(self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+
+    fn device() -> RimeDevice {
+        RimeDevice::new(RimeConfig::small())
+    }
+
+    #[test]
+    fn pushes_and_pops_in_order() {
+        let mut dev = device();
+        let mut pq = RimePriorityQueue::new(&mut dev, 16).unwrap();
+        for k in [5u64, 1, 9, 3] {
+            pq.push(&mut dev, k).unwrap();
+        }
+        assert_eq!(pq.len(), 4);
+        let mut out = Vec::new();
+        while let Some(k) = pq.pop_min(&mut dev).unwrap() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 3, 5, 9]);
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut dev = device();
+        let mut pq = RimePriorityQueue::new(&mut dev, 8).unwrap();
+        pq.push(&mut dev, 10).unwrap();
+        pq.push(&mut dev, 4).unwrap();
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(4));
+        pq.push(&mut dev, 2).unwrap();
+        pq.push(&mut dev, 7).unwrap();
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(2));
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(10));
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), None);
+    }
+
+    #[test]
+    fn slots_recycle() {
+        let mut dev = device();
+        let mut pq = RimePriorityQueue::new(&mut dev, 2).unwrap();
+        for round in 0..5u64 {
+            pq.push(&mut dev, round + 1).unwrap();
+            pq.push(&mut dev, round + 100).unwrap();
+            assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(round + 1));
+            assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(round + 100));
+        }
+        assert_eq!(pq.spare(), 2);
+    }
+
+    #[test]
+    fn overflow_reported() {
+        let mut dev = device();
+        let mut pq = RimePriorityQueue::new(&mut dev, 1).unwrap();
+        pq.push(&mut dev, 1).unwrap();
+        assert!(matches!(
+            pq.push(&mut dev, 2),
+            Err(RimeError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_pop_individually() {
+        let mut dev = device();
+        let mut pq = RimePriorityQueue::new(&mut dev, 4).unwrap();
+        for _ in 0..3 {
+            pq.push(&mut dev, 7).unwrap();
+        }
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&mut dev).unwrap(), None);
+    }
+
+    #[test]
+    fn destroy_frees_region() {
+        let mut dev = device();
+        let before = dev.largest_free();
+        let pq = RimePriorityQueue::new(&mut dev, 64).unwrap();
+        pq.destroy(&mut dev).unwrap();
+        assert_eq!(dev.largest_free(), before);
+    }
+}

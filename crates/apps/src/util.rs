@@ -1,0 +1,91 @@
+//! Key-packing helpers shared by the applications.
+//!
+//! RIME ranks flat keys; applications that need (priority, payload)
+//! records pack both into one 64-bit key with the priority in the high
+//! bits — standard practice for radix/PIM-friendly data layouts. For
+//! `f32` priorities the usual order-preserving bit transform is applied
+//! so unsigned key order equals float order.
+
+/// Maps an `f32` onto a `u32` whose unsigned order matches
+/// [`f32::total_cmp`] order.
+pub fn f32_to_ordered_u32(x: f32) -> u32 {
+    let bits = x.to_bits();
+    if bits & 0x8000_0000 == 0 {
+        bits | 0x8000_0000
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`f32_to_ordered_u32`].
+pub fn ordered_u32_to_f32(key: u32) -> f32 {
+    if key & 0x8000_0000 != 0 {
+        f32::from_bits(key & 0x7FFF_FFFF)
+    } else {
+        f32::from_bits(!key)
+    }
+}
+
+/// Packs an `f32` priority and a 32-bit payload into one unsigned key
+/// whose order is (priority, payload).
+pub fn pack_f32_key(priority: f32, payload: u32) -> u64 {
+    (f32_to_ordered_u32(priority) as u64) << 32 | payload as u64
+}
+
+/// Unpacks a key produced by [`pack_f32_key`].
+pub fn unpack_f32_key(key: u64) -> (f32, u32) {
+    (ordered_u32_to_f32((key >> 32) as u32), key as u32)
+}
+
+/// Packs a `u32` priority and payload (order: priority, payload).
+pub fn pack_u32_key(priority: u32, payload: u32) -> u64 {
+    (priority as u64) << 32 | payload as u64
+}
+
+/// Unpacks a key produced by [`pack_u32_key`].
+pub fn unpack_u32_key(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_transform_is_order_preserving() {
+        let vals = [-1.0e9f32, -3.5, -0.0, 0.0, 1e-20, 2.5, 7.0e8];
+        for w in vals.windows(2) {
+            assert!(
+                f32_to_ordered_u32(w[0]) < f32_to_ordered_u32(w[1]),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn f32_transform_roundtrips() {
+        for v in [-123.25f32, 0.0, 5.5, -0.0, f32::MAX, f32::MIN_POSITIVE] {
+            let rt = ordered_u32_to_f32(f32_to_ordered_u32(v));
+            assert_eq!(rt.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_keys_order_by_priority_first() {
+        let a = pack_f32_key(1.5, 999);
+        let b = pack_f32_key(2.0, 0);
+        assert!(a < b);
+        let (p, id) = unpack_f32_key(a);
+        assert_eq!(p, 1.5);
+        assert_eq!(id, 999);
+    }
+
+    #[test]
+    fn u32_pack_roundtrip() {
+        let k = pack_u32_key(7, 42);
+        assert_eq!(unpack_u32_key(k), (7, 42));
+        assert!(pack_u32_key(1, u32::MAX) < pack_u32_key(2, 0));
+    }
+}

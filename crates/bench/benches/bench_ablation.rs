@@ -1,0 +1,81 @@
+//! Criterion bench: ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Early exit** (§IV-B.2 "till … only 1 selected value is left"):
+//!   duplicate-heavy inputs converge in fewer column-search steps than
+//!   uniform inputs, so functional extraction runs measurably faster.
+//! * **Key width**: 32-bit searches take half the steps of 64-bit ones.
+//! * **Striping** (Fig. 12 explicit placement): one region per chip vs a
+//!   single contiguous region, through the full sort path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rime_core::{RimeConfig, RimeDevice};
+use rime_kernels::rime_sort::sort_via_device;
+use rime_memristive::{Chip, ChipGeometry, Direction, KeyFormat};
+use rime_workloads::keys::{generate_u64, KeyDistribution};
+use std::hint::black_box;
+
+fn bench_early_exit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_early_exit");
+    let n = 2048u64;
+    for (name, dist) in [
+        ("uniform", KeyDistribution::Uniform),
+        ("8_distinct", KeyDistribution::FewDistinct { distinct: 8 }),
+    ] {
+        let keys = generate_u64(n as usize, dist, 5);
+        let mut chip = Chip::new(ChipGeometry::small());
+        chip.store_keys(0, &keys, KeyFormat::UNSIGNED64).unwrap();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || chip.clone(),
+                |mut chip| {
+                    chip.init_range(0, n, KeyFormat::UNSIGNED64).unwrap();
+                    black_box(chip.extract(Direction::Min).unwrap())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_key_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_key_width");
+    let n = 2048u64;
+    let keys = generate_u64(n as usize, KeyDistribution::Uniform, 6);
+    for (name, format, mask) in [
+        ("k32", KeyFormat::UNSIGNED32, u32::MAX as u64),
+        ("k64", KeyFormat::UNSIGNED64, u64::MAX),
+    ] {
+        let mut chip = Chip::new(ChipGeometry::small());
+        let masked: Vec<u64> = keys.iter().map(|&k| k & mask).collect();
+        chip.store_keys(0, &masked, format).unwrap();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || chip.clone(),
+                |mut chip| {
+                    chip.init_range(0, n, format).unwrap();
+                    black_box(chip.extract(Direction::Min).unwrap())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_striping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_striping");
+    let keys = generate_u64(1_024, KeyDistribution::Uniform, 7);
+    for stripes in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(stripes), &stripes, |b, &s| {
+            b.iter(|| {
+                let mut dev = RimeDevice::new(RimeConfig::small());
+                black_box(sort_via_device(&mut dev, &keys, s).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_early_exit, bench_key_width, bench_striping);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: the database applications (Fig. 16's code paths),
+//! baseline vs RIME functional implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rime_apps::{groupby, mergejoin};
+use rime_core::{RimeConfig, RimeDevice};
+use rime_workloads::{JoinTables, KvTable};
+use std::hint::black_box;
+
+fn bench_groupby(c: &mut Criterion) {
+    let table = KvTable::grouped(4_000, 32, 11);
+    let mut group = c.benchmark_group("groupby");
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(groupby::groupby_baseline(&table)))
+    });
+    group.bench_function("rime_functional", |b| {
+        b.iter(|| {
+            let mut dev = RimeDevice::new(RimeConfig::small());
+            black_box(groupby::groupby_rime(&mut dev, &table).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_mergejoin(c: &mut Criterion) {
+    let tables = JoinTables::with_overlap(2_000, 0.5, 12);
+    let mut group = c.benchmark_group("mergejoin");
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(mergejoin::mergejoin_baseline(&tables)))
+    });
+    group.bench_function("rime_functional", |b| {
+        b.iter(|| {
+            let mut dev = RimeDevice::new(RimeConfig::small());
+            black_box(mergejoin::mergejoin_rime(&mut dev, &tables).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_groupby, bench_mergejoin);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: the graph applications (Fig. 17's code paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rime_apps::{astar, dijkstra, kruskal, prim};
+use rime_core::{RimeConfig, RimeDevice};
+use rime_workloads::{Graph, ObstacleGrid};
+use std::hint::black_box;
+
+fn bench_mst(c: &mut Criterion) {
+    let graph = Graph::random_connected(300, 2_000, 21);
+    let mut group = c.benchmark_group("mst");
+    group.bench_function("kruskal_baseline", |b| {
+        b.iter(|| black_box(kruskal::kruskal_baseline(&graph)))
+    });
+    group.bench_function("prim_baseline", |b| {
+        b.iter(|| black_box(prim::prim_baseline(&graph)))
+    });
+    group.bench_function("kruskal_rime_functional", |b| {
+        b.iter(|| {
+            let mut dev = RimeDevice::new(RimeConfig::small());
+            black_box(kruskal::kruskal_rime(&mut dev, &graph).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let graph = Graph::random_connected(400, 2_400, 22);
+    let grid = ObstacleGrid::random(40, 40, 0.25, 23);
+    let mut group = c.benchmark_group("paths");
+    group.bench_function("dijkstra_baseline", |b| {
+        b.iter(|| black_box(dijkstra::dijkstra_baseline(&graph, 0)))
+    });
+    group.bench_function("astar_baseline", |b| {
+        b.iter(|| black_box(astar::astar_baseline(&grid)))
+    });
+    group.bench_function("astar_rime_functional", |b| {
+        b.iter(|| {
+            let mut dev = RimeDevice::new(RimeConfig::small());
+            black_box(astar::astar_rime(&mut dev, &grid).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst, bench_paths);
+criterion_main!(benches);

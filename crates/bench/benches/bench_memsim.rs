@@ -1,0 +1,47 @@
+//! Criterion bench: the memory-system substrate — DRAM trace model and
+//! cache hierarchy throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rime_memsim::cache::{CacheConfig, Hierarchy};
+use rime_memsim::{DramConfig, DramModel};
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_trace");
+    group.bench_function("sequential_10k", |b| {
+        b.iter(|| {
+            let mut m = DramModel::new(DramConfig::ddr4_offchip());
+            for line in 0..10_000u64 {
+                m.access(line * 64, false, 0);
+            }
+            black_box(m.last_completion)
+        })
+    });
+    group.bench_function("random_10k", |b| {
+        b.iter(|| {
+            let mut m = DramModel::new(DramConfig::hbm_in_package());
+            let mut addr = 99u64;
+            for _ in 0..10_000 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                m.access((addr % (1 << 33)) & !63, false, 0);
+            }
+            black_box(m.last_completion)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("hierarchy_stream_64k_lines", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(4, CacheConfig::l1d_table1(), CacheConfig::l2_table1());
+            for line in 0..65_536u64 {
+                h.access((line % 4) as u32, line * 64, line % 3 == 0);
+            }
+            black_box(h.mem_accesses())
+        })
+    });
+}
+
+criterion_group!(benches, bench_dram, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench: one in-situ min/max extraction on the functional
+//! chip model, across key formats and set sizes. (Measures simulator
+//! speed; device-time figures come from the `fig*` binaries.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rime_memristive::{Chip, ChipGeometry, Direction, KeyFormat, SortableBits};
+use std::hint::black_box;
+
+fn loaded_chip<T: SortableBits>(keys: &[T]) -> Chip {
+    let mut chip = Chip::new(ChipGeometry::small());
+    let raw: Vec<u64> = keys.iter().map(|k| k.to_raw_bits()).collect();
+    chip.store_keys(0, &raw, T::FORMAT).unwrap();
+    chip
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip_extract_min");
+    for n in [64u64, 512, 4096] {
+        let keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let chip = loaded_chip(&keys);
+        group.bench_with_input(BenchmarkId::new("u64", n), &n, |b, &n| {
+            b.iter_batched(
+                || chip.clone(),
+                |mut chip| {
+                    chip.init_range(0, n, KeyFormat::UNSIGNED64).unwrap();
+                    black_box(chip.extract(Direction::Min).unwrap())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip_extract_formats");
+    let n = 1024u64;
+
+    let chip = loaded_chip(&(0..n).map(|i| i as u32 ^ 0xA5A5).collect::<Vec<u32>>());
+    group.bench_function("u32", |b| {
+        b.iter_batched(
+            || chip.clone(),
+            |mut chip| {
+                chip.init_range(0, n, KeyFormat::UNSIGNED32).unwrap();
+                black_box(chip.extract(Direction::Min).unwrap())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let chip = loaded_chip(&(0..n).map(|i| i as i64 - 512).collect::<Vec<i64>>());
+    group.bench_function("i64", |b| {
+        b.iter_batched(
+            || chip.clone(),
+            |mut chip| {
+                chip.init_range(0, n, KeyFormat::SIGNED64).unwrap();
+                black_box(chip.extract(Direction::Min).unwrap())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let chip = loaded_chip(
+        &(0..n)
+            .map(|i| (i as f32 - 512.0) * 1.5)
+            .collect::<Vec<f32>>(),
+    );
+    group.bench_function("f32", |b| {
+        b.iter_batched(
+            || chip.clone(),
+            |mut chip| {
+                chip.init_range(0, n, KeyFormat::FLOAT32).unwrap();
+                black_box(chip.extract(Direction::Max).unwrap())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract, bench_formats);
+criterion_main!(benches);

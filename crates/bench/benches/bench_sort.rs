@@ -1,0 +1,60 @@
+//! Criterion bench: the four baseline kernels and the RIME functional
+//! sort, end to end (Fig. 15's code paths at simulator scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rime_kernels::exec::{heap_sort, merge_sort, quick_sort, radix_sort, TracedMemory};
+use rime_kernels::rime_sort::sort_small;
+use rime_workloads::keys::{generate_u64, KeyDistribution};
+use std::hint::black_box;
+
+const N: usize = 8_192;
+
+fn bench_kernels(c: &mut Criterion) {
+    let keys = generate_u64(N, KeyDistribution::Uniform, 7);
+    let mut group = c.benchmark_group("baseline_kernels");
+    group.bench_with_input(BenchmarkId::new("merge", N), &keys, |b, keys| {
+        b.iter(|| {
+            let mut mem = TracedMemory::untraced();
+            let buf = mem.add_buf(keys.clone());
+            let out = merge_sort(&mut mem, buf);
+            black_box(mem.into_buf(out))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("quick", N), &keys, |b, keys| {
+        b.iter(|| {
+            let mut mem = TracedMemory::untraced();
+            let buf = mem.add_buf(keys.clone());
+            quick_sort(&mut mem, buf);
+            black_box(mem.into_buf(buf))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("radix", N), &keys, |b, keys| {
+        b.iter(|| {
+            let mut mem = TracedMemory::untraced();
+            let buf = mem.add_buf(keys.clone());
+            let out = radix_sort(&mut mem, buf);
+            black_box(mem.into_buf(out))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("heap", N), &keys, |b, keys| {
+        b.iter(|| {
+            let mut mem = TracedMemory::untraced();
+            let buf = mem.add_buf(keys.clone());
+            heap_sort(&mut mem, buf);
+            black_box(mem.into_buf(buf))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rime_functional(c: &mut Criterion) {
+    // The functional chip model executes every column search, so keep the
+    // benched size modest.
+    let keys = generate_u64(512, KeyDistribution::Uniform, 8);
+    c.bench_function("rime_functional_sort_512", |b| {
+        b.iter(|| black_box(sort_small(&keys).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_rime_functional);
+criterion_main!(benches);

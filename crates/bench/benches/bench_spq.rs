@@ -1,0 +1,32 @@
+//! Criterion bench: strict priority queue (Fig. 18's code paths) —
+//! binary heap vs the RIME-backed queue, across add:remove ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rime_apps::spq;
+use rime_core::{RimeConfig, RimeDevice};
+use rime_workloads::PacketStream;
+use std::hint::black_box;
+
+fn bench_spq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spq");
+    for ratio in [1u32, 3, 5] {
+        let stream = PacketStream::generate(256, 128, ratio, 31 + ratio as u64);
+        group.bench_with_input(BenchmarkId::new("heap", ratio), &stream, |b, s| {
+            b.iter(|| black_box(spq::spq_baseline(s)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rime_functional", ratio),
+            &stream,
+            |b, s| {
+                b.iter(|| {
+                    let mut dev = RimeDevice::new(RimeConfig::small());
+                    black_box(spq::spq_rime(&mut dev, s).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spq);
+criterion_main!(benches);

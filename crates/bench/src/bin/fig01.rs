@@ -1,0 +1,83 @@
+//! Regenerates Fig. 1: bandwidth requirements of the sort algorithms.
+//!
+//! (a) below-cache memory accesses vs data size (16 cores);
+//! (b) below-cache memory accesses vs core count (65M keys);
+//! (c) sustained memory bandwidth vs core count (65M keys, DDR4).
+
+use rime_bench::{core_sweep, header, print_series, size_sweep, DEFAULT_CORES};
+use rime_kernels::SortAlgorithm;
+use rime_memsim::SystemConfig;
+
+const ALGS: [SortAlgorithm; 3] = [
+    SortAlgorithm::Merge,
+    SortAlgorithm::Quick,
+    SortAlgorithm::Radix,
+];
+
+fn main() {
+    let sizes = size_sweep();
+    let full = *sizes.last().unwrap();
+
+    header(
+        "Fig. 1(a)",
+        &format!("memory accesses vs data size ({DEFAULT_CORES} cores)"),
+        "accesses below the on-die cache (millions of 64B lines)",
+    );
+    let sys = SystemConfig::off_chip(DEFAULT_CORES);
+    let series: Vec<(String, Vec<f64>)> = ALGS
+        .iter()
+        .map(|alg| {
+            (
+                alg.label().to_string(),
+                sizes
+                    .iter()
+                    .map(|&n| alg.mem_accesses_millions(n, &sys))
+                    .collect(),
+            )
+        })
+        .collect();
+    print_series("keys", &sizes, &series);
+
+    header(
+        "Fig. 1(b)",
+        &format!("memory accesses vs cores ({}M keys)", full / 1_000_000),
+        "accesses below the on-die cache (millions of 64B lines)",
+    );
+    let cores = core_sweep();
+    let xs: Vec<u64> = cores.iter().map(|&c| c as u64).collect();
+    let series: Vec<(String, Vec<f64>)> = ALGS
+        .iter()
+        .map(|alg| {
+            (
+                alg.label().to_string(),
+                cores
+                    .iter()
+                    .map(|&c| alg.mem_accesses_millions(full, &SystemConfig::off_chip(c)))
+                    .collect(),
+            )
+        })
+        .collect();
+    print_series("cores", &xs, &series);
+
+    header(
+        "Fig. 1(c)",
+        &format!(
+            "sustained memory bandwidth vs cores ({}M keys, DDR4)",
+            full / 1_000_000
+        ),
+        "MB/s",
+    );
+    let series: Vec<(String, Vec<f64>)> = ALGS
+        .iter()
+        .map(|alg| {
+            (
+                alg.label().to_string(),
+                cores
+                    .iter()
+                    .map(|&c| alg.sustained_bandwidth_mbps(full, &SystemConfig::off_chip(c)))
+                    .collect(),
+            )
+        })
+        .collect();
+    print_series("cores", &xs, &series);
+}

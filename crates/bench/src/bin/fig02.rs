@@ -1,0 +1,41 @@
+//! Regenerates Fig. 2: impact of available bandwidth on sort
+//! performance — throughput of M/S, Q/S, R/S on (a) unlimited-bandwidth,
+//! (b) in-package HBM, and (c) off-chip DDR4 memory, vs data size.
+
+use rime_bench::{baseline_systems, header, print_series, size_sweep, DEFAULT_CORES};
+use rime_kernels::SortAlgorithm;
+
+const ALGS: [SortAlgorithm; 3] = [
+    SortAlgorithm::Merge,
+    SortAlgorithm::Quick,
+    SortAlgorithm::Radix,
+];
+
+fn main() {
+    let sizes = size_sweep();
+    for (panel, (name, sys)) in ["(a)", "(b)", "(c)"]
+        .iter()
+        .zip(baseline_systems(DEFAULT_CORES))
+    {
+        header(
+            &format!("Fig. 2{panel}"),
+            &format!("sort throughput on {name} ({DEFAULT_CORES} cores)"),
+            "throughput (MKps)",
+        );
+        let series: Vec<(String, Vec<f64>)> = ALGS
+            .iter()
+            .map(|alg| {
+                (
+                    alg.label().to_string(),
+                    sizes
+                        .iter()
+                        .map(|&n| alg.throughput_mkps(n, &sys))
+                        .collect(),
+                )
+            })
+            .collect();
+        print_series("keys", &sizes, &series);
+    }
+    println!("Expected shape: R/S leads with unlimited bandwidth; Q/S takes");
+    println!("over once bandwidth is limited (in-package and off-chip).");
+}

@@ -1,0 +1,103 @@
+//! Regenerates Fig. 16: GroupBy and MergeJoin throughput for the
+//! off-chip, in-package, and RIME systems across data sizes.
+
+use rime_apps::{groupby, mergejoin};
+use rime_bench::{factor, header, print_series, size_sweep, DEFAULT_CORES};
+use rime_core::RimePerfConfig;
+use rime_memsim::SystemConfig;
+
+fn main() {
+    let sizes = size_sweep();
+    let perf = RimePerfConfig::table1();
+    let off = SystemConfig::off_chip(DEFAULT_CORES);
+    let hbm = SystemConfig::in_package(DEFAULT_CORES);
+
+    header(
+        "Fig. 16 (GroupBy)",
+        "key-value GroupBy throughput",
+        "throughput (MKps)",
+    );
+    let series = vec![
+        (
+            "Off-Chip".to_string(),
+            sizes
+                .iter()
+                .map(|&n| groupby::baseline_throughput_mkps(n, &off))
+                .collect(),
+        ),
+        (
+            "In-Package".to_string(),
+            sizes
+                .iter()
+                .map(|&n| groupby::baseline_throughput_mkps(n, &hbm))
+                .collect(),
+        ),
+        (
+            "RIME".to_string(),
+            sizes
+                .iter()
+                .map(|&n| groupby::rime_throughput_mkps(n, &perf))
+                .collect(),
+        ),
+    ];
+    print_series("rows", &sizes, &series);
+
+    header(
+        "Fig. 16 (MergeJoin)",
+        "sort-merge join throughput",
+        "throughput (MKps)",
+    );
+    let series = vec![
+        (
+            "Off-Chip".to_string(),
+            sizes
+                .iter()
+                .map(|&n| mergejoin::baseline_throughput_mkps(n / 2, &off))
+                .collect(),
+        ),
+        (
+            "In-Package".to_string(),
+            sizes
+                .iter()
+                .map(|&n| mergejoin::baseline_throughput_mkps(n / 2, &hbm))
+                .collect(),
+        ),
+        (
+            "RIME".to_string(),
+            sizes
+                .iter()
+                .map(|&n| mergejoin::rime_throughput_mkps(n / 2, &perf))
+                .collect(),
+        ),
+    ];
+    print_series("rows", &sizes, &series);
+
+    let n = *sizes.last().unwrap();
+    println!(
+        "Gains at {}M rows (paper: GroupBy RIME 5.4-23.1x, HBM 1.1-2x;",
+        n / 1_000_000
+    );
+    println!("MergeJoin RIME 5.6-24.1x, HBM 1.1-2x):");
+    println!(
+        "  GroupBy  : HBM {}, RIME {}",
+        factor(
+            groupby::baseline_throughput_mkps(n, &hbm),
+            groupby::baseline_throughput_mkps(n, &off)
+        ),
+        factor(
+            groupby::rime_throughput_mkps(n, &perf),
+            groupby::baseline_throughput_mkps(n, &off)
+        ),
+    );
+    println!(
+        "  MergeJoin: HBM {}, RIME {}",
+        factor(
+            mergejoin::baseline_throughput_mkps(n / 2, &hbm),
+            mergejoin::baseline_throughput_mkps(n / 2, &off)
+        ),
+        factor(
+            mergejoin::rime_throughput_mkps(n / 2, &perf),
+            mergejoin::baseline_throughput_mkps(n / 2, &off)
+        ),
+    );
+}

@@ -1,0 +1,79 @@
+//! Regenerates Fig. 17: throughput of the graph workloads — Kruskal,
+//! Dijkstra, Prim, A*-Search — on the off-chip, in-package, and RIME
+//! systems across data sizes (elements = edges or grid cells).
+
+use rime_apps::{astar, dijkstra, kruskal, prim};
+use rime_bench::{factor, header, print_series, size_sweep, DEFAULT_CORES};
+use rime_core::RimePerfConfig;
+use rime_memsim::SystemConfig;
+
+fn main() {
+    let sizes = size_sweep();
+    let perf = RimePerfConfig::table1();
+    let off = SystemConfig::off_chip(DEFAULT_CORES);
+    let hbm = SystemConfig::in_package(DEFAULT_CORES);
+    // Graph workloads: |V| = |E| / 8 (a typical power-law-ish density).
+    let vertices = |e: u64| (e / 8).max(2);
+
+    type Fns = (
+        &'static str,
+        Box<dyn Fn(u64, &SystemConfig) -> f64>,
+        Box<dyn Fn(u64) -> f64>,
+        (f64, f64), // paper RIME gain range
+    );
+    let perf2 = perf;
+    let off2 = off;
+    let apps: Vec<Fns> = vec![
+        (
+            "Kruskal",
+            Box::new(kruskal::baseline_throughput_mkps),
+            Box::new(move |n| kruskal::rime_throughput_mkps(n, &perf2, &off2)),
+            (8.5, 20.9),
+        ),
+        (
+            "Dijkstra",
+            Box::new(move |n, sys| dijkstra::baseline_throughput_mkps(vertices(n), n, sys)),
+            Box::new(move |n| dijkstra::rime_throughput_mkps(vertices(n), n, &perf2, &off2)),
+            (7.5, 17.2),
+        ),
+        (
+            "Prim",
+            Box::new(move |n, sys| prim::baseline_throughput_mkps(vertices(n), n, sys)),
+            Box::new(move |n| prim::rime_throughput_mkps(vertices(n), n, &perf2, &off2)),
+            (6.3, 14.3),
+        ),
+        (
+            "A*-Search",
+            Box::new(astar::baseline_throughput_mkps),
+            Box::new(move |n| astar::rime_throughput_mkps(n, &perf2, &off2)),
+            (2.3, 23.0),
+        ),
+    ];
+
+    for (name, baseline, rime, (lo, hi)) in &apps {
+        header(
+            &format!("Fig. 17 ({name})"),
+            &format!("{name} throughput"),
+            "throughput (MKps, processed elements)",
+        );
+        let series = vec![
+            (
+                "Off-Chip".to_string(),
+                sizes.iter().map(|&n| baseline(n, &off)).collect(),
+            ),
+            (
+                "In-Package".to_string(),
+                sizes.iter().map(|&n| baseline(n, &hbm)).collect(),
+            ),
+            ("RIME".to_string(), sizes.iter().map(|&n| rime(n)).collect()),
+        ];
+        print_series("elements", &sizes, &series);
+        let n = *sizes.last().unwrap();
+        println!(
+            "  at {}M: HBM {}, RIME {}   (paper RIME range {lo}-{hi}x)\n",
+            n / 1_000_000,
+            factor(baseline(n, &hbm), baseline(n, &off)),
+            factor(rime(n), baseline(n, &off)),
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Regenerates the §VII-C lifetime study.
+//!
+//! Paper methodology: track writes per memory block during each
+//! application's execution, find the block with the highest write
+//! frequency, and assume it keeps absorbing writes at that rate until it
+//! hits the endurance limit (10⁸ writes).
+//!
+//! RIME never rewrites cells while ranking (no data swaps; select and
+//! exclusion state live in CMOS latches), so wear comes only from
+//! loading/updating data:
+//!
+//! * sort-dominated apps write each key slot **once per execution**;
+//! * the priority-queue apps rewrite slots, but the FIFO free-slot
+//!   recycling in [`rime_apps::RimePriorityQueue`] spreads those writes
+//!   over the whole queue region.
+//!
+//! The functional device confirms the write counts; the modeled
+//! execution times convert them into rates.
+
+use rime_apps::{groupby, spq};
+use rime_core::{Placement, RimeConfig, RimeDevice, RimePerfConfig};
+use rime_memristive::EnduranceTracker;
+use rime_memsim::SystemConfig;
+use rime_workloads::{KvTable, PacketStream};
+
+const N: u64 = 65_000_000;
+
+fn report(name: &str, hottest_writes_per_exec: f64, exec_seconds: f64) -> f64 {
+    let mut tracker = EnduranceTracker::new(EnduranceTracker::PAPER_ENDURANCE);
+    // Steady state: executions repeat back to back forever.
+    tracker.record_hottest_block(hottest_writes_per_exec.ceil() as u64, exec_seconds);
+    let years = tracker.lifetime_years().unwrap();
+    println!(
+        "{name:>12}: hottest block {hottest_writes_per_exec:>8.1} writes / {exec_seconds:>7.2} s \
+         -> {years:>10.0} years"
+    );
+    years
+}
+
+fn main() {
+    println!("§VII-C lifetime study (endurance = 1e8 writes per cell)\n");
+
+    // --- Functional confirmation: ranking induces no array writes. -----
+    let mut dev = RimeDevice::new(RimeConfig::small());
+    let table = KvTable::grouped(2_000, 16, 1);
+    groupby::groupby_rime(&mut dev, &table).expect("groupby");
+    let c = dev.counters();
+    println!(
+        "functional check: {} keys loaded -> {} row writes, {} extractions,",
+        table.len(),
+        c.row_writes,
+        c.extractions
+    );
+    println!(
+        "max per-slot wear = {} (one write per load; sorting adds none)\n",
+        dev.max_wear()
+    );
+    assert_eq!(dev.max_wear(), 1, "ranking must not wear cells");
+
+    // --- Paper-scale projection per application. -----------------------
+    let perf = RimePerfConfig::table1();
+    let sys = SystemConfig::off_chip(16);
+    let mut worst = f64::INFINITY;
+
+    // Sort-dominated apps: each slot written once per execution.
+    let sort_secs =
+        perf.load_seconds(N, 8, Placement::Striped) + perf.stream_seconds(N, N, Placement::Striped);
+    for name in [
+        "Kruskal",
+        "GroupBy",
+        "MergeJoin",
+        "Dijkstra",
+        "Prim",
+        "A*-Search",
+    ] {
+        // Application phases (graph scans, aggregation, CPU merges) extend
+        // the period between rewrites; use each app's modeled runtime.
+        let secs = match name {
+            "Kruskal" => rime_apps::kruskal::rime_seconds(N, &perf, &sys),
+            "Dijkstra" => rime_apps::dijkstra::rime_seconds(N / 8, N, &perf, &sys),
+            "Prim" => rime_apps::prim::rime_seconds(N / 8, N, &perf, &sys),
+            "A*-Search" => rime_apps::astar::rime_seconds(N, &perf, &sys),
+            "GroupBy" => groupby::rime_seconds(N, &perf),
+            _ => sort_secs.max(rime_apps::mergejoin::rime_seconds(N / 2, &perf)),
+        };
+        worst = worst.min(report(name, 1.0, secs));
+    }
+
+    // Priority queue: FIFO slot recycling spreads `removes` rewrites over
+    // the buffer, so the hottest slot sees removes/buffer writes per run.
+    let removes = 10_000_000u64;
+    for r in [1u32, 5] {
+        let buffer = N;
+        let thr = spq::rime_throughput_mkps(buffer, removes, r, &perf) * 1e6;
+        let secs = removes as f64 / thr;
+        let hottest = removes as f64 / buffer as f64;
+        worst = worst.min(report(
+            Box::leak(format!("SPQ (R={r})").into_boxed_str()),
+            hottest.max(1.0 / 64.0), // at least the initial load amortized
+            secs,
+        ));
+    }
+
+    // Functional wear-leveling check for the PQ.
+    let mut dev = RimeDevice::new(RimeConfig::small());
+    let stream = PacketStream::generate(512, 2_000, 1, 9);
+    spq::spq_rime(&mut dev, &stream).expect("spq");
+    let max_wear = dev.max_wear() as f64;
+    let mean_wear = 2.0 * (stream.adds() + stream.initial.len()) as f64 / 4096.0;
+    println!(
+        "\nPQ wear-leveling check: hottest slot {max_wear} writes vs {mean_wear:.1} mean \
+         (FIFO recycling keeps the ratio small)"
+    );
+
+    println!("\npessimistic bound (continuous back-to-back reloads): {worst:.0} years");
+
+    // The paper's >=376-year result corresponds to each block being
+    // rewritten no more often than once per ~119 s — i.e. the write-once /
+    // rank-many duty cycle its own Fig. 12 use case implies (load 2 GB,
+    // then serve ranking queries). Report lifetime vs reload period.
+    println!("\nlifetime vs dataset-reload period (write-once / rank-many serving):");
+    for period_s in [2.0f64, 30.0, 119.0, 600.0] {
+        let mut t = EnduranceTracker::new(EnduranceTracker::PAPER_ENDURANCE);
+        t.record_hottest_block(1, period_s);
+        println!(
+            "  reload every {period_s:>5.0} s -> {:>6.0} years",
+            t.lifetime_years().unwrap()
+        );
+    }
+    println!("\npaper reports >= 376 years; that matches a >=119 s reload period.");
+    println!("Our pessimistic continuous-resort bound is the floor, not the");
+    println!("paper's operating point — see EXPERIMENTS.md.");
+}

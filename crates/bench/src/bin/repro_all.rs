@@ -1,0 +1,21 @@
+//! Runs every figure/table binary in sequence — the one-shot full
+//! reproduction. Equivalent to running `table1`, `fig01`, `fig02`,
+//! `fig15`–`fig19`, and `lifetime` by hand.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "fig01", "fig02", "fig15", "fig16", "fig17", "fig18", "fig19", "lifetime",
+        "ablation",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory");
+    for bin in bins {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Regenerates Table I: the simulation parameters of every modelled
+//! component, read back from the configuration structs the simulator
+//! actually runs with.
+
+use rime_core::RimeConfig;
+use rime_memristive::timing::AreaOverheads;
+use rime_memsim::{CacheConfig, CoreConfig, DramConfig};
+
+fn main() {
+    println!("TABLE I — SIMULATION PARAMETERS (as configured in code)\n");
+
+    let core = CoreConfig::table1(64);
+    println!(
+        "Core Type        {} {}-issue cores, {} GHz, {} ROB entries",
+        core.cores, core.issue_width, core.clock_ghz, core.rob_entries
+    );
+
+    let l1i = CacheConfig::l1i_table1();
+    println!(
+        "Instruction L1   {}KB, direct-mapped, {}B block, hit/miss: {}/{}",
+        l1i.size_bytes / 1024,
+        l1i.block_bytes,
+        l1i.hit_cycles,
+        l1i.miss_cycles
+    );
+    let l1d = CacheConfig::l1d_table1();
+    println!(
+        "Data L1          {}KB, {}-way, LRU, {}B block, hit/miss: {}/{}",
+        l1d.size_bytes / 1024,
+        l1d.ways,
+        l1d.block_bytes,
+        l1d.hit_cycles,
+        l1d.miss_cycles
+    );
+    let l2 = CacheConfig::l2_table1();
+    println!(
+        "Shared L2        {}MB, {}-way, LRU, {}B block, hit/miss: {}/{}\n",
+        l2.size_bytes / (1024 * 1024),
+        l2.ways,
+        l2.block_bytes,
+        l2.hit_cycles,
+        l2.miss_cycles
+    );
+
+    for (label, cfg) in [
+        ("Main Memory (off-chip DDR4)", DramConfig::ddr4_offchip()),
+        ("HBM (in-package)", DramConfig::hbm_in_package()),
+    ] {
+        println!("{label}");
+        println!(
+            "  {}B row buffer, Channels/Ranks/Banks: {}/{}/{}",
+            cfg.row_buffer_bytes, cfg.channels, cfg.ranks, cfg.banks
+        );
+        println!(
+            "  tRCD:{} tCAS:{} tCCD:{} tWTR:{} tWR:{} tRTP:{} tBL:{}",
+            cfg.t_rcd, cfg.t_cas, cfg.t_ccd, cfg.t_wtr, cfg.t_wr, cfg.t_rtp, cfg.t_bl
+        );
+        println!(
+            "  tCWD:{} tRP:{} tRRD:{} tRAS:{} tRC:{} tFAW:{}  (CPU cycles @2GHz)",
+            cfg.t_cwd, cfg.t_rp, cfg.t_rrd, cfg.t_ras, cfg.t_rc, cfg.t_faw
+        );
+        println!(
+            "  peak bandwidth: {:.1} GB/s\n",
+            cfg.peak_bandwidth_gbps(2.0)
+        );
+    }
+
+    let rime = RimeConfig::table1();
+    let g = rime.chip_geometry;
+    let t = rime.timing;
+    println!("RIME Memory");
+    println!(
+        "  Channels/Chips/Banks/Subbanks: {}/{}/{}/{}, {} Gb chips, {}x{} SLC subarrays",
+        rime.channels,
+        rime.chips_per_channel,
+        g.banks,
+        g.banks as u32 * g.subbanks_per_bank as u32,
+        g.capacity_bits() >> 30,
+        g.rows,
+        g.cols
+    );
+    println!(
+        "  die area: {} mm² (+{:.0}% RIME periphery)",
+        t.die_area_mm2,
+        AreaOverheads::table1().total_per_die * 100.0
+    );
+    println!(
+        "  tRead: {} ns, tWrite: {} ns, tCompute: {} ns",
+        t.t_read_ns, t.t_write_ns, t.t_compute_ns
+    );
+    println!(
+        "  vRead: {} V, vWrite: {} V, vCompute: {} V",
+        t.v_read, t.v_write, t.v_compute
+    );
+    println!("  compute energy/chip: {} nJ", t.e_compute_per_chip_nj);
+    println!(
+        "  key-slot capacity: {} per chip, {} total",
+        rime.chip_slots(),
+        rime.total_slots()
+    );
+}

@@ -1,0 +1,120 @@
+//! Minimal ASCII line charts for the figure binaries.
+//!
+//! Every `fig*` binary prints its numeric series as a table; this module
+//! adds a terminal rendering so the *shape* the paper's figure shows —
+//! who is on top, where lines cross, what stays flat — is visible at a
+//! glance. Set `RIME_NO_CHART=1` to suppress the charts.
+
+/// Renders `series` (name, y-values) over shared x-positions into an
+/// ASCII grid of `height` rows. Each series plots with its own symbol;
+/// collisions show the later series' symbol.
+pub fn render(series: &[(String, Vec<f64>)], height: usize) -> String {
+    const SYMBOLS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
+    if width == 0 || height < 2 {
+        return String::new();
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::NAN, f64::max);
+    let max = if max.is_finite() && max > 0.0 {
+        max
+    } else {
+        1.0
+    };
+
+    let cols_per_point = 3usize;
+    let mut grid = vec![vec![' '; width * cols_per_point]; height];
+    for (sidx, (_, ys)) in series.iter().enumerate() {
+        let symbol = SYMBOLS[sidx % SYMBOLS.len()];
+        for (x, &y) in ys.iter().enumerate() {
+            if !y.is_finite() {
+                continue;
+            }
+            let level = ((y / max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - level.min(height - 1);
+            grid[row][x * cols_per_point + 1] = symbol;
+        }
+    }
+
+    let mut out = String::new();
+    for (ridx, row) in grid.iter().enumerate() {
+        let label = if ridx == 0 {
+            format!("{max:>9.1} |")
+        } else if ridx == height - 1 {
+            format!("{:>9.1} |", 0.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n",
+        "",
+        "-".repeat(width * cols_per_point)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(idx, (name, _))| format!("{} {}", SYMBOLS[idx % SYMBOLS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>11}{}\n", "", legend.join("   ")));
+    out
+}
+
+/// Whether chart rendering is enabled (default yes).
+pub fn enabled() -> bool {
+    std::env::var("RIME_NO_CHART").is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<(String, Vec<f64>)> {
+        vec![
+            ("up".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("flat".to_string(), vec![2.0, 2.0, 2.0, 2.0]),
+        ]
+    }
+
+    #[test]
+    fn renders_all_points() {
+        let chart = render(&series(), 8);
+        // "up" loses one cell to "flat" where the curves collide at y=2.
+        assert_eq!(chart.matches('*').count(), 3 + 1); // points + legend
+        assert_eq!(chart.matches('o').count(), 4 + 1);
+        assert!(chart.contains("up"));
+        assert!(chart.contains("flat"));
+    }
+
+    #[test]
+    fn top_row_holds_the_maximum() {
+        let chart = render(&series(), 6);
+        let first_line = chart.lines().next().unwrap();
+        assert!(first_line.contains("4.0"), "{first_line}");
+        assert!(first_line.contains('*'), "max point sits on the top row");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(render(&[], 8), "");
+        assert_eq!(render(&[("x".into(), vec![])], 8), "");
+        assert_eq!(render(&series(), 1), "");
+        // Non-finite and zero-only data must not panic.
+        let weird = vec![("w".to_string(), vec![f64::NAN, 0.0, f64::INFINITY])];
+        let _ = render(&weird, 4);
+    }
+
+    #[test]
+    fn many_series_cycle_symbols() {
+        let many: Vec<(String, Vec<f64>)> = (0..10)
+            .map(|i| (format!("s{i}"), vec![i as f64 + 1.0]))
+            .collect();
+        let chart = render(&many, 5);
+        assert!(chart.contains('%') && chart.contains('@'));
+    }
+}

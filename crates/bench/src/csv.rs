@@ -1,0 +1,116 @@
+//! CSV export of figure series.
+//!
+//! Every `fig*` binary prints its series as a table and a chart; set
+//! `RIME_CSV_DIR=<dir>` to also write each series as a CSV file (one per
+//! figure section) for external plotting. Files are named after the
+//! figure header, sanitized to `[a-z0-9_-]`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Destination directory, if CSV export is enabled.
+pub fn csv_dir() -> Option<PathBuf> {
+    std::env::var_os("RIME_CSV_DIR").map(PathBuf::from)
+}
+
+/// Sanitizes a figure title into a file stem.
+pub fn file_stem(title: &str) -> String {
+    let mut out = String::with_capacity(title.len());
+    for ch in title.chars() {
+        match ch {
+            'a'..='z' | '0'..='9' | '-' | '_' => out.push(ch),
+            'A'..='Z' => out.push(ch.to_ascii_lowercase()),
+            ' ' | '.' | '(' | ')' | '/' if !out.ends_with('_') => out.push('_'),
+            ' ' | '.' | '(' | ')' | '/' => {}
+            _ => {}
+        }
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// Renders one series table as CSV text.
+pub fn to_csv(x_name: &str, xs: &[u64], series: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(x_name);
+    for (name, _) in series {
+        out.push(',');
+        // Quote names containing commas.
+        if name.contains(',') {
+            out.push('"');
+            out.push_str(name);
+            out.push('"');
+        } else {
+            out.push_str(name);
+        }
+    }
+    out.push('\n');
+    for (i, &x) in xs.iter().enumerate() {
+        out.push_str(&x.to_string());
+        for (_, ys) in series {
+            out.push(',');
+            out.push_str(&format!("{:.6}", ys[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the series to `$RIME_CSV_DIR/<stem>.csv` when export is
+/// enabled; silently does nothing otherwise. IO errors are reported to
+/// stderr rather than aborting a figure run.
+pub fn export(title: &str, x_name: &str, xs: &[u64], series: &[(String, Vec<f64>)]) {
+    let Some(dir) = csv_dir() else { return };
+    let path = dir.join(format!("{}.csv", file_stem(title)));
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(to_csv(x_name, xs, series).as_bytes())
+    };
+    if let Err(e) = write() {
+        eprintln!("csv export to {} failed: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stems_are_filesystem_safe() {
+        assert_eq!(file_stem("Fig. 15 (Off-Chip/DDR4)"), "fig_15_off-chip_ddr4");
+        assert_eq!(file_stem("GroupBy"), "groupby");
+        assert_eq!(file_stem("__x__"), "x");
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = to_csv(
+            "keys",
+            &[1, 2],
+            &[("A".to_string(), vec![0.5, 1.5]), ("B".to_string(), vec![2.0, 3.0])],
+        );
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("keys,A,B"));
+        assert_eq!(lines.next(), Some("1,0.500000,2.000000"));
+        assert_eq!(lines.next(), Some("2,1.500000,3.000000"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn comma_names_are_quoted() {
+        let csv = to_csv("x", &[1], &[("a,b".to_string(), vec![1.0])]);
+        assert!(csv.starts_with("x,\"a,b\""));
+    }
+
+    #[test]
+    fn export_writes_when_enabled() {
+        let dir = std::env::temp_dir().join("rime_csv_test");
+        std::env::set_var("RIME_CSV_DIR", &dir);
+        export("Unit Test Series", "x", &[7], &[("y".to_string(), vec![9.0])]);
+        let path = dir.join("unit_test_series.csv");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("7,9.000000"));
+        std::env::remove_var("RIME_CSV_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

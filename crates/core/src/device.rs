@@ -1,0 +1,769 @@
+//! The RIME device: DIMMs of ranking chips behind a DDR4 interface (§V).
+//!
+//! [`RimeDevice`] is the functional model of a full RIME memory system —
+//! multiple single-DIMM channels, eight chips per DIMM (Table I) — together
+//! with the userspace API library of Fig. 12:
+//!
+//! | paper API      | here                                   |
+//! |----------------|----------------------------------------|
+//! | `rime_malloc`  | [`RimeDevice::alloc`]                  |
+//! | `rime_free`    | [`RimeDevice::free`]                   |
+//! | loads/stores   | [`RimeDevice::write`] / [`RimeDevice::read`] |
+//! | `rime_init`    | [`RimeDevice::init`]                   |
+//! | `rime_min`     | [`RimeDevice::rime_min`]               |
+//! | `rime_max`     | [`RimeDevice::rime_max`]               |
+//!
+//! A RIME DIMM forbids fine-grained channel interleaving (§V): contiguous
+//! key ranges map contiguously onto chips, so one region spans as few
+//! chips as possible and each spanned chip can rank its local sub-range
+//! independently. `rime_min`/`rime_max` implement Fig. 14's multi-chip
+//! coordination: every spanned chip keeps one buffered candidate in the
+//! library; the CPU picks the global winner and only the winning chip
+//! recomputes.
+
+use std::collections::HashMap;
+
+use rime_memristive::{
+    ArrayTiming, Chip, ChipGeometry, Direction, KeyFormat, OpCounters, SortableBits,
+};
+
+use crate::driver::{ContiguousAllocator, DriverConfig};
+use crate::error::RimeError;
+
+/// System-level RIME configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RimeConfig {
+    /// Single-DIMM memory channels dedicated to RIME.
+    pub channels: u32,
+    /// Chips per DIMM (Table I: 8).
+    pub chips_per_channel: u32,
+    /// Geometry of each chip.
+    pub chip_geometry: ChipGeometry,
+    /// Device timing/energy characterization.
+    pub timing: ArrayTiming,
+    /// Driver allocator tunables.
+    pub driver: DriverConfig,
+}
+
+impl RimeConfig {
+    /// The Table I full-scale system: 4 channels × 8 × 1 Gb chips.
+    pub fn table1() -> RimeConfig {
+        RimeConfig {
+            channels: 4,
+            chips_per_channel: 8,
+            chip_geometry: ChipGeometry::table1(),
+            timing: ArrayTiming::table1(),
+            driver: DriverConfig::default(),
+        }
+    }
+
+    /// A reduced functional configuration for tests and examples:
+    /// 2 channels × 2 small chips (32 Ki key slots).
+    pub fn small() -> RimeConfig {
+        RimeConfig {
+            channels: 2,
+            chips_per_channel: 2,
+            chip_geometry: ChipGeometry::small(),
+            timing: ArrayTiming::table1(),
+            driver: DriverConfig::default(),
+        }
+    }
+
+    /// Total chips in the system.
+    pub fn total_chips(&self) -> u32 {
+        self.channels * self.chips_per_channel
+    }
+
+    /// Key slots per chip.
+    pub fn chip_slots(&self) -> u64 {
+        self.chip_geometry.capacity_slots()
+    }
+
+    /// Total key slots across all chips.
+    pub fn total_slots(&self) -> u64 {
+        self.total_chips() as u64 * self.chip_slots()
+    }
+}
+
+/// A handle to a physically contiguous allocation (`rime_malloc` result).
+///
+/// `Region` is a plain handle — cheap to copy, validated by the device on
+/// every use, and invalidated by [`RimeDevice::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    id: u64,
+    start: u64,
+    len: u64,
+}
+
+impl Region {
+    /// Length in key slots.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region holds zero slots (never true for live regions).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Starting global key-slot address.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Session {
+    direction: Option<Direction>,
+    begin: u64,
+    end: u64,
+    format: KeyFormat,
+    /// Per spanned chip: buffered candidate (global slot, raw bits).
+    candidates: HashMap<u32, Option<(u64, u64)>>,
+}
+
+/// The functional RIME memory device plus API library state.
+#[derive(Debug, Clone)]
+pub struct RimeDevice {
+    config: RimeConfig,
+    chips: Vec<Chip>,
+    allocator: ContiguousAllocator,
+    regions: HashMap<u64, (u64, u64)>, // id → (start, len)
+    formats: HashMap<u64, KeyFormat>,  // id → stored key format
+    sessions: HashMap<u64, Session>,   // region id → active rime_init state
+    next_id: u64,
+    /// Values transferred over the DDR4 interface (for the perf model).
+    pub interface_transfers: u64,
+}
+
+impl RimeDevice {
+    /// Creates a device with the given configuration.
+    pub fn new(config: RimeConfig) -> RimeDevice {
+        RimeDevice {
+            chips: (0..config.total_chips())
+                .map(|_| Chip::new(config.chip_geometry))
+                .collect(),
+            allocator: ContiguousAllocator::new(config.total_slots(), config.driver),
+            regions: HashMap::new(),
+            formats: HashMap::new(),
+            sessions: HashMap::new(),
+            next_id: 1,
+            interface_transfers: 0,
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &RimeConfig {
+        &self.config
+    }
+
+    /// Total key-slot capacity.
+    pub fn capacity(&self) -> u64 {
+        self.config.total_slots()
+    }
+
+    /// `rime_malloc`: allocates `len` physically contiguous key slots.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::OutOfContiguousMemory`] under fragmentation/exhaustion.
+    pub fn alloc(&mut self, len: u64) -> Result<Region, RimeError> {
+        let start = self.allocator.alloc(len)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.regions.insert(id, (start, len));
+        Ok(Region { id, start, len })
+    }
+
+    /// `rime_free`: releases a region and drops any active session.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::InvalidRegion`] for stale handles.
+    pub fn free(&mut self, region: Region) -> Result<(), RimeError> {
+        let (start, _) = self
+            .regions
+            .remove(&region.id)
+            .ok_or(RimeError::InvalidRegion)?;
+        self.sessions.remove(&region.id);
+        self.formats.remove(&region.id);
+        self.allocator.free(start)
+    }
+
+    fn check(&self, region: Region, offset: u64, n: u64) -> Result<u64, RimeError> {
+        let &(start, len) = self
+            .regions
+            .get(&region.id)
+            .ok_or(RimeError::InvalidRegion)?;
+        if offset + n > len {
+            return Err(RimeError::OutOfBounds {
+                offset: offset + n,
+                len,
+            });
+        }
+        Ok(start + offset)
+    }
+
+    fn chip_of(&self, slot: u64) -> (u32, u64) {
+        let per_chip = self.config.chip_slots();
+        ((slot / per_chip) as u32, slot % per_chip)
+    }
+
+    /// Stores keys at `offset` within the region (ordinary DDR4 writes).
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::InvalidRegion`], [`RimeError::OutOfBounds`], or a chip
+    /// fault for over-wide key formats.
+    pub fn write<T: SortableBits>(
+        &mut self,
+        region: Region,
+        offset: u64,
+        keys: &[T],
+    ) -> Result<(), RimeError> {
+        let raw: Vec<u64> = keys.iter().map(|k| k.to_raw_bits()).collect();
+        self.write_raw(region, offset, &raw, T::FORMAT)
+    }
+
+    /// Format-explicit store of raw bit patterns — the form the
+    /// memory-mapped interface ([`crate::mmio`]) uses, where the key type
+    /// is a register value rather than a Rust type.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::write`].
+    pub fn write_raw(
+        &mut self,
+        region: Region,
+        offset: u64,
+        raw_keys: &[u64],
+        format: KeyFormat,
+    ) -> Result<(), RimeError> {
+        let mut slot = self.check(region, offset, raw_keys.len() as u64)?;
+        // Writing invalidates any buffered candidates for this region.
+        self.sessions.remove(&region.id);
+        let per_chip = self.config.chip_slots();
+        let mut idx = 0usize;
+        while idx < raw_keys.len() {
+            let (chip, local) = self.chip_of(slot);
+            let room = (per_chip - local).min((raw_keys.len() - idx) as u64) as usize;
+            self.chips[chip as usize].store_keys(local, &raw_keys[idx..idx + room], format)?;
+            idx += room;
+            slot += room as u64;
+        }
+        self.interface_transfers += raw_keys.len() as u64;
+        self.formats.insert(region.id, format);
+        Ok(())
+    }
+
+    /// Loads `n` keys from `offset` within the region (ordinary reads).
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::InvalidRegion`] or [`RimeError::OutOfBounds`].
+    pub fn read<T: SortableBits>(
+        &mut self,
+        region: Region,
+        offset: u64,
+        n: u64,
+    ) -> Result<Vec<T>, RimeError> {
+        Ok(self
+            .read_raw(region, offset, n)?
+            .into_iter()
+            .map(T::from_raw_bits)
+            .collect())
+    }
+
+    /// Raw-bit-pattern load (see [`RimeDevice::write_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::read`].
+    pub fn read_raw(&mut self, region: Region, offset: u64, n: u64) -> Result<Vec<u64>, RimeError> {
+        let start = self.check(region, offset, n)?;
+        let mut out = Vec::with_capacity(n as usize);
+        for slot in start..start + n {
+            let (chip, local) = self.chip_of(slot);
+            out.push(self.chips[chip as usize].read_key(local)?);
+        }
+        self.interface_transfers += n;
+        Ok(out)
+    }
+
+    /// `rime_init`: prepares `[offset, offset+len)` of the region for a
+    /// new sort/rank/merge operation. Any previously buffered values for
+    /// the region are discarded (§VI, Fig. 14).
+    ///
+    /// # Errors
+    ///
+    /// Region/bounds errors, or a chip-level format mismatch.
+    pub fn init<T: SortableBits>(
+        &mut self,
+        region: Region,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), RimeError> {
+        self.init_raw(region, offset, len, T::FORMAT)
+    }
+
+    /// Format-explicit `rime_init` (see [`RimeDevice::write_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::init`].
+    pub fn init_raw(
+        &mut self,
+        region: Region,
+        offset: u64,
+        len: u64,
+        format: KeyFormat,
+    ) -> Result<(), RimeError> {
+        let begin = self.check(region, offset, len)?;
+        if len == 0 {
+            return Err(RimeError::OutOfBounds {
+                offset,
+                len: region.len,
+            });
+        }
+        if let Some(&stored) = self.formats.get(&region.id) {
+            if stored != format {
+                return Err(RimeError::TypeMismatch {
+                    stored: stored.name(),
+                    requested: format.name(),
+                });
+            }
+        }
+        let end = begin + len;
+        let mut candidates = HashMap::new();
+        let per_chip = self.config.chip_slots();
+        let first_chip = (begin / per_chip) as u32;
+        let last_chip = ((end - 1) / per_chip) as u32;
+        for chip_idx in first_chip..=last_chip {
+            let chip_base = chip_idx as u64 * per_chip;
+            let local_begin = begin.saturating_sub(chip_base);
+            let local_end = (end - chip_base).min(per_chip);
+            self.chips[chip_idx as usize].init_range(local_begin, local_end, format)?;
+            candidates.insert(chip_idx, None);
+        }
+        self.sessions.insert(
+            region.id,
+            Session {
+                direction: None,
+                begin,
+                end,
+                format,
+                candidates,
+            },
+        );
+        Ok(())
+    }
+
+    /// Convenience: `rime_init` over the whole region.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::init`].
+    pub fn init_all<T: SortableBits>(&mut self, region: Region) -> Result<(), RimeError> {
+        self.init::<T>(region, 0, region.len)
+    }
+
+    fn next_extreme<T: SortableBits>(
+        &mut self,
+        region: Region,
+        direction: Direction,
+    ) -> Result<Option<(u64, T)>, RimeError> {
+        Ok(self
+            .next_extreme_raw(region, T::FORMAT, direction)?
+            .map(|(slot, raw)| (slot, T::from_raw_bits(raw))))
+    }
+
+    /// Format-explicit extraction core shared by the typed API and the
+    /// memory-mapped interface: returns the next extreme's (global slot,
+    /// raw bits).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::rime_min`].
+    pub fn next_extreme_raw(
+        &mut self,
+        region: Region,
+        want_format: KeyFormat,
+        direction: Direction,
+    ) -> Result<Option<(u64, u64)>, RimeError> {
+        if !self.regions.contains_key(&region.id) {
+            return Err(RimeError::InvalidRegion);
+        }
+        let (format, begin, end, active, mut chip_ids) = {
+            let session = self
+                .sessions
+                .get(&region.id)
+                .ok_or(RimeError::NotInitialized)?;
+            let ids: Vec<u32> = session.candidates.keys().copied().collect();
+            (
+                session.format,
+                session.begin,
+                session.end,
+                session.direction,
+                ids,
+            )
+        };
+        chip_ids.sort_unstable();
+        if format != want_format {
+            return Err(RimeError::TypeMismatch {
+                stored: format.name(),
+                requested: want_format.name(),
+            });
+        }
+        let per_chip = self.config.chip_slots();
+        // Direction changes mid-stream require a fresh init: the buffered
+        // candidates and exclusion flags encode the old direction.
+        match active {
+            Some(d) if d != direction => {
+                for &chip_idx in &chip_ids {
+                    let chip_base = chip_idx as u64 * per_chip;
+                    let local_begin = begin.saturating_sub(chip_base);
+                    let local_end = (end - chip_base).min(per_chip);
+                    self.chips[chip_idx as usize].init_range(local_begin, local_end, format)?;
+                }
+                let session = self.sessions.get_mut(&region.id).expect("session exists");
+                for c in session.candidates.values_mut() {
+                    *c = None;
+                }
+                session.direction = Some(direction);
+            }
+            _ => {
+                self.sessions
+                    .get_mut(&region.id)
+                    .expect("session exists")
+                    .direction = Some(direction);
+            }
+        }
+
+        // Fig. 14: fill empty per-chip buffers, then reduce on the CPU.
+        for &chip_idx in &chip_ids {
+            let needs_fill = self.sessions[&region.id].candidates[&chip_idx].is_none();
+            if needs_fill {
+                let chip_base = chip_idx as u64 * per_chip;
+                let local_begin = begin.saturating_sub(chip_base);
+                let local_end = (end - chip_base).min(per_chip);
+                let hit = self.chips[chip_idx as usize].extract_range(
+                    local_begin,
+                    local_end,
+                    format,
+                    direction,
+                )?;
+                let global = hit.map(|h| (chip_base + h.slot, h.raw_bits));
+                self.sessions
+                    .get_mut(&region.id)
+                    .expect("session exists")
+                    .candidates
+                    .insert(chip_idx, global);
+            }
+        }
+        let session = self.sessions.get_mut(&region.id).expect("session exists");
+
+        // CPU-side comparison across the buffered per-chip values.
+        let mut best: Option<(u32, u64, u64)> = None; // (chip, slot, raw)
+        for (&chip_idx, cand) in &session.candidates {
+            if let Some((slot, raw)) = *cand {
+                let better = match best {
+                    None => true,
+                    Some((_, bslot, braw)) => {
+                        let ord = format.compare_bits(raw, braw);
+                        match direction {
+                            Direction::Min => ord.is_lt() || (ord.is_eq() && slot < bslot),
+                            Direction::Max => ord.is_gt() || (ord.is_eq() && slot < bslot),
+                        }
+                    }
+                };
+                if better {
+                    best = Some((chip_idx, slot, raw));
+                }
+            }
+        }
+        match best {
+            None => Ok(None),
+            Some((chip_idx, slot, raw)) => {
+                session.candidates.insert(chip_idx, None); // refilled next call
+                self.interface_transfers += 1;
+                Ok(Some((slot, raw)))
+            }
+        }
+    }
+
+    /// `rime_min`: returns the next smallest key of the initialized range
+    /// (with its global slot address), or `None` when exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::NotInitialized`] without a prior [`RimeDevice::init`];
+    /// [`RimeError::TypeMismatch`] if `T` differs from the stored format.
+    pub fn rime_min<T: SortableBits>(
+        &mut self,
+        region: Region,
+    ) -> Result<Option<(u64, T)>, RimeError> {
+        self.next_extreme(region, Direction::Min)
+    }
+
+    /// `rime_max`: returns the next largest key of the initialized range.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::rime_min`].
+    pub fn rime_max<T: SortableBits>(
+        &mut self,
+        region: Region,
+    ) -> Result<Option<(u64, T)>, RimeError> {
+        self.next_extreme(region, Direction::Max)
+    }
+
+    /// Number of chips a region's initialized range spans (the concurrency
+    /// the performance model exploits).
+    pub fn spanned_chips(&self, region: Region) -> u32 {
+        self.sessions
+            .get(&region.id)
+            .map_or(0, |s| s.candidates.len() as u32)
+    }
+
+    /// Aggregated operation counters across all chips.
+    pub fn counters(&self) -> OpCounters {
+        let mut total = OpCounters::new();
+        for chip in &self.chips {
+            total += *chip.counters();
+        }
+        total
+    }
+
+    /// Resets all chips' counters.
+    pub fn reset_counters(&mut self) {
+        for chip in &mut self.chips {
+            chip.reset_counters();
+        }
+        self.interface_transfers = 0;
+    }
+
+    /// Modeled array energy of everything done so far (nJ): Table I
+    /// per-operation energies applied to the aggregated counters.
+    pub fn modeled_energy_nj(&self) -> f64 {
+        self.chips
+            .iter()
+            .map(|c| self.config.timing.energy_nj(c.counters()))
+            .sum()
+    }
+
+    /// Modeled busy time of the *busiest* chip (ns) — the device-side
+    /// critical path when chips operate concurrently (Fig. 14).
+    pub fn modeled_busy_ns(&self) -> f64 {
+        self.chips
+            .iter()
+            .map(|c| self.config.timing.time_ns(c.counters()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Hottest-block write count across all chips (endurance study).
+    pub fn max_wear(&self) -> u32 {
+        self.chips.iter().map(Chip::max_wear).max().unwrap_or(0)
+    }
+
+    /// Largest free contiguous extent (driver diagnostics).
+    pub fn largest_free(&self) -> u64 {
+        self.allocator.largest_free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> RimeDevice {
+        RimeDevice::new(RimeConfig::small())
+    }
+
+    #[test]
+    fn config_capacity() {
+        let cfg = RimeConfig::small();
+        assert_eq!(cfg.total_chips(), 4);
+        assert_eq!(
+            cfg.total_slots(),
+            4 * ChipGeometry::small().capacity_slots()
+        );
+        assert_eq!(RimeConfig::table1().total_chips(), 32);
+    }
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let mut dev = device();
+        let region = dev.alloc(100).unwrap();
+        let keys: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        dev.write(region, 0, &keys).unwrap();
+        let back: Vec<u32> = dev.read(region, 0, 100).unwrap();
+        assert_eq!(back, keys);
+        let mid: Vec<u32> = dev.read(region, 10, 5).unwrap();
+        assert_eq!(mid, vec![30, 33, 36, 39, 42]);
+    }
+
+    #[test]
+    fn rime_min_streams_sorted_values() {
+        let mut dev = device();
+        let region = dev.alloc(8).unwrap();
+        dev.write(region, 0, &[5u32, 1, 3, 7, 10, 4, 8, 5]).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        let mut got = Vec::new();
+        while let Some((_, v)) = dev.rime_min::<u32>(region).unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![1, 3, 4, 5, 5, 7, 8, 10]);
+    }
+
+    #[test]
+    fn region_spanning_chips_sorts_globally() {
+        let mut dev = device();
+        let per_chip = dev.config().chip_slots();
+        // Allocate more than one chip's worth.
+        let n = per_chip + 10;
+        let region = dev.alloc(n).unwrap();
+        let keys: Vec<u32> = (0..n as u32).rev().collect();
+        dev.write(region, 0, &keys).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        assert!(dev.spanned_chips(region) >= 2);
+        // First three minima are 0, 1, 2 — they live in the *last* slots.
+        for want in 0..3u32 {
+            let (_, v) = dev.rime_min::<u32>(region).unwrap().unwrap();
+            assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn rank_example_from_fig12() {
+        // Fig. 12: find the 100 least values of a large range in order.
+        let mut dev = device();
+        let n = 1000u64;
+        let region = dev.alloc(n).unwrap();
+        let keys: Vec<u64> = (0..n).map(|i| (i * 7919) % 104729).collect();
+        dev.write(region, 0, &keys).unwrap();
+        dev.init_all::<u64>(region).unwrap();
+        let mut sorted_list = Vec::with_capacity(100);
+        for _ in 0..100 {
+            sorted_list.push(dev.rime_min::<u64>(region).unwrap().unwrap().1);
+        }
+        let mut want = keys.clone();
+        want.sort_unstable();
+        assert_eq!(sorted_list, want[..100]);
+    }
+
+    #[test]
+    fn reinit_discards_buffered_values() {
+        let mut dev = device();
+        let region = dev.alloc(4).unwrap();
+        dev.write(region, 0, &[4u32, 3, 2, 1]).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        assert_eq!(dev.rime_min::<u32>(region).unwrap().unwrap().1, 1);
+        dev.init_all::<u32>(region).unwrap();
+        assert_eq!(dev.rime_min::<u32>(region).unwrap().unwrap().1, 1);
+    }
+
+    #[test]
+    fn sub_range_init() {
+        let mut dev = device();
+        let region = dev.alloc(10).unwrap();
+        dev.write(region, 0, &[9u32, 8, 7, 6, 5, 4, 3, 2, 1, 0])
+            .unwrap();
+        dev.init::<u32>(region, 2, 4).unwrap(); // keys 7,6,5,4
+        assert_eq!(dev.rime_min::<u32>(region).unwrap().unwrap().1, 4);
+        assert_eq!(dev.rime_max::<u32>(region).unwrap().unwrap().1, 7);
+    }
+
+    #[test]
+    fn direction_switch_rearms() {
+        let mut dev = device();
+        let region = dev.alloc(4).unwrap();
+        dev.write(region, 0, &[4i32, -3, 2, -1]).unwrap();
+        dev.init_all::<i32>(region).unwrap();
+        assert_eq!(dev.rime_min::<i32>(region).unwrap().unwrap().1, -3);
+        // Switching to max re-initializes: the full set is back.
+        assert_eq!(dev.rime_max::<i32>(region).unwrap().unwrap().1, 4);
+        assert_eq!(dev.rime_max::<i32>(region).unwrap().unwrap().1, 2);
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let mut dev = device();
+        let region = dev.alloc(4).unwrap();
+        assert_eq!(dev.rime_min::<u32>(region), Err(RimeError::NotInitialized));
+        dev.write(region, 0, &[1u32, 2, 3, 4]).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        assert!(matches!(
+            dev.rime_min::<f32>(region),
+            Err(RimeError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            dev.write(region, 3, &[1u32, 2]),
+            Err(RimeError::OutOfBounds { .. })
+        ));
+        dev.free(region).unwrap();
+        assert_eq!(dev.free(region), Err(RimeError::InvalidRegion));
+        assert_eq!(dev.rime_min::<u32>(region), Err(RimeError::InvalidRegion));
+    }
+
+    #[test]
+    fn write_invalidates_session() {
+        let mut dev = device();
+        let region = dev.alloc(4).unwrap();
+        dev.write(region, 0, &[4u32, 3, 2, 1]).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        let _ = dev.rime_min::<u32>(region).unwrap();
+        dev.write(region, 0, &[0u32]).unwrap();
+        assert_eq!(dev.rime_min::<u32>(region), Err(RimeError::NotInitialized));
+    }
+
+    #[test]
+    fn floats_sort_in_total_order() {
+        let mut dev = device();
+        let region = dev.alloc(5).unwrap();
+        dev.write(region, 0, &[18.0f32, -1.625, -0.75, 0.5, -2.5])
+            .unwrap();
+        dev.init_all::<f32>(region).unwrap();
+        let mut got = Vec::new();
+        while let Some((_, v)) = dev.rime_min::<f32>(region).unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![-2.5, -1.625, -0.75, 0.5, 18.0]);
+    }
+
+    #[test]
+    fn modeled_time_and_energy_track_activity() {
+        let mut dev = device();
+        let region = dev.alloc(64).unwrap();
+        let keys: Vec<u32> = (0..64).rev().collect();
+        dev.write(region, 0, &keys).unwrap();
+        let after_load_ns = dev.modeled_busy_ns();
+        assert!(after_load_ns > 0.0, "writes cost tWrite");
+        dev.init_all::<u32>(region).unwrap();
+        for _ in 0..8 {
+            let _ = dev.rime_min::<u32>(region).unwrap();
+        }
+        assert!(dev.modeled_busy_ns() > after_load_ns);
+        assert!(dev.modeled_energy_nj() > 0.0);
+        // One extraction costs at most tCompute + tRead on the busy chip.
+        let per_op_bound = dev.config().timing.t_compute_ns + dev.config().timing.t_read_ns;
+        let growth = dev.modeled_busy_ns() - after_load_ns;
+        assert!(growth <= 8.0 * per_op_bound + 1e-9, "growth {growth}");
+    }
+
+    #[test]
+    fn counters_and_transfers_accumulate() {
+        let mut dev = device();
+        let region = dev.alloc(4).unwrap();
+        dev.write(region, 0, &[4u32, 3, 2, 1]).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        let _ = dev.rime_min::<u32>(region).unwrap();
+        let c = dev.counters();
+        assert_eq!(c.row_writes, 4);
+        assert!(c.extractions >= 1);
+        assert!(dev.interface_transfers >= 5);
+        dev.reset_counters();
+        assert_eq!(dev.counters().row_writes, 0);
+    }
+}

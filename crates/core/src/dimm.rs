@@ -1,0 +1,214 @@
+//! DIMM organization and boot-time mode configuration (§V).
+//!
+//! A system mixes RIME DIMMs with conventional storage DIMMs. Each DIMM
+//! is configured **at boot** to operate either in RIME mode or in normal
+//! storage mode; runtime reconfiguration is not allowed ("owing to
+//! constraints imposed by the tree-based index reduction architecture").
+//! RIME DIMMs additionally forbid fine-grained channel interleaving: the
+//! paper's example maps `0x00000000–0x3FFFFFFF` to RIME 0 and
+//! `0x40000000–0x7FFFFFFF` to RIME 1, using address bit 2³⁰ to extract
+//! the DIMM index.
+//!
+//! [`DimmSystem`] models that boot-time partition: a byte-addressable
+//! space where RIME-mode ranges are backed by a [`RimeDevice`] and
+//! normal-mode ranges by conventional storage, with ranking operations
+//! rejected on the latter.
+
+use rime_memristive::{Chip, NormalStorageView};
+
+use crate::device::{Region, RimeConfig, RimeDevice};
+use crate::error::RimeError;
+
+/// Per-DIMM operating mode, fixed at boot (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimmMode {
+    /// In-situ ranking enabled; contiguous allocation required.
+    Rime,
+    /// Conventional storage; ordinary allocation, no ranking.
+    NormalStorage,
+}
+
+/// The paper's single-DIMM channel size: 1 GB, so bit 2³⁰ selects the
+/// DIMM.
+pub const DIMM_BYTES: u64 = 1 << 30;
+
+/// Extracts the DIMM index from a physical byte address (§V footnote:
+/// "the bit location 2³⁰ is used to extract the DIMM address").
+pub fn dimm_of_addr(addr: u64) -> u64 {
+    addr / DIMM_BYTES
+}
+
+/// A booted system: an ordered list of DIMMs with fixed modes.
+#[derive(Debug)]
+pub struct DimmSystem {
+    modes: Vec<DimmMode>,
+    rime: RimeDevice,
+    /// Normal-storage DIMMs are memristive chips too (same cells, wear,
+    /// and fault model) — just served through the byte datapath.
+    normal: Vec<Option<Chip>>,
+}
+
+impl DimmSystem {
+    /// Boots a system with the given per-DIMM modes. The RIME device's
+    /// channels are assigned to the RIME-mode DIMMs in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` is empty.
+    pub fn boot(modes: Vec<DimmMode>, rime_config: RimeConfig) -> DimmSystem {
+        assert!(!modes.is_empty(), "a system needs at least one DIMM");
+        let normal = modes
+            .iter()
+            .map(|m| match m {
+                DimmMode::NormalStorage => Some(Chip::new(rime_config.chip_geometry)),
+                DimmMode::Rime => None,
+            })
+            .collect();
+        DimmSystem {
+            modes,
+            rime: RimeDevice::new(rime_config),
+            normal,
+        }
+    }
+
+    /// A convenient small system for tests: one RIME DIMM and one
+    /// normal-storage DIMM.
+    pub fn small_mixed() -> DimmSystem {
+        DimmSystem::boot(
+            vec![DimmMode::Rime, DimmMode::NormalStorage],
+            RimeConfig::small(),
+        )
+    }
+
+    /// Number of DIMMs.
+    pub fn dimm_count(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// The boot-time mode of `dimm`.
+    pub fn mode(&self, dimm: u64) -> Option<DimmMode> {
+        self.modes.get(dimm as usize).copied()
+    }
+
+    /// Mode of the DIMM holding byte address `addr`.
+    pub fn mode_of_addr(&self, addr: u64) -> Option<DimmMode> {
+        self.mode(dimm_of_addr(addr))
+    }
+
+    /// §V: runtime reconfiguration between modes is not allowed. Always
+    /// fails; present so callers get a truthful error instead of UB.
+    ///
+    /// # Errors
+    ///
+    /// Always [`RimeError::InvalidRegion`].
+    pub fn reconfigure(&mut self, _dimm: u64, _mode: DimmMode) -> Result<(), RimeError> {
+        Err(RimeError::InvalidRegion)
+    }
+
+    /// Access to the RIME device backing the RIME-mode DIMMs.
+    pub fn rime_device(&mut self) -> &mut RimeDevice {
+        &mut self.rime
+    }
+
+    /// `rime_malloc` — only meaningful on the RIME DIMMs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    pub fn rime_malloc(&mut self, len: u64) -> Result<Region, RimeError> {
+        self.rime.alloc(len)
+    }
+
+    /// Stores one word into a normal-storage DIMM.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::InvalidRegion`] when `addr` is not on a normal DIMM
+    /// (RIME-mode data goes through regions, not raw addresses).
+    pub fn store_normal(&mut self, addr: u64, value: u64) -> Result<(), RimeError> {
+        let dimm = dimm_of_addr(addr) as usize;
+        match self.normal.get_mut(dimm).and_then(Option::as_mut) {
+            Some(chip) => {
+                let local = (addr % DIMM_BYTES) & !7;
+                NormalStorageView::new(chip).write_u64(local, value)?;
+                Ok(())
+            }
+            None => Err(RimeError::InvalidRegion),
+        }
+    }
+
+    /// Loads one word from a normal-storage DIMM.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::InvalidRegion`] when `addr` is not on a normal DIMM.
+    pub fn load_normal(&mut self, addr: u64) -> Result<u64, RimeError> {
+        let dimm = dimm_of_addr(addr) as usize;
+        match self.normal.get_mut(dimm).and_then(Option::as_mut) {
+            Some(chip) => Ok(NormalStorageView::new(chip).read_u64((addr % DIMM_BYTES) & !7)?),
+            None => Err(RimeError::InvalidRegion),
+        }
+    }
+
+    /// Whether ranking commands are legal at `addr` — true only on
+    /// RIME-mode DIMMs.
+    pub fn ranking_allowed(&self, addr: u64) -> bool {
+        self.mode_of_addr(addr) == Some(DimmMode::Rime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn paper_address_example() {
+        // §V: 0x00000000–0x3FFFFFFF → RIME 0; 0x40000000–0x7FFFFFFF → RIME 1.
+        assert_eq!(dimm_of_addr(0x0000_0000), 0);
+        assert_eq!(dimm_of_addr(0x3FFF_FFFF), 0);
+        assert_eq!(dimm_of_addr(0x4000_0000), 1);
+        assert_eq!(dimm_of_addr(0x7FFF_FFFF), 1);
+    }
+
+    #[test]
+    fn boot_assigns_modes() {
+        let sys = DimmSystem::small_mixed();
+        assert_eq!(sys.dimm_count(), 2);
+        assert_eq!(sys.mode(0), Some(DimmMode::Rime));
+        assert_eq!(sys.mode(1), Some(DimmMode::NormalStorage));
+        assert_eq!(sys.mode(2), None);
+        assert!(sys.ranking_allowed(0));
+        assert!(!sys.ranking_allowed(DIMM_BYTES + 64));
+    }
+
+    #[test]
+    fn runtime_reconfiguration_is_rejected() {
+        let mut sys = DimmSystem::small_mixed();
+        assert!(sys.reconfigure(1, DimmMode::Rime).is_err());
+        assert_eq!(sys.mode(1), Some(DimmMode::NormalStorage));
+    }
+
+    #[test]
+    fn normal_storage_roundtrips_and_rejects_rime_side() {
+        let mut sys = DimmSystem::small_mixed();
+        let addr = DIMM_BYTES + 128;
+        sys.store_normal(addr, 0xDEAD).unwrap();
+        assert_eq!(sys.load_normal(addr).unwrap(), 0xDEAD);
+        // The RIME DIMM does not accept raw normal stores.
+        assert!(sys.store_normal(64, 1).is_err());
+        assert!(sys.load_normal(64).is_err());
+    }
+
+    #[test]
+    fn ranking_runs_on_the_rime_dimm() {
+        let mut sys = DimmSystem::small_mixed();
+        let region = sys.rime_malloc(4).unwrap();
+        let dev = sys.rime_device();
+        dev.write(region, 0, &[4u32, 1, 3, 2]).unwrap();
+        assert_eq!(
+            ops::sort_into_vec::<u32>(dev, region).unwrap(),
+            vec![1, 2, 3, 4]
+        );
+    }
+}

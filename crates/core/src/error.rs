@@ -1,0 +1,111 @@
+//! Error type for the RIME device API.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use rime_memristive::Error as ChipError;
+
+/// Errors reported by the RIME device and its API library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RimeError {
+    /// `rime_malloc` could not find a contiguous physical extent of the
+    /// requested size (§V: the API returns null in this case; callers may
+    /// `rime_free` and retry).
+    OutOfContiguousMemory {
+        /// Requested size in key slots.
+        requested: u64,
+        /// Largest available contiguous extent.
+        largest_free: u64,
+    },
+    /// A region handle was stale (already freed) or foreign to the device.
+    InvalidRegion,
+    /// An offset/length fell outside the region.
+    OutOfBounds {
+        /// Offending offset (in key slots, region-relative).
+        offset: u64,
+        /// Region length in key slots.
+        len: u64,
+    },
+    /// A ranking call was issued before `rime_init` for that range.
+    NotInitialized,
+    /// The stored key format differs from the operation's format.
+    TypeMismatch {
+        /// Format recorded when the region was written/initialized.
+        stored: &'static str,
+        /// Format the operation requested.
+        requested: &'static str,
+    },
+    /// An underlying chip-model fault (address decode, width, …).
+    Chip(ChipError),
+}
+
+impl fmt::Display for RimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RimeError::OutOfContiguousMemory {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "no contiguous extent of {requested} slots (largest free: {largest_free})"
+            ),
+            RimeError::InvalidRegion => write!(f, "stale or foreign region handle"),
+            RimeError::OutOfBounds { offset, len } => {
+                write!(f, "offset {offset} outside region of {len} slots")
+            }
+            RimeError::NotInitialized => write!(f, "rime_min/rime_max before rime_init"),
+            RimeError::TypeMismatch { stored, requested } => {
+                write!(
+                    f,
+                    "region holds {stored} keys but {requested} was requested"
+                )
+            }
+            RimeError::Chip(e) => write!(f, "chip fault: {e}"),
+        }
+    }
+}
+
+impl StdError for RimeError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            RimeError::Chip(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChipError> for RimeError {
+    fn from(e: ChipError) -> RimeError {
+        RimeError::Chip(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RimeError::OutOfContiguousMemory {
+            requested: 100,
+            largest_free: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(RimeError::NotInitialized.to_string().contains("rime_init"));
+    }
+
+    #[test]
+    fn chip_errors_convert_and_chain() {
+        let chip = ChipError::NotInitialized;
+        let e: RimeError = chip.clone().into();
+        assert_eq!(e, RimeError::Chip(chip));
+        assert!(StdError::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RimeError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! # rime-core
+//!
+//! The primary contribution of *Memristive Data Ranking* (HPCA 2021):
+//! RIME, a hardware/software co-design for in-situ data ranking in
+//! memristive memory. This crate layers the paper's software stack on top
+//! of the bit-accurate chip model in [`rime_memristive`]:
+//!
+//! * [`driver`] — the kernel driver's contiguous physical allocator
+//!   (§V, Fig. 13), which makes the H-tree index reduction usable.
+//! * [`device`] — the full device (channels × DIMMs × chips) plus the
+//!   userspace API library of Fig. 12: `rime_malloc`, `rime_init`,
+//!   `rime_min`, `rime_max`, `rime_free`, and ordinary loads/stores, with
+//!   Fig. 14's multi-chip buffered coordination.
+//! * [`dimm`] — boot-time DIMM mode configuration and the §V multi-DIMM
+//!   address mapping (bit 2³⁰ selects the DIMM).
+//! * [`mmio`] — the §V memory-mapped register interface: the same
+//!   operations driven by strong-uncacheable reads/writes at fixed
+//!   offsets, as a kernel driver would issue them.
+//! * [`ops`] — rank / sort / merge / merge-join built from those
+//!   primitives with the bandwidth complexities of §III-B.
+//! * [`perf`] — the calibrated analytic performance model used by the
+//!   figure-regeneration harness at paper scale.
+//! * [`trace`] — operation trace recording and deterministic replay for
+//!   debugging and regression testing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rime_core::{ops, RimeConfig, RimeDevice};
+//!
+//! # fn main() -> Result<(), rime_core::RimeError> {
+//! let mut dev = RimeDevice::new(RimeConfig::small());
+//!
+//! // rime_malloc + ordinary stores
+//! let region = dev.alloc(6)?;
+//! dev.write(region, 0, &[5.5f32, -1.0, 3.25, 0.0, -7.5, 2.0])?;
+//!
+//! // rime_init + repeated rime_min = an ordered stream
+//! let sorted = ops::sort_into_vec::<f32>(&mut dev, region)?;
+//! assert_eq!(sorted, vec![-7.5, -1.0, 0.0, 2.0, 3.25, 5.5]);
+//!
+//! dev.free(region)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod dimm;
+pub mod driver;
+pub mod error;
+pub mod mmio;
+pub mod ops;
+pub mod perf;
+pub mod trace;
+
+pub use device::{Region, RimeConfig, RimeDevice};
+pub use driver::{ContiguousAllocator, DriverConfig};
+pub use error::RimeError;
+pub use perf::{Placement, RimePerfConfig};
+
+// Re-export the substrate types callers need at the API boundary.
+pub use rime_memristive::{Direction, KeyFormat, SortableBits};

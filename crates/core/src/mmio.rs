@@ -1,0 +1,371 @@
+//! The memory-mapped control interface (§V).
+//!
+//! "A small fraction of the address space visible to software within
+//! every chip is mapped to an internal RAM array, and is used for
+//! implementing the data buffers and the configuration parameters.
+//! Software configures the on-chip data layout and initiates the
+//! optimization by writing to a memory mapped control register. Both
+//! memory configuration and data transfer accesses are performed through
+//! ordinary DDR4 reads and writes" — in-order, strong-uncacheable.
+//!
+//! [`MmioInterface`] models that register file: everything the typed API
+//! in [`crate::device`] does can be driven through plain 64-bit register
+//! reads/writes at fixed offsets, exactly how a kernel driver would talk
+//! to the DIMM. The data space (key slots) is mapped byte-addressably
+//! above [`DATA_BASE`].
+
+use rime_memristive::{Direction, KeyFormat};
+
+use crate::device::{Region, RimeDevice};
+use crate::error::RimeError;
+
+/// Register offsets (byte addresses within the control window).
+pub mod regs {
+    /// Range begin, in key-slot units (w/o `DATA_BASE`).
+    pub const BEGIN: u64 = 0x00;
+    /// Range end (exclusive), in key-slot units.
+    pub const END: u64 = 0x08;
+    /// Key format selector (see [`super::format_code`]).
+    pub const FORMAT: u64 = 0x10;
+    /// Command doorbell: writing executes the command.
+    pub const COMMAND: u64 = 0x18;
+    /// Status of the last command (see [`super::status`]).
+    pub const STATUS: u64 = 0x20;
+    /// Raw bits of the last extracted value.
+    pub const RESULT_VALUE: u64 = 0x28;
+    /// Global key-slot address of the last extracted value.
+    pub const RESULT_ADDR: u64 = 0x30;
+}
+
+/// Command codes for [`regs::COMMAND`].
+pub mod cmd {
+    /// `rime_init` over `[BEGIN, END)` with `FORMAT`.
+    pub const INIT: u64 = 1;
+    /// `rime_min`: extract the next minimum into the result registers.
+    pub const MIN: u64 = 2;
+    /// `rime_max`: extract the next maximum into the result registers.
+    pub const MAX: u64 = 3;
+}
+
+/// Status codes readable from [`regs::STATUS`].
+pub mod status {
+    /// Command completed; result registers are valid (for MIN/MAX).
+    pub const OK: u64 = 0;
+    /// The initialized range is exhausted (MIN/MAX found nothing).
+    pub const EXHAUSTED: u64 = 1;
+    /// The command faulted (bad range, bad format, missing INIT …).
+    pub const ERROR: u64 = 2;
+}
+
+/// First byte address of the data window; key slot `s` occupies bytes
+/// `DATA_BASE + 8s .. DATA_BASE + 8s + 8`.
+pub const DATA_BASE: u64 = 0x1000;
+
+/// Encodes a [`KeyFormat`] into its register value:
+/// `kind (bits 16–17) | int_bits (bits 8–15) | frac_bits (bits 0–7)`,
+/// with kind 0 = unsigned, 1 = signed, 2 = float.
+pub fn format_code(format: KeyFormat) -> u64 {
+    use rime_memristive::encoding::FormatKind;
+    let kind = match format.kind() {
+        FormatKind::Unsigned => 0u64,
+        FormatKind::Signed => 1,
+        FormatKind::Float => 2,
+    };
+    let int_bits = u64::from(format.bits() - format.frac_bits());
+    kind << 16 | int_bits << 8 | u64::from(format.frac_bits())
+}
+
+/// Decodes a register value back into a [`KeyFormat`]; `None` when the
+/// encoding is malformed.
+pub fn decode_format(code: u64) -> Option<KeyFormat> {
+    let kind = code >> 16 & 0x3;
+    let int_bits = (code >> 8 & 0xFF) as u16;
+    let frac_bits = (code & 0xFF) as u16;
+    let total = int_bits + frac_bits;
+    match kind {
+        0 if (1..=64).contains(&total) => Some(KeyFormat::unsigned_fixed(int_bits, frac_bits)),
+        1 if (2..=64).contains(&total) => Some(KeyFormat::signed_fixed(int_bits, frac_bits)),
+        2 if total == 32 && frac_bits == 0 => Some(KeyFormat::FLOAT32),
+        2 if total == 64 && frac_bits == 0 => Some(KeyFormat::FLOAT64),
+        _ => None,
+    }
+}
+
+/// The register-level view of a RIME device.
+///
+/// # Example
+///
+/// ```
+/// use rime_core::mmio::{cmd, format_code, regs, MmioInterface, DATA_BASE};
+/// use rime_core::{KeyFormat, RimeConfig};
+///
+/// let mut mmio = MmioInterface::new(RimeConfig::small());
+/// // Store three keys through the data window.
+/// for (i, key) in [30u64, 10, 20].iter().enumerate() {
+///     mmio.write(DATA_BASE + 8 * i as u64, *key);
+/// }
+/// // Program the range and format, ring the INIT doorbell, then MIN.
+/// mmio.write(regs::BEGIN, 0);
+/// mmio.write(regs::END, 3);
+/// mmio.write(regs::FORMAT, format_code(KeyFormat::UNSIGNED64));
+/// mmio.write(regs::COMMAND, cmd::INIT);
+/// mmio.write(regs::COMMAND, cmd::MIN);
+/// assert_eq!(mmio.read(regs::RESULT_VALUE), 10);
+/// assert_eq!(mmio.read(regs::RESULT_ADDR), 1);
+/// ```
+#[derive(Debug)]
+pub struct MmioInterface {
+    device: RimeDevice,
+    /// One region spanning the whole device — the MMIO view is flat.
+    window: Region,
+    begin: u64,
+    end: u64,
+    format_code: u64,
+    status: u64,
+    result_value: u64,
+    result_addr: u64,
+    /// Uncacheable accesses performed (each read/write below is one).
+    pub uc_accesses: u64,
+}
+
+impl MmioInterface {
+    /// Brings up a device and maps its whole capacity into the window.
+    pub fn new(config: crate::device::RimeConfig) -> MmioInterface {
+        let mut device = RimeDevice::new(config);
+        let capacity = device.capacity();
+        let window = device.alloc(capacity).expect("fresh device has room");
+        MmioInterface {
+            device,
+            window,
+            begin: 0,
+            end: 0,
+            format_code: format_code(KeyFormat::UNSIGNED64),
+            status: status::OK,
+            result_value: 0,
+            result_addr: 0,
+            uc_accesses: 0,
+        }
+    }
+
+    /// The underlying device (e.g. for counter inspection).
+    pub fn device(&self) -> &RimeDevice {
+        &self.device
+    }
+
+    /// Strong-uncacheable 64-bit read at `addr`.
+    ///
+    /// Reads of unknown control offsets return 0, like reserved
+    /// registers. Data-window reads load the key slot.
+    pub fn read(&mut self, addr: u64) -> u64 {
+        self.uc_accesses += 1;
+        if addr >= DATA_BASE {
+            let slot = (addr - DATA_BASE) / 8;
+            return self
+                .device
+                .read_raw(self.window, slot, 1)
+                .map_or(0, |v| v[0]);
+        }
+        match addr {
+            regs::BEGIN => self.begin,
+            regs::END => self.end,
+            regs::FORMAT => self.format_code,
+            regs::STATUS => self.status,
+            regs::RESULT_VALUE => self.result_value,
+            regs::RESULT_ADDR => self.result_addr,
+            _ => 0,
+        }
+    }
+
+    /// Strong-uncacheable 64-bit write at `addr`. Writing
+    /// [`regs::COMMAND`] executes the command and updates
+    /// [`regs::STATUS`].
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.uc_accesses += 1;
+        if addr >= DATA_BASE {
+            let slot = (addr - DATA_BASE) / 8;
+            let format = decode_format(self.format_code).unwrap_or(KeyFormat::UNSIGNED64);
+            self.status = match self.device.write_raw(self.window, slot, &[value], format) {
+                Ok(()) => status::OK,
+                Err(_) => status::ERROR,
+            };
+            return;
+        }
+        match addr {
+            regs::BEGIN => self.begin = value,
+            regs::END => self.end = value,
+            regs::FORMAT => self.format_code = value,
+            regs::COMMAND => self.execute(value),
+            _ => {}
+        }
+    }
+
+    fn execute(&mut self, command: u64) {
+        let Some(format) = decode_format(self.format_code) else {
+            self.status = status::ERROR;
+            return;
+        };
+        let result: Result<Option<(u64, u64)>, RimeError> = match command {
+            cmd::INIT => {
+                let len = self.end.saturating_sub(self.begin);
+                self.device
+                    .init_raw(self.window, self.begin, len, format)
+                    .map(|()| None)
+            }
+            cmd::MIN => self
+                .device
+                .next_extreme_raw(self.window, format, Direction::Min),
+            cmd::MAX => self
+                .device
+                .next_extreme_raw(self.window, format, Direction::Max),
+            _ => {
+                self.status = status::ERROR;
+                return;
+            }
+        };
+        self.status = match result {
+            Ok(Some((slot, raw))) => {
+                self.result_addr = slot;
+                self.result_value = raw;
+                status::OK
+            }
+            Ok(None) if command == cmd::INIT => status::OK,
+            Ok(None) => status::EXHAUSTED,
+            Err(_) => status::ERROR,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::RimeConfig;
+
+    fn mmio() -> MmioInterface {
+        MmioInterface::new(RimeConfig::small())
+    }
+
+    fn store(m: &mut MmioInterface, keys: &[u64]) {
+        for (i, &k) in keys.iter().enumerate() {
+            m.write(DATA_BASE + 8 * i as u64, k);
+            assert_eq!(m.read(regs::STATUS), status::OK);
+        }
+    }
+
+    fn run_sort(m: &mut MmioInterface, n: u64) -> Vec<u64> {
+        m.write(regs::BEGIN, 0);
+        m.write(regs::END, n);
+        m.write(regs::COMMAND, cmd::INIT);
+        assert_eq!(m.read(regs::STATUS), status::OK);
+        let mut out = Vec::new();
+        loop {
+            m.write(regs::COMMAND, cmd::MIN);
+            match m.read(regs::STATUS) {
+                status::OK => out.push(m.read(regs::RESULT_VALUE)),
+                status::EXHAUSTED => break,
+                other => panic!("unexpected status {other}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn full_sort_through_registers() {
+        let mut m = mmio();
+        store(&mut m, &[9, 2, 7, 2, 5]);
+        assert_eq!(run_sort(&mut m, 5), vec![2, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn result_addr_reports_the_winning_slot() {
+        let mut m = mmio();
+        store(&mut m, &[9, 2, 7]);
+        m.write(regs::BEGIN, 0);
+        m.write(regs::END, 3);
+        m.write(regs::COMMAND, cmd::INIT);
+        m.write(regs::COMMAND, cmd::MIN);
+        assert_eq!(m.read(regs::RESULT_ADDR), 1);
+        m.write(regs::COMMAND, cmd::MAX); // direction switch re-arms
+        assert_eq!(m.read(regs::RESULT_VALUE), 9);
+        assert_eq!(m.read(regs::RESULT_ADDR), 0);
+    }
+
+    #[test]
+    fn float_format_through_registers() {
+        let mut m = mmio();
+        m.write(regs::FORMAT, format_code(KeyFormat::FLOAT32));
+        let keys = [18.0f32, -1.625, -0.75];
+        for (i, k) in keys.iter().enumerate() {
+            m.write(DATA_BASE + 8 * i as u64, k.to_bits() as u64);
+        }
+        m.write(regs::BEGIN, 0);
+        m.write(regs::END, 3);
+        m.write(regs::COMMAND, cmd::INIT);
+        m.write(regs::COMMAND, cmd::MIN);
+        assert_eq!(f32::from_bits(m.read(regs::RESULT_VALUE) as u32), -1.625);
+    }
+
+    #[test]
+    fn min_before_init_faults() {
+        let mut m = mmio();
+        m.write(regs::COMMAND, cmd::MIN);
+        assert_eq!(m.read(regs::STATUS), status::ERROR);
+    }
+
+    #[test]
+    fn bad_command_and_bad_format_fault() {
+        let mut m = mmio();
+        m.write(regs::COMMAND, 99);
+        assert_eq!(m.read(regs::STATUS), status::ERROR);
+        m.write(regs::FORMAT, u64::MAX);
+        m.write(regs::BEGIN, 0);
+        m.write(regs::END, 1);
+        m.write(regs::COMMAND, cmd::INIT);
+        assert_eq!(m.read(regs::STATUS), status::ERROR);
+    }
+
+    #[test]
+    fn inverted_range_faults() {
+        let mut m = mmio();
+        store(&mut m, &[1, 2]);
+        m.write(regs::BEGIN, 2);
+        m.write(regs::END, 1);
+        m.write(regs::COMMAND, cmd::INIT);
+        assert_eq!(m.read(regs::STATUS), status::ERROR);
+    }
+
+    #[test]
+    fn registers_read_back() {
+        let mut m = mmio();
+        m.write(regs::BEGIN, 7);
+        m.write(regs::END, 42);
+        assert_eq!(m.read(regs::BEGIN), 7);
+        assert_eq!(m.read(regs::END), 42);
+        assert_eq!(m.read(0xF00), 0, "reserved offsets read as zero");
+    }
+
+    #[test]
+    fn data_window_reads_back() {
+        let mut m = mmio();
+        m.write(DATA_BASE + 16, 777);
+        assert_eq!(m.read(DATA_BASE + 16), 777);
+        assert!(m.uc_accesses >= 2);
+    }
+
+    #[test]
+    fn format_codes_roundtrip() {
+        for f in [
+            KeyFormat::UNSIGNED32,
+            KeyFormat::UNSIGNED64,
+            KeyFormat::SIGNED32,
+            KeyFormat::SIGNED64,
+            KeyFormat::FLOAT32,
+            KeyFormat::FLOAT64,
+            KeyFormat::unsigned_fixed(3, 2),
+            KeyFormat::signed_fixed(4, 4),
+        ] {
+            assert_eq!(decode_format(format_code(f)), Some(f), "{f}");
+        }
+        assert_eq!(decode_format(3 << 16), None, "kind 3 is reserved");
+        assert_eq!(decode_format(0), None, "zero-width format");
+    }
+}

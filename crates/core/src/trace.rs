@@ -1,0 +1,311 @@
+//! Operation trace recording and replay.
+//!
+//! A [`TracedDevice`] wraps a [`RimeDevice`] and logs every API call —
+//! the sequence of `rime_malloc` / stores / `rime_init` / `rime_min` /
+//! `rime_max` / `rime_free` operations an application issued. Traces
+//! serve two production purposes:
+//!
+//! * **debugging** — a failing workload can be captured once and
+//!   replayed deterministically against any device configuration;
+//! * **regression** — [`replay`] re-executes a trace on a fresh device
+//!   and returns the extracted values, so refactors of the device
+//!   internals can be checked against recorded behaviour.
+
+use rime_memristive::{Direction, KeyFormat};
+
+use crate::device::{Region, RimeConfig, RimeDevice};
+use crate::error::RimeError;
+
+/// One recorded API call. Regions are identified by their ordinal
+/// allocation index, which makes traces portable across devices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// `rime_malloc(len)` → region ordinal = number of prior Allocs.
+    Alloc {
+        /// Requested length in key slots.
+        len: u64,
+    },
+    /// `rime_free(region)`.
+    Free {
+        /// Ordinal of the freed region.
+        region: usize,
+    },
+    /// Raw store into a region.
+    Write {
+        /// Region ordinal.
+        region: usize,
+        /// Region-relative slot offset.
+        offset: u64,
+        /// Raw key patterns.
+        raw: Vec<u64>,
+        /// Key format.
+        format: KeyFormat,
+    },
+    /// `rime_init` over a sub-range.
+    Init {
+        /// Region ordinal.
+        region: usize,
+        /// Region-relative start.
+        offset: u64,
+        /// Length in slots.
+        len: u64,
+        /// Key format.
+        format: KeyFormat,
+    },
+    /// `rime_min`/`rime_max`.
+    Extract {
+        /// Region ordinal.
+        region: usize,
+        /// Format the caller requested.
+        format: KeyFormat,
+        /// Min or max.
+        direction: Direction,
+    },
+}
+
+/// A recording wrapper around a device.
+#[derive(Debug)]
+pub struct TracedDevice {
+    device: RimeDevice,
+    regions: Vec<Region>,
+    log: Vec<TraceOp>,
+}
+
+impl TracedDevice {
+    /// Wraps a fresh device with the given configuration.
+    pub fn new(config: RimeConfig) -> TracedDevice {
+        TracedDevice {
+            device: RimeDevice::new(config),
+            regions: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The recorded operations so far.
+    pub fn log(&self) -> &[TraceOp] {
+        &self.log
+    }
+
+    /// Consumes the wrapper, returning the trace.
+    pub fn into_trace(self) -> Vec<TraceOp> {
+        self.log
+    }
+
+    fn region(&self, ordinal: usize) -> Result<Region, RimeError> {
+        self.regions
+            .get(ordinal)
+            .copied()
+            .ok_or(RimeError::InvalidRegion)
+    }
+
+    /// Recorded `rime_malloc`; returns the region's ordinal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures (failed calls are not recorded).
+    pub fn alloc(&mut self, len: u64) -> Result<usize, RimeError> {
+        let region = self.device.alloc(len)?;
+        self.regions.push(region);
+        self.log.push(TraceOp::Alloc { len });
+        Ok(self.regions.len() - 1)
+    }
+
+    /// Recorded `rime_free`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn free(&mut self, region: usize) -> Result<(), RimeError> {
+        self.device.free(self.region(region)?)?;
+        self.log.push(TraceOp::Free { region });
+        Ok(())
+    }
+
+    /// Recorded raw store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn write_raw(
+        &mut self,
+        region: usize,
+        offset: u64,
+        raw: &[u64],
+        format: KeyFormat,
+    ) -> Result<(), RimeError> {
+        self.device
+            .write_raw(self.region(region)?, offset, raw, format)?;
+        self.log.push(TraceOp::Write {
+            region,
+            offset,
+            raw: raw.to_vec(),
+            format,
+        });
+        Ok(())
+    }
+
+    /// Recorded `rime_init`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn init_raw(
+        &mut self,
+        region: usize,
+        offset: u64,
+        len: u64,
+        format: KeyFormat,
+    ) -> Result<(), RimeError> {
+        self.device
+            .init_raw(self.region(region)?, offset, len, format)?;
+        self.log.push(TraceOp::Init {
+            region,
+            offset,
+            len,
+            format,
+        });
+        Ok(())
+    }
+
+    /// Recorded extraction; returns (global slot, raw bits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn extract(
+        &mut self,
+        region: usize,
+        format: KeyFormat,
+        direction: Direction,
+    ) -> Result<Option<(u64, u64)>, RimeError> {
+        let out = self
+            .device
+            .next_extreme_raw(self.region(region)?, format, direction)?;
+        self.log.push(TraceOp::Extract {
+            region,
+            format,
+            direction,
+        });
+        Ok(out)
+    }
+}
+
+/// Replays a trace on a fresh device with `config`, returning the raw
+/// bits every `Extract` produced (in order; `None` entries mark
+/// exhausted ranges).
+///
+/// # Errors
+///
+/// Propagates any device error the replayed operations hit.
+pub fn replay(trace: &[TraceOp], config: RimeConfig) -> Result<Vec<Option<u64>>, RimeError> {
+    let mut device = RimeDevice::new(config);
+    let mut regions: Vec<Region> = Vec::new();
+    let mut extracted = Vec::new();
+    for op in trace {
+        match op {
+            TraceOp::Alloc { len } => regions.push(device.alloc(*len)?),
+            TraceOp::Free { region } => {
+                device.free(*regions.get(*region).ok_or(RimeError::InvalidRegion)?)?;
+            }
+            TraceOp::Write {
+                region,
+                offset,
+                raw,
+                format,
+            } => {
+                let r = *regions.get(*region).ok_or(RimeError::InvalidRegion)?;
+                device.write_raw(r, *offset, raw, *format)?;
+            }
+            TraceOp::Init {
+                region,
+                offset,
+                len,
+                format,
+            } => {
+                let r = *regions.get(*region).ok_or(RimeError::InvalidRegion)?;
+                device.init_raw(r, *offset, *len, *format)?;
+            }
+            TraceOp::Extract {
+                region,
+                format,
+                direction,
+            } => {
+                let r = *regions.get(*region).ok_or(RimeError::InvalidRegion)?;
+                extracted.push(
+                    device
+                        .next_extreme_raw(r, *format, *direction)?
+                        .map(|(_, v)| v),
+                );
+            }
+        }
+    }
+    Ok(extracted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_replays_identically() {
+        let mut traced = TracedDevice::new(RimeConfig::small());
+        let r = traced.alloc(4).unwrap();
+        traced
+            .write_raw(r, 0, &[9, 2, 7, 5], KeyFormat::UNSIGNED64)
+            .unwrap();
+        traced.init_raw(r, 0, 4, KeyFormat::UNSIGNED64).unwrap();
+        let mut live = Vec::new();
+        for _ in 0..5 {
+            live.push(
+                traced
+                    .extract(r, KeyFormat::UNSIGNED64, Direction::Min)
+                    .unwrap()
+                    .map(|(_, v)| v),
+            );
+        }
+        traced.free(r).unwrap();
+        assert_eq!(live, vec![Some(2), Some(5), Some(7), Some(9), None]);
+
+        let trace = traced.into_trace();
+        assert_eq!(trace.len(), 9); // alloc + write + init + 5 extracts + free
+        let replayed = replay(&trace, RimeConfig::small()).unwrap();
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn replay_works_on_a_different_geometry() {
+        let mut traced = TracedDevice::new(RimeConfig::small());
+        let r = traced.alloc(3).unwrap();
+        traced
+            .write_raw(r, 0, &[3, 1, 2], KeyFormat::UNSIGNED32)
+            .unwrap();
+        traced.init_raw(r, 0, 3, KeyFormat::UNSIGNED32).unwrap();
+        let _ = traced
+            .extract(r, KeyFormat::UNSIGNED32, Direction::Max)
+            .unwrap();
+        let trace = traced.into_trace();
+
+        // A bigger device must produce the same extraction results.
+        let big = RimeConfig {
+            chips_per_channel: 4,
+            ..RimeConfig::small()
+        };
+        assert_eq!(replay(&trace, big).unwrap(), vec![Some(3)]);
+    }
+
+    #[test]
+    fn stale_ordinals_error() {
+        let mut traced = TracedDevice::new(RimeConfig::small());
+        assert!(traced.free(0).is_err());
+        let trace = vec![TraceOp::Free { region: 3 }];
+        assert!(replay(&trace, RimeConfig::small()).is_err());
+    }
+
+    #[test]
+    fn failed_calls_are_not_recorded() {
+        let mut traced = TracedDevice::new(RimeConfig::small());
+        let cap = traced.device.capacity();
+        let _ = traced.alloc(cap + 1).unwrap_err();
+        assert!(traced.log().is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the RIME core: allocator invariants under
+//! random alloc/free sequences, and device API invariants under random
+//! operation interleavings.
+
+use proptest::prelude::*;
+use rime_core::{ContiguousAllocator, DriverConfig, RimeConfig, RimeDevice};
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..600).prop_map(AllocOp::Alloc),
+            (0usize..16).prop_map(AllocOp::FreeNth),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Live extents never overlap, never exceed capacity, and freeing
+    /// everything restores one maximal extent.
+    #[test]
+    fn allocator_invariants(ops in alloc_ops()) {
+        let total = 4096u64;
+        let mut alloc = ContiguousAllocator::new(total, DriverConfig {
+            page_slots: 64,
+            startup_pages: 8,
+            growth_pages: 4,
+        });
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (start, len)
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Ok(start) = alloc.alloc(len) {
+                        // No overlap with anything live.
+                        for &(s, l) in &live {
+                            prop_assert!(start + len <= s || s + l <= start,
+                                "overlap: [{start},{}) vs [{s},{})", start + len, s + l);
+                        }
+                        prop_assert!(start + len <= total);
+                        live.push((start, len));
+                    }
+                }
+                AllocOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (start, _) = live.remove(n % live.len());
+                        alloc.free(start).unwrap();
+                    }
+                }
+            }
+        }
+        let live_total: u64 = live.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(alloc.allocated_slots(), live_total);
+        // Free everything: capacity returns as one hole.
+        for (start, _) in live {
+            alloc.free(start).unwrap();
+        }
+        prop_assert_eq!(alloc.allocated_slots(), 0);
+        prop_assert_eq!(alloc.largest_free(), total);
+    }
+
+    /// Interleaved sessions on random disjoint regions all stream their
+    /// own data in order, regardless of interleaving.
+    #[test]
+    fn interleaved_regions_stay_isolated(
+        sets in prop::collection::vec(prop::collection::vec(any::<u32>(), 1..24), 2..5),
+        schedule in prop::collection::vec(0usize..5, 8..80),
+    ) {
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let mut regions = Vec::new();
+        let mut expected: Vec<std::collections::VecDeque<u32>> = Vec::new();
+        for set in &sets {
+            let r = dev.alloc(set.len() as u64).unwrap();
+            dev.write(r, 0, set).unwrap();
+            dev.init_all::<u32>(r).unwrap();
+            regions.push(r);
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            expected.push(sorted.into());
+        }
+        for pick in schedule {
+            let idx = pick % regions.len();
+            let got = dev.rime_min::<u32>(regions[idx]).unwrap().map(|(_, v)| v);
+            prop_assert_eq!(got, expected[idx].pop_front(), "region {}", idx);
+        }
+    }
+
+    /// `rime_max` after draining some `rime_min`s sees exactly the full
+    /// re-initialized set (direction switches re-arm, §V semantics).
+    #[test]
+    fn direction_switch_always_rearms(
+        keys in prop::collection::vec(any::<i32>(), 1..32),
+        drains in 0usize..10,
+    ) {
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let r = dev.alloc(keys.len() as u64).unwrap();
+        dev.write(r, 0, &keys).unwrap();
+        dev.init_all::<i32>(r).unwrap();
+        for _ in 0..drains.min(keys.len()) {
+            let _ = dev.rime_min::<i32>(r).unwrap();
+        }
+        let max = dev.rime_max::<i32>(r).unwrap().map(|(_, v)| v);
+        prop_assert_eq!(max, keys.iter().copied().max());
+    }
+
+    /// Sub-range init ranks exactly the sub-range.
+    #[test]
+    fn subrange_init_is_exact(
+        keys in prop::collection::vec(any::<u64>(), 2..40),
+        a in 0usize..40,
+        b in 0usize..40,
+    ) {
+        let lo = a.min(b) % keys.len();
+        let hi = (a.max(b) % keys.len()).max(lo + 1).min(keys.len());
+        prop_assume!(lo < hi);
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let r = dev.alloc(keys.len() as u64).unwrap();
+        dev.write(r, 0, &keys).unwrap();
+        dev.init::<u64>(r, lo as u64, (hi - lo) as u64).unwrap();
+        let mut got = Vec::new();
+        while let Some((_, v)) = dev.rime_min::<u64>(r).unwrap() {
+            got.push(v);
+        }
+        let mut want = keys[lo..hi].to_vec();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

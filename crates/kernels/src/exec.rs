@@ -1,0 +1,442 @@
+//! Runnable sort kernels over an instrumented memory.
+//!
+//! Each kernel really sorts its data (outputs are asserted against
+//! `slice::sort` in tests) while every element access flows through the
+//! Table I cache hierarchy, producing the exact below-cache traffic the
+//! analytic models in [`crate::model`] approximate.
+
+use rime_memsim::cache::{CacheConfig, Hierarchy};
+use rime_memsim::{DramConfig, DramModel};
+
+/// Identifier of a buffer inside a [`TracedMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufId(usize);
+
+/// A set of `u64` buffers whose accesses are (optionally) traced through
+/// a cache hierarchy.
+#[derive(Debug)]
+pub struct TracedMemory {
+    bufs: Vec<Vec<u64>>,
+    bases: Vec<u64>,
+    next_base: u64,
+    hierarchy: Option<Hierarchy>,
+    /// Optional cycle-level timing: L2 misses are served by this DRAM
+    /// model and advance the core clock by the full access latency (a
+    /// latency-serialized single core — the demand model's assumption).
+    dram: Option<DramModel>,
+    cycles: u64,
+    /// CPU cycles charged per element access that hits in cache.
+    cpu_cycles_per_access: u64,
+}
+
+impl TracedMemory {
+    /// An untraced memory (plain execution).
+    pub fn untraced() -> TracedMemory {
+        TracedMemory {
+            bufs: Vec::new(),
+            bases: Vec::new(),
+            next_base: 0,
+            hierarchy: None,
+            dram: None,
+            cycles: 0,
+            cpu_cycles_per_access: 0,
+        }
+    }
+
+    /// A memory traced through the Table I single-core hierarchy.
+    pub fn traced() -> TracedMemory {
+        TracedMemory {
+            bufs: Vec::new(),
+            bases: Vec::new(),
+            next_base: 0,
+            hierarchy: Some(Hierarchy::new(
+                1,
+                CacheConfig::l1d_table1(),
+                CacheConfig::l2_table1(),
+            )),
+            dram: None,
+            cycles: 0,
+            cpu_cycles_per_access: 0,
+        }
+    }
+
+    /// A traced memory with full cycle timing: cache lookups charge their
+    /// hit/miss latencies, L2 misses go through the given DRAM model, and
+    /// every element access additionally charges `cpu_cycles_per_access`
+    /// of compute. The result is an end-to-end single-core timed
+    /// simulation used to validate the phase-level model.
+    pub fn timed(dram: DramConfig, cpu_cycles_per_access: u64) -> TracedMemory {
+        let mut mem = TracedMemory::traced();
+        mem.dram = Some(DramModel::new(dram));
+        mem.cpu_cycles_per_access = cpu_cycles_per_access;
+        mem
+    }
+
+    /// Registers a buffer, placing it at a fresh address range.
+    pub fn add_buf(&mut self, data: Vec<u64>) -> BufId {
+        let id = BufId(self.bufs.len());
+        self.bases.push(self.next_base);
+        // Pad between buffers so they never share cache lines.
+        self.next_base += (data.len() as u64 * 8).next_multiple_of(4096) + 4096;
+        self.bufs.push(data);
+        id
+    }
+
+    /// Buffer length.
+    pub fn len(&self, buf: BufId) -> usize {
+        self.bufs[buf.0].len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self, buf: BufId) -> bool {
+        self.bufs[buf.0].is_empty()
+    }
+
+    fn touch(&mut self, buf: BufId, idx: usize, write: bool) {
+        if let Some(h) = &mut self.hierarchy {
+            let addr = self.bases[buf.0] + idx as u64 * 8;
+            let before = h.mem_reads + h.mem_writes;
+            let lookup = h.access(0, addr, write);
+            if let Some(dram) = &mut self.dram {
+                self.cycles += lookup as u64 + self.cpu_cycles_per_access;
+                let missed = h.mem_reads + h.mem_writes > before;
+                if missed {
+                    let done = dram.access(addr, write, self.cycles);
+                    self.cycles = done; // latency-serialized core
+                }
+            }
+        }
+    }
+
+    /// Simulated core cycles so far (timed mode only).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Sustained DRAM bandwidth of the run so far in bytes/cycle (timed
+    /// mode only; zero otherwise).
+    pub fn sustained_bytes_per_cycle(&self) -> f64 {
+        match &self.dram {
+            Some(d) if self.cycles > 0 => d.accesses as f64 * 64.0 / self.cycles as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Reads element `idx` of `buf`.
+    pub fn read(&mut self, buf: BufId, idx: usize) -> u64 {
+        self.touch(buf, idx, false);
+        self.bufs[buf.0][idx]
+    }
+
+    /// Writes element `idx` of `buf`.
+    pub fn write(&mut self, buf: BufId, idx: usize, value: u64) {
+        self.touch(buf, idx, true);
+        self.bufs[buf.0][idx] = value;
+    }
+
+    /// Swaps two elements of `buf`.
+    pub fn swap(&mut self, buf: BufId, i: usize, j: usize) {
+        let a = self.read(buf, i);
+        let b = self.read(buf, j);
+        self.write(buf, i, b);
+        self.write(buf, j, a);
+    }
+
+    /// Consumes the memory and returns a buffer's contents.
+    pub fn into_buf(mut self, buf: BufId) -> Vec<u64> {
+        std::mem::take(&mut self.bufs[buf.0])
+    }
+
+    /// Below-cache line accesses observed so far (zero when untraced).
+    pub fn mem_accesses(&self) -> u64 {
+        self.hierarchy.as_ref().map_or(0, Hierarchy::mem_accesses)
+    }
+}
+
+/// Bottom-up mergesort using one scratch buffer.
+pub fn merge_sort(mem: &mut TracedMemory, data: BufId) -> BufId {
+    let n = mem.len(data);
+    let scratch = mem.add_buf(vec![0; n]);
+    let (mut src, mut dst) = (data, scratch);
+    let mut width = 1usize;
+    while width < n {
+        let mut lo = 0usize;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                let a = mem.read(src, i);
+                let b = mem.read(src, j);
+                if a <= b {
+                    mem.write(dst, k, a);
+                    i += 1;
+                } else {
+                    mem.write(dst, k, b);
+                    j += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                let a = mem.read(src, i);
+                mem.write(dst, k, a);
+                i += 1;
+                k += 1;
+            }
+            while j < hi {
+                let b = mem.read(src, j);
+                mem.write(dst, k, b);
+                j += 1;
+                k += 1;
+            }
+            lo = hi;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        width *= 2;
+    }
+    src
+}
+
+/// In-place quicksort (Hoare partitioning, median-of-three pivots,
+/// insertion sort below a cut-off — §II-B's description).
+pub fn quick_sort(mem: &mut TracedMemory, data: BufId) {
+    let n = mem.len(data);
+    if n > 1 {
+        quick_sort_range(mem, data, 0, n - 1);
+    }
+}
+
+fn quick_sort_range(mem: &mut TracedMemory, data: BufId, lo: usize, hi: usize) {
+    const CUTOFF: usize = 16;
+    if hi - lo < CUTOFF {
+        insertion_sort_range(mem, data, lo, hi);
+        return;
+    }
+    // Median of three.
+    let mid = lo + (hi - lo) / 2;
+    let (a, b, c) = (mem.read(data, lo), mem.read(data, mid), mem.read(data, hi));
+    let pivot = a.max(b).min(a.min(b).max(c));
+    let (mut i, mut j) = (lo, hi);
+    loop {
+        while mem.read(data, i) < pivot {
+            i += 1;
+        }
+        while mem.read(data, j) > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        mem.swap(data, i, j);
+        i += 1;
+        j = j.saturating_sub(1);
+    }
+    if j > lo {
+        quick_sort_range(mem, data, lo, j);
+    }
+    if j + 1 < hi {
+        quick_sort_range(mem, data, j + 1, hi);
+    }
+}
+
+fn insertion_sort_range(mem: &mut TracedMemory, data: BufId, lo: usize, hi: usize) {
+    for i in lo + 1..=hi {
+        let v = mem.read(data, i);
+        let mut j = i;
+        while j > lo {
+            let prev = mem.read(data, j - 1);
+            if prev <= v {
+                break;
+            }
+            mem.write(data, j, prev);
+            j -= 1;
+        }
+        mem.write(data, j, v);
+    }
+}
+
+/// LSD radixsort with 8-bit digits over 64-bit keys (§II-B).
+pub fn radix_sort(mem: &mut TracedMemory, data: BufId) -> BufId {
+    let n = mem.len(data);
+    let scratch = mem.add_buf(vec![0; n]);
+    let (mut src, mut dst) = (data, scratch);
+    for pass in 0..8u32 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for i in 0..n {
+            let d = (mem.read(src, i) >> shift) as usize & 0xFF;
+            counts[d] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for d in 0..256 {
+            offsets[d] = acc;
+            acc += counts[d];
+        }
+        for i in 0..n {
+            let v = mem.read(src, i);
+            let d = (v >> shift) as usize & 0xFF;
+            mem.write(dst, offsets[d], v);
+            offsets[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+/// In-place heapsort (§II-B: root removal + re-heap).
+pub fn heap_sort(mem: &mut TracedMemory, data: BufId) {
+    let n = mem.len(data);
+    if n < 2 {
+        return;
+    }
+    for start in (0..n / 2).rev() {
+        sift_down(mem, data, start, n);
+    }
+    for end in (1..n).rev() {
+        mem.swap(data, 0, end);
+        sift_down(mem, data, 0, end);
+    }
+}
+
+fn sift_down(mem: &mut TracedMemory, data: BufId, mut root: usize, len: usize) {
+    loop {
+        let child = 2 * root + 1;
+        if child >= len {
+            return;
+        }
+        let mut largest = child;
+        if child + 1 < len && mem.read(data, child + 1) > mem.read(data, child) {
+            largest = child + 1;
+        }
+        if mem.read(data, largest) <= mem.read(data, root) {
+            return;
+        }
+        mem.swap(data, root, largest);
+        root = largest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_workloads::keys::{generate_u64, KeyDistribution};
+
+    fn check_sorts(keys: Vec<u64>) {
+        let mut want = keys.clone();
+        want.sort_unstable();
+
+        // mergesort
+        let mut mem = TracedMemory::untraced();
+        let buf = mem.add_buf(keys.clone());
+        let out = merge_sort(&mut mem, buf);
+        assert_eq!(mem.into_buf(out), want, "mergesort");
+
+        // quicksort
+        let mut mem = TracedMemory::untraced();
+        let buf = mem.add_buf(keys.clone());
+        quick_sort(&mut mem, buf);
+        assert_eq!(mem.into_buf(buf), want, "quicksort");
+
+        // radixsort
+        let mut mem = TracedMemory::untraced();
+        let buf = mem.add_buf(keys.clone());
+        let out = radix_sort(&mut mem, buf);
+        assert_eq!(mem.into_buf(out), want, "radixsort");
+
+        // heapsort
+        let mut mem = TracedMemory::untraced();
+        let buf = mem.add_buf(keys);
+        heap_sort(&mut mem, buf);
+        assert_eq!(mem.into_buf(buf), want, "heapsort");
+    }
+
+    #[test]
+    fn all_kernels_sort_uniform_keys() {
+        check_sorts(generate_u64(3_000, KeyDistribution::Uniform, 1));
+    }
+
+    #[test]
+    fn all_kernels_sort_adversarial_inputs() {
+        check_sorts(generate_u64(1_000, KeyDistribution::Sorted, 2));
+        check_sorts(generate_u64(1_000, KeyDistribution::Reverse, 3));
+        check_sorts(generate_u64(
+            1_000,
+            KeyDistribution::FewDistinct { distinct: 3 },
+            4,
+        ));
+    }
+
+    #[test]
+    fn all_kernels_sort_tiny_inputs() {
+        check_sorts(vec![]);
+        check_sorts(vec![42]);
+        check_sorts(vec![2, 1]);
+        check_sorts(vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn tracing_counts_below_cache_traffic() {
+        // A working set ≫ L2 must reach memory; a tiny one must not.
+        let big = generate_u64(2_000_000, KeyDistribution::Uniform, 5);
+        let mut mem = TracedMemory::traced();
+        let buf = mem.add_buf(big);
+        let _ = radix_sort(&mut mem, buf);
+        assert!(mem.mem_accesses() > 100_000, "{}", mem.mem_accesses());
+
+        let small = generate_u64(1_000, KeyDistribution::Uniform, 6);
+        let mut mem = TracedMemory::traced();
+        let buf = mem.add_buf(small);
+        let _ = radix_sort(&mut mem, buf);
+        // Only compulsory misses: ~1k keys = 125 lines × a few buffers/passes.
+        assert!(mem.mem_accesses() < 5_000, "{}", mem.mem_accesses());
+    }
+
+    #[test]
+    fn timed_mode_orders_kernels_like_the_phase_model() {
+        // On the off-chip DDR4 model, the timed end-to-end simulation must
+        // reproduce the phase model's headline ordering at memory-bound
+        // sizes: quicksort beats radixsort (Fig. 2(c)).
+        let n = 900_000usize;
+        let keys = generate_u64(n, KeyDistribution::Uniform, 9);
+        let ddr4 = rime_memsim::DramConfig::ddr4_offchip();
+
+        let mut mem = TracedMemory::timed(ddr4, 2);
+        let buf = mem.add_buf(keys.clone());
+        quick_sort(&mut mem, buf);
+        let quick_cycles = mem.cycles();
+
+        let mut mem = TracedMemory::timed(ddr4, 2);
+        let buf = mem.add_buf(keys);
+        let _ = radix_sort(&mut mem, buf);
+        let radix_cycles = mem.cycles();
+
+        assert!(quick_cycles > 0 && radix_cycles > 0);
+        assert!(
+            radix_cycles > quick_cycles,
+            "radix {radix_cycles} vs quick {quick_cycles}"
+        );
+    }
+
+    #[test]
+    fn timed_mode_reports_sub_peak_bandwidth() {
+        let keys = generate_u64(400_000, KeyDistribution::Uniform, 10);
+        let cfg = rime_memsim::DramConfig::ddr4_offchip();
+        let mut mem = TracedMemory::timed(cfg, 2);
+        let buf = mem.add_buf(keys);
+        let _ = merge_sort(&mut mem, buf);
+        let bw = mem.sustained_bytes_per_cycle();
+        assert!(bw > 0.0 && bw < cfg.peak_bytes_per_cycle(), "{bw}");
+    }
+
+    #[test]
+    fn buffers_do_not_alias() {
+        let mut mem = TracedMemory::untraced();
+        let a = mem.add_buf(vec![1, 2, 3]);
+        let b = mem.add_buf(vec![9, 9, 9]);
+        mem.write(a, 0, 5);
+        assert_eq!(mem.read(b, 0), 9);
+        assert_eq!(mem.len(a), 3);
+        assert!(!mem.is_empty(b));
+    }
+}

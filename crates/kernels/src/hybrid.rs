@@ -1,0 +1,224 @@
+//! RIME-accelerated versions of the four sort kernels (§VI-C evaluates
+//! "mergesort, quicksort, radixsort, and heapsort … for execution on the
+//! proposed RIME architecture").
+//!
+//! Each hybrid keeps the host algorithm's *structure* but replaces its
+//! comparison-heavy inner loop with in-situ ranking:
+//!
+//! * **mergesort** — RIME-sort chunks, then CPU binary merge tree;
+//! * **quicksort** — CPU partitioning until chunks fit a stripe, then
+//!   RIME-sort each chunk in place of the recursion tail;
+//! * **radixsort** — one CPU MSD-byte scatter into 256 buckets, each
+//!   bucket RIME-sorted (buckets concatenate in digit order);
+//! * **heapsort** — the heap is replaced outright by the device: load
+//!   everything, stream the order out (heapsort *is* repeated
+//!   extract-min).
+//!
+//! All four produce exactly `slice::sort` output and are cross-checked in
+//! tests; their paper-scale throughput is the device stream rate
+//! (`rime_core::perf`), which is why Fig. 15 shows one RIME line.
+
+use rime_core::{ops, RimeDevice, RimeError};
+
+/// RIME mergesort: sort `stripes` chunks in-memory, merge on the CPU.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn merge_sort_rime(
+    device: &mut RimeDevice,
+    keys: &[u64],
+    stripes: usize,
+) -> Result<Vec<u64>, RimeError> {
+    if keys.is_empty() {
+        return Ok(Vec::new());
+    }
+    let stripes = stripes.clamp(1, keys.len());
+    let chunk = keys.len().div_ceil(stripes);
+    let mut runs: Vec<Vec<u64>> = Vec::new();
+    for part in keys.chunks(chunk) {
+        let region = device.alloc(part.len() as u64)?;
+        device.write(region, 0, part)?;
+        runs.push(ops::sort_into_vec::<u64>(device, region)?);
+        device.free(region)?;
+    }
+    // CPU binary merge tree over the sorted runs.
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    Ok(runs.pop().unwrap_or_default())
+}
+
+fn merge_two(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// RIME quicksort: CPU median-of-three partitioning down to
+/// `cutoff`-sized chunks, which are RIME-sorted instead of recursed.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn quick_sort_rime(
+    device: &mut RimeDevice,
+    keys: &[u64],
+    cutoff: usize,
+) -> Result<Vec<u64>, RimeError> {
+    fn go(
+        device: &mut RimeDevice,
+        mut v: Vec<u64>,
+        cutoff: usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), RimeError> {
+        if v.len() <= cutoff {
+            if !v.is_empty() {
+                let region = device.alloc(v.len() as u64)?;
+                device.write(region, 0, &v)?;
+                out.extend(ops::sort_into_vec::<u64>(device, region)?);
+                device.free(region)?;
+            }
+            return Ok(());
+        }
+        let pivot = {
+            let (a, b, c) = (v[0], v[v.len() / 2], v[v.len() - 1]);
+            a.max(b).min(a.min(b).max(c))
+        };
+        let mut less = Vec::new();
+        let mut equal = Vec::new();
+        let mut greater = Vec::new();
+        for k in v.drain(..) {
+            match k.cmp(&pivot) {
+                std::cmp::Ordering::Less => less.push(k),
+                std::cmp::Ordering::Equal => equal.push(k),
+                std::cmp::Ordering::Greater => greater.push(k),
+            }
+        }
+        go(device, less, cutoff, out)?;
+        out.extend(equal);
+        go(device, greater, cutoff, out)
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    go(device, keys.to_vec(), cutoff.max(1), &mut out)?;
+    Ok(out)
+}
+
+/// RIME radixsort: one CPU MSD-byte scatter, then RIME-sort each bucket.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn radix_sort_rime(device: &mut RimeDevice, keys: &[u64]) -> Result<Vec<u64>, RimeError> {
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); 256];
+    for &k in keys {
+        buckets[(k >> 56) as usize].push(k);
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    for bucket in buckets {
+        if bucket.is_empty() {
+            continue;
+        }
+        let region = device.alloc(bucket.len() as u64)?;
+        device.write(region, 0, &bucket)?;
+        out.extend(ops::sort_into_vec::<u64>(device, region)?);
+        device.free(region)?;
+    }
+    Ok(out)
+}
+
+/// RIME heapsort: the binary heap disappears — load once, stream the
+/// order out (§III-B.1).
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn heap_sort_rime(device: &mut RimeDevice, keys: &[u64]) -> Result<Vec<u64>, RimeError> {
+    if keys.is_empty() {
+        return Ok(Vec::new());
+    }
+    let region = device.alloc(keys.len() as u64)?;
+    device.write(region, 0, keys)?;
+    let out = ops::sort_into_vec::<u64>(device, region)?;
+    device.free(region)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_core::RimeConfig;
+    use rime_workloads::keys::{generate_u64, KeyDistribution};
+
+    fn check(keys: Vec<u64>) {
+        let mut want = keys.clone();
+        want.sort_unstable();
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        assert_eq!(merge_sort_rime(&mut dev, &keys, 4).unwrap(), want, "merge");
+        assert_eq!(quick_sort_rime(&mut dev, &keys, 64).unwrap(), want, "quick");
+        assert_eq!(radix_sort_rime(&mut dev, &keys).unwrap(), want, "radix");
+        assert_eq!(heap_sort_rime(&mut dev, &keys).unwrap(), want, "heap");
+    }
+
+    #[test]
+    fn hybrids_match_std_sort_uniform() {
+        check(generate_u64(1_500, KeyDistribution::Uniform, 91));
+    }
+
+    #[test]
+    fn hybrids_match_std_sort_adversarial() {
+        check(generate_u64(600, KeyDistribution::Sorted, 92));
+        check(generate_u64(
+            600,
+            KeyDistribution::FewDistinct { distinct: 3 },
+            93,
+        ));
+    }
+
+    #[test]
+    fn hybrids_handle_tiny_inputs() {
+        check(vec![]);
+        check(vec![7]);
+        check(vec![9, 1]);
+    }
+
+    #[test]
+    fn quick_cutoff_one_still_sorts() {
+        let keys = generate_u64(120, KeyDistribution::Uniform, 94);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        assert_eq!(quick_sort_rime(&mut dev, &keys, 1).unwrap(), want);
+    }
+
+    #[test]
+    fn radix_buckets_preserve_msd_order() {
+        // Keys with distinct top bytes must come out grouped by top byte.
+        let keys = vec![3u64 << 56 | 5, 1 << 56 | 9, 2 << 56 | 1, 1 << 56 | 2];
+        let mut dev = RimeDevice::new(RimeConfig::small());
+        let got = radix_sort_rime(&mut dev, &keys).unwrap();
+        assert_eq!(
+            got,
+            vec![1 << 56 | 2, 1 << 56 | 9, 2 << 56 | 1, 3 << 56 | 5]
+        );
+    }
+}

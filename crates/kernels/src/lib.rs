@@ -1,0 +1,29 @@
+//! # rime-kernels
+//!
+//! The four baseline sorting kernels the paper evaluates (§II-B, §VI-C) —
+//! mergesort, quicksort, radixsort, heapsort — plus their RIME-backed
+//! counterparts, in two coupled layers:
+//!
+//! * [`exec`] — real, runnable implementations over an instrumented
+//!   memory ([`exec::TracedMemory`]) that drives the exact cache/DRAM
+//!   models of `rime-memsim`, used for correctness tests and to *measure*
+//!   below-cache traffic at validation scale;
+//! * [`model`] — analytic per-kernel traffic/compute decompositions
+//!   ([`model::SortAlgorithm::workload`]) that generate
+//!   `rime_memsim::perf::Workload`s for full-scale sweeps (Figs. 1, 2,
+//!   15), validated against [`exec`] in this crate's tests;
+//! * [`rime_sort`] — the RIME path: functional sorting through the
+//!   `rime-core` device, and its analytic throughput via
+//!   `rime_core::perf`;
+//! * [`hybrid`] — the RIME-accelerated versions of all four kernels the
+//!   evaluation runs on the proposed architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod hybrid;
+pub mod model;
+pub mod rime_sort;
+
+pub use model::SortAlgorithm;

@@ -1,0 +1,321 @@
+//! Analytic traffic/compute models of the baseline sort kernels.
+//!
+//! Each algorithm is decomposed into phases for the
+//! [`rime_memsim::perf::Workload`] model: how many passes run below the
+//! cache, how many bytes per key each pass moves, with what locality and
+//! access pattern, and how many CPU cycles per key it costs. The CPU
+//! constants are calibrated so the *unlimited-bandwidth* throughputs land
+//! at the paper's Fig. 2(a) magnitudes (the paper's MIPS64/ESESC cores are
+//! far slower per key than native x86); the traffic shapes are validated
+//! against the exact trace-driven execution in [`crate::exec`].
+
+use rime_memsim::perf::{Phase, Workload};
+use rime_memsim::SystemConfig;
+
+/// Calibrated CPU cycles per key per pass (see module docs and
+/// `EXPERIMENTS.md` for the calibration trail).
+pub mod calib {
+    /// Mergesort compare/copy cost per key per merge pass.
+    pub const CPK_MERGE: f64 = 245.0;
+    /// Quicksort partition cost per key per level.
+    pub const CPK_QUICK: f64 = 155.0;
+    /// Radixsort count+scatter cost per key per digit pass.
+    pub const CPK_RADIX: f64 = 285.0;
+    /// Heapsort sift cost per key per heap level.
+    pub const CPK_HEAP: f64 = 300.0;
+    /// Radix digit passes (64-bit keys, 8-bit digits).
+    pub const RADIX_PASSES: u32 = 8;
+    /// Effective per-stream share of the shared L2: 16 concurrent streams
+    /// per core thrash it, so each core's merge run that still fits is
+    /// `L2 / (STREAM_PRESSURE × cores)`.
+    pub const STREAM_PRESSURE: u64 = 32;
+    /// Bytes moved below cache per key per merge pass: read + write +
+    /// writeback of 8-byte keys, plus re-fetches of run heads evicted
+    /// between touches under multicore cache pressure.
+    pub const MERGE_BYTES_PER_KEY_PASS: u64 = 28;
+    /// Bytes per key per quicksort partition level (in-place read+write,
+    /// half the merge traffic — why Q/S leads under limited bandwidth).
+    pub const QUICK_BYTES_PER_KEY_PASS: u64 = 16;
+    /// Bytes per key per radix pass: sequential read plus scattered
+    /// write-allocate fills and writebacks that miss across 256 buckets.
+    pub const RADIX_BYTES_PER_KEY_PASS: u64 = 72;
+    /// Row-hit fraction of the radix scatter traffic.
+    pub const RADIX_ROW_HIT: f64 = 0.05;
+    /// Row-hit fraction of streaming merge/quick passes under multicore
+    /// channel interleaving.
+    pub const STREAM_ROW_HIT: f64 = 0.35;
+    /// Lines touched per heap operation below the cached top levels.
+    pub const HEAP_LINES_PER_LEVEL: f64 = 1.2;
+}
+
+/// The four baseline sorting algorithms (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortAlgorithm {
+    /// Bottom-up mergesort (M/S).
+    Merge,
+    /// Quicksort (Q/S).
+    Quick,
+    /// LSD radixsort (R/S).
+    Radix,
+    /// Heapsort (H/S).
+    Heap,
+}
+
+impl SortAlgorithm {
+    /// All four, in the paper's legend order.
+    pub const ALL: [SortAlgorithm; 4] = [
+        SortAlgorithm::Merge,
+        SortAlgorithm::Quick,
+        SortAlgorithm::Radix,
+        SortAlgorithm::Heap,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SortAlgorithm::Merge => "M/S",
+            SortAlgorithm::Quick => "Q/S",
+            SortAlgorithm::Radix => "R/S",
+            SortAlgorithm::Heap => "H/S",
+        }
+    }
+
+    /// Total passes/levels over the data for `n` keys.
+    pub fn total_passes(&self, n: u64) -> u32 {
+        let log_n = (n.max(2) as f64).log2().ceil() as u32;
+        match self {
+            SortAlgorithm::Merge | SortAlgorithm::Quick | SortAlgorithm::Heap => log_n,
+            SortAlgorithm::Radix => calib::RADIX_PASSES,
+        }
+    }
+
+    /// Passes/levels that run *below* the last-level cache for `n` keys
+    /// on `system` (footnote 2: small sets fit in cache and generate no
+    /// memory traffic).
+    pub fn below_cache_passes(&self, n: u64, system: &SystemConfig) -> u32 {
+        let eff_l2_keys = (system.l2_capacity_keys()
+            / (calib::STREAM_PRESSURE * system.core.cores.max(1) as u64))
+            .max(64);
+        match self {
+            SortAlgorithm::Merge | SortAlgorithm::Quick | SortAlgorithm::Heap => {
+                if n <= eff_l2_keys {
+                    0
+                } else {
+                    ((n as f64 / eff_l2_keys as f64).log2().ceil() as u32).min(self.total_passes(n))
+                }
+            }
+            SortAlgorithm::Radix => {
+                // The 256 scatter streams leave each core only a sliver of
+                // the shared L2; the working set spills once it exceeds a
+                // quarter of the cache.
+                if n * 8 <= system.l2.size_bytes / 4 {
+                    0
+                } else {
+                    calib::RADIX_PASSES
+                }
+            }
+        }
+    }
+
+    /// Builds the phase-level workload for sorting `n` keys on `system`.
+    pub fn workload(&self, n: u64, system: &SystemConfig) -> Workload {
+        let total = self.total_passes(n);
+        let below = self.below_cache_passes(n, system);
+        let mut phases = Vec::new();
+        match self {
+            SortAlgorithm::Merge => {
+                // In-cache run formation + below-cache merge passes.
+                let in_cache = total - below;
+                if in_cache > 0 {
+                    phases.push(Phase::streaming(
+                        "merge (cached runs)",
+                        n * in_cache as u64,
+                        calib::CPK_MERGE,
+                        0,
+                    ));
+                }
+                if below > 0 {
+                    phases.push(
+                        Phase::streaming(
+                            "merge (memory passes)",
+                            n * below as u64,
+                            calib::CPK_MERGE,
+                            n * below as u64 * calib::MERGE_BYTES_PER_KEY_PASS,
+                        )
+                        .with_row_hit(calib::STREAM_ROW_HIT),
+                    );
+                }
+            }
+            SortAlgorithm::Quick => {
+                let in_cache = total - below;
+                if in_cache > 0 {
+                    phases.push(Phase::streaming(
+                        "partition (cached)",
+                        n * in_cache as u64,
+                        calib::CPK_QUICK,
+                        0,
+                    ));
+                }
+                if below > 0 {
+                    phases.push(
+                        Phase::streaming(
+                            "partition (memory levels)",
+                            n * below as u64,
+                            calib::CPK_QUICK,
+                            n * below as u64 * calib::QUICK_BYTES_PER_KEY_PASS,
+                        )
+                        .with_row_hit(calib::STREAM_ROW_HIT),
+                    );
+                }
+            }
+            SortAlgorithm::Radix => {
+                let bytes = if below > 0 {
+                    n * below as u64 * calib::RADIX_BYTES_PER_KEY_PASS
+                } else {
+                    0
+                };
+                phases.push(
+                    Phase::streaming("digit passes", n * total as u64, calib::CPK_RADIX, bytes)
+                        .with_row_hit(calib::RADIX_ROW_HIT),
+                );
+            }
+            SortAlgorithm::Heap => {
+                let in_cache = total - below;
+                if in_cache > 0 {
+                    phases.push(Phase::dependent(
+                        "sift (cached levels)",
+                        n * in_cache as u64,
+                        calib::CPK_HEAP,
+                        0,
+                    ));
+                }
+                if below > 0 {
+                    let lines = (n as f64 * below as f64 * calib::HEAP_LINES_PER_LEVEL) as u64;
+                    phases.push(Phase::dependent(
+                        "sift (memory levels)",
+                        n * below as u64,
+                        calib::CPK_HEAP,
+                        lines * 64,
+                    ));
+                }
+            }
+        }
+        Workload::new(phases)
+    }
+
+    /// Sort throughput (MKps) for `n` keys on `system` — the quantity of
+    /// Figs. 2 and 15.
+    pub fn throughput_mkps(&self, n: u64, system: &SystemConfig) -> f64 {
+        self.workload(n, system).execute(system).throughput_mkps(n)
+    }
+
+    /// Below-cache memory accesses (millions of 64 B lines) — Fig. 1(a,b).
+    pub fn mem_accesses_millions(&self, n: u64, system: &SystemConfig) -> f64 {
+        self.workload(n, system).mem_lines() as f64 / 1e6
+    }
+
+    /// Sustained bandwidth (MB/s) while sorting — Fig. 1(c).
+    pub fn sustained_bandwidth_mbps(&self, n: u64, system: &SystemConfig) -> f64 {
+        self.workload(n, system)
+            .execute(system)
+            .sustained_bandwidth_mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_memsim::SystemConfig;
+
+    const M65: u64 = 65_000_000;
+
+    #[test]
+    fn small_sets_generate_no_memory_traffic() {
+        // Footnote 2: working sets inside the cache don't touch memory.
+        let sys = SystemConfig::off_chip(1);
+        for alg in SortAlgorithm::ALL {
+            assert_eq!(alg.workload(1_000, &sys).mem_lines(), 0, "{}", alg.label());
+        }
+    }
+
+    #[test]
+    fn traffic_scales_superlinearly_with_size() {
+        // Fig. 1(a): accesses grow faster than linearly (more passes).
+        let sys = SystemConfig::off_chip(16);
+        let a = SortAlgorithm::Merge.mem_accesses_millions(8_000_000, &sys);
+        let b = SortAlgorithm::Merge.mem_accesses_millions(64_000_000, &sys);
+        assert!(b > 8.0 * a, "a={a} b={b}");
+    }
+
+    #[test]
+    fn traffic_grows_with_cores() {
+        // Fig. 1(b): more cores → more cache pressure → more accesses.
+        let few = SortAlgorithm::Quick.mem_accesses_millions(M65, &SystemConfig::off_chip(4));
+        let many = SortAlgorithm::Quick.mem_accesses_millions(M65, &SystemConfig::off_chip(64));
+        assert!(many > few, "few={few} many={many}");
+    }
+
+    #[test]
+    fn fig1_magnitudes_at_65m() {
+        // Fig. 1(a) plots hundreds of millions of accesses at 65M keys.
+        let sys = SystemConfig::off_chip(16);
+        for alg in [
+            SortAlgorithm::Merge,
+            SortAlgorithm::Quick,
+            SortAlgorithm::Radix,
+        ] {
+            let m = alg.mem_accesses_millions(M65, &sys);
+            assert!((50.0..2000.0).contains(&m), "{}: {m}M", alg.label());
+        }
+    }
+
+    #[test]
+    fn fig1c_sustained_bandwidth_magnitude() {
+        // Fig. 1(c): sustained bandwidth in the hundreds of MB/s.
+        let sys = SystemConfig::off_chip(16);
+        let bw = SortAlgorithm::Merge.sustained_bandwidth_mbps(M65, &sys);
+        assert!((150.0..1500.0).contains(&bw), "{bw} MB/s");
+    }
+
+    #[test]
+    fn fig2a_unlimited_ranking_radix_first() {
+        // Fig. 2(a): with unlimited bandwidth R/S > Q/S > M/S.
+        let sys = SystemConfig::unlimited(16);
+        let r = SortAlgorithm::Radix.throughput_mkps(M65, &sys);
+        let q = SortAlgorithm::Quick.throughput_mkps(M65, &sys);
+        let m = SortAlgorithm::Merge.throughput_mkps(M65, &sys);
+        assert!(r > q && q > m, "r={r} q={q} m={m}");
+        // Paper magnitudes: single to low double digits of MKps.
+        assert!((5.0..30.0).contains(&r), "r={r}");
+        assert!((2.0..15.0).contains(&m), "m={m}");
+    }
+
+    #[test]
+    fn fig2c_ddr4_ranking_quick_takes_over() {
+        // Fig. 2(c): under off-chip DDR4, Q/S beats R/S.
+        let sys = SystemConfig::off_chip(16);
+        let r = SortAlgorithm::Radix.throughput_mkps(M65, &sys);
+        let q = SortAlgorithm::Quick.throughput_mkps(M65, &sys);
+        assert!(q > r, "q={q} r={r}");
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_fig2() {
+        let unl = SystemConfig::unlimited(16);
+        let hbm = SystemConfig::in_package(16);
+        let off = SystemConfig::off_chip(16);
+        for alg in SortAlgorithm::ALL {
+            let u = alg.throughput_mkps(M65, &unl);
+            let h = alg.throughput_mkps(M65, &hbm);
+            let o = alg.throughput_mkps(M65, &off);
+            assert!(u >= h && h >= o, "{}: {u} {h} {o}", alg.label());
+        }
+    }
+
+    #[test]
+    fn labels_and_passes() {
+        assert_eq!(SortAlgorithm::Merge.label(), "M/S");
+        assert_eq!(SortAlgorithm::Radix.total_passes(1 << 20), 8);
+        assert_eq!(SortAlgorithm::Quick.total_passes(1 << 20), 20);
+    }
+}

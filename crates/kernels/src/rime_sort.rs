@@ -1,0 +1,123 @@
+//! RIME-backed sorting: the functional path through the device model and
+//! the analytic throughput used at paper scale (Fig. 15's "RIME" series).
+//!
+//! The RIME sort kernels stripe their data across every chip (the
+//! explicit-address `rime_malloc` of Fig. 12 permits this), then stream
+//! the global order out with repeated `rime_min` accesses — the Fig. 14
+//! coordination that keeps all chips computing concurrently and leaves
+//! throughput insensitive to data size (§VII-A).
+
+use rime_core::{ops, Placement, RimeConfig, RimeDevice, RimeError, RimePerfConfig, SortableBits};
+
+/// Functionally sorts `keys` through a RIME device, returning the sorted
+/// vector. Data is split across `stripes` regions to engage multiple
+/// chips, then merged — the RIME sort kernel's structure.
+///
+/// # Errors
+///
+/// Propagates device errors (e.g. capacity exhaustion).
+pub fn sort_via_device<T>(
+    device: &mut RimeDevice,
+    keys: &[T],
+    stripes: usize,
+) -> Result<Vec<T>, RimeError>
+where
+    T: SortableBits + PartialOrd,
+{
+    if keys.is_empty() {
+        return Ok(Vec::new());
+    }
+    let stripes = stripes.clamp(1, keys.len());
+    let chunk = keys.len().div_ceil(stripes);
+    let mut regions = Vec::new();
+    for part in keys.chunks(chunk) {
+        let region = device.alloc(part.len() as u64)?;
+        device.write(region, 0, part)?;
+        regions.push(region);
+    }
+    let merged = ops::merge::<T>(device, &regions)?;
+    for region in regions {
+        device.free(region)?;
+    }
+    Ok(merged)
+}
+
+/// Convenience: sort on a fresh small device (tests, examples).
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn sort_small<T>(keys: &[T]) -> Result<Vec<T>, RimeError>
+where
+    T: SortableBits + PartialOrd,
+{
+    let mut device = RimeDevice::new(RimeConfig::small());
+    sort_via_device(&mut device, keys, 4)
+}
+
+/// Analytic RIME sort throughput in MKps for `n` keys (Fig. 15).
+pub fn throughput_mkps(n: u64, perf: &RimePerfConfig) -> f64 {
+    perf.sort_throughput_mkps(n, Placement::Striped)
+}
+
+/// Analytic RIME sort wall-clock seconds for `n` keys, including the bulk
+/// load of the input data over the interface.
+pub fn sort_seconds(n: u64, perf: &RimePerfConfig) -> f64 {
+    perf.load_seconds(n, 8, Placement::Striped) + perf.stream_seconds(n, n, Placement::Striped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rime_workloads::keys::{generate_f32_signed, generate_u64, KeyDistribution};
+
+    #[test]
+    fn device_sort_matches_std() {
+        let keys = generate_u64(2_000, KeyDistribution::Uniform, 42);
+        let got = sort_small(&keys).unwrap();
+        let mut want = keys;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn device_sort_with_duplicates() {
+        let keys = generate_u64(1_000, KeyDistribution::FewDistinct { distinct: 5 }, 43);
+        let got = sort_small(&keys).unwrap();
+        let mut want = keys;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn device_sort_floats() {
+        let keys = generate_f32_signed(500, 44);
+        let got = sort_small(&keys).unwrap();
+        let mut want = keys;
+        want.sort_unstable_by(f32::total_cmp);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_stripe_still_sorts() {
+        let keys = vec![5u32, 3, 9, 1];
+        let mut device = RimeDevice::new(RimeConfig::small());
+        assert_eq!(
+            sort_via_device(&mut device, &keys, 1).unwrap(),
+            vec![1, 3, 5, 9]
+        );
+        assert_eq!(
+            sort_via_device(&mut device, &Vec::<u32>::new(), 4).unwrap(),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn analytic_throughput_flat_in_n() {
+        let perf = RimePerfConfig::table1();
+        let t0 = throughput_mkps(500_000, &perf);
+        let t1 = throughput_mkps(65_000_000, &perf);
+        assert!((t0 - t1).abs() / t1 < 0.1, "{t0} vs {t1}");
+        assert!(sort_seconds(65_000_000, &perf) > sort_seconds(500_000, &perf));
+    }
+}

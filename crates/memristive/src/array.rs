@@ -1,0 +1,350 @@
+//! A single 1T1R memristive array with RIME periphery (§IV-A, Fig. 7).
+//!
+//! Keys live one per wordline; the first `k` bitlines of a row hold the
+//! key's bits (1 = low-resistance state, 0 = high-resistance state). The
+//! RIME periphery adds, per array:
+//!
+//! * a **select vector** of per-wordline latches gating which rows
+//!   participate in column searches,
+//! * **column search**: drive one bitline, sense all selectlines, XNOR the
+//!   sensed column with a 1-bit reference to form the **match vector**,
+//! * the **all-0-or-1 logic** producing the `load` gate (modelled at the
+//!   mat/chip level through the [`ColumnSignals`] the array reports).
+//!
+//! Writes are the only wear-inducing operation; the array tracks per-row
+//! write counts for the §VII-C lifetime study.
+
+use crate::bitmap::Bitmap;
+
+/// Per-array outcome of sensing one column restricted to selected rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnSignals {
+    /// At least one selected cell in the column holds 1.
+    pub any_one: bool,
+    /// At least one selected cell in the column holds 0.
+    pub any_zero: bool,
+}
+
+impl ColumnSignals {
+    /// Whether every selected cell holds the same bit (or none is selected)
+    /// — the *all 0 or 1* condition that vetoes a select-vector load.
+    pub fn all_same(&self) -> bool {
+        !(self.any_one && self.any_zero)
+    }
+
+    /// Merges signals from another array or mat (wired-OR upstream, Fig. 9).
+    pub fn merge(&mut self, other: ColumnSignals) {
+        self.any_one |= other.any_one;
+        self.any_zero |= other.any_zero;
+    }
+}
+
+/// One memristive array: `rows` key slots of up to 64 key bits each.
+///
+/// The array stores each row's key bits packed in a `u64` — bit-identical
+/// to the cells the paper describes for key widths up to 64; columns past
+/// the key width would hold unrelated data in normal-storage mode and are
+/// not modelled.
+#[derive(Debug, Clone)]
+pub struct Array {
+    rows: Vec<u64>,
+    select: Bitmap,
+    wear: Vec<u32>,
+    /// Injected stuck-at cell faults: (row, bit, stuck value). Endurance
+    /// failures manifest as cells stuck in one resistance state; the
+    /// fault list lets tests exercise the periphery under such defects.
+    faults: Vec<(usize, u16, bool)>,
+}
+
+impl Array {
+    /// Creates an array of `rows` zeroed key slots with an empty selection.
+    pub fn new(rows: u32) -> Array {
+        let rows = rows as usize;
+        Array {
+            rows: vec![0; rows],
+            select: Bitmap::zeros(rows),
+            wear: vec![0; rows],
+            faults: Vec::new(),
+        }
+    }
+
+    /// Injects a stuck-at fault: the cell at (`row`, `bit`) permanently
+    /// senses `stuck` regardless of what is written (worn-out RRAM cells
+    /// freeze in one resistance state, §VII-C).
+    pub fn inject_stuck_cell(&mut self, row: usize, bit: u16, stuck: bool) {
+        assert!(row < self.rows.len(), "row {row} out of range");
+        assert!(bit < 64, "bit {bit} out of range");
+        self.faults.retain(|&(r, b, _)| (r, b) != (row, bit));
+        self.faults.push((row, bit, stuck));
+    }
+
+    /// Removes all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Number of injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    fn effective(&self, row: usize) -> u64 {
+        let mut raw = self.rows[row];
+        for &(r, bit, stuck) in &self.faults {
+            if r == row {
+                if stuck {
+                    raw |= 1 << bit;
+                } else {
+                    raw &= !(1 << bit);
+                }
+            }
+        }
+        raw
+    }
+
+    /// Number of key slots (wordlines).
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes a raw key pattern into `row`, inducing one cell-line write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn write_row(&mut self, row: usize, raw: u64) {
+        self.rows[row] = raw;
+        self.wear[row] = self.wear[row].saturating_add(1);
+    }
+
+    /// Reads the raw key pattern stored in `row` (through any injected
+    /// stuck-at faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn read_row(&self, row: usize) -> u64 {
+        if self.faults.is_empty() {
+            self.rows[row]
+        } else {
+            self.effective(row)
+        }
+    }
+
+    /// The select vector (shared view; per-wordline latches).
+    pub fn select(&self) -> &Bitmap {
+        &self.select
+    }
+
+    /// Replaces the select vector wholesale (used by range initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the row count.
+    pub fn set_select(&mut self, select: Bitmap) {
+        assert_eq!(select.len(), self.rows.len(), "select vector length");
+        self.select = select;
+    }
+
+    /// Sets or clears one select latch.
+    pub fn set_select_bit(&mut self, row: usize, value: bool) {
+        self.select.set(row, value);
+    }
+
+    /// Clears the whole select vector.
+    pub fn clear_select(&mut self) {
+        self.select.clear();
+    }
+
+    /// Number of selected rows.
+    pub fn selected_count(&self) -> usize {
+        self.select.count_ones()
+    }
+
+    /// Senses column `pos` across the selected rows (Fig. 7): returns the
+    /// per-array signals; the match vector itself is produced by
+    /// [`Array::match_vector`] when the controller decides to load.
+    pub fn sense_column(&self, pos: u16) -> ColumnSignals {
+        let mut signals = ColumnSignals::default();
+        for row in self.select.iter_ones() {
+            if self.read_row(row) >> pos & 1 == 1 {
+                signals.any_one = true;
+            } else {
+                signals.any_zero = true;
+            }
+            if signals.any_one && signals.any_zero {
+                break;
+            }
+        }
+        signals
+    }
+
+    /// The match vector for column `pos` against reference bit `keep`:
+    /// selected rows whose cell XNORs true with the reference.
+    pub fn match_vector(&self, pos: u16, keep: bool) -> Bitmap {
+        let mut matches = Bitmap::zeros(self.rows.len());
+        for row in self.select.iter_ones() {
+            if (self.read_row(row) >> pos & 1 == 1) == keep {
+                matches.set(row, true);
+            }
+        }
+        matches
+    }
+
+    /// Loads the match vector into the select latches (selective row
+    /// exclusion, §IV-A.2). Returns the number of rows deselected.
+    pub fn load_select(&mut self, matches: &Bitmap) -> usize {
+        let before = self.select.count_ones();
+        self.select.and_assign(matches);
+        before - self.select.count_ones()
+    }
+
+    /// Lowest selected row, if any (the array's contribution to the
+    /// H-tree priority index).
+    pub fn first_selected(&self) -> Option<usize> {
+        self.select.first_one()
+    }
+
+    /// Per-row write counts for the endurance study.
+    pub fn wear(&self) -> &[u32] {
+        &self.wear
+    }
+
+    /// The most-written row's write count.
+    pub fn max_wear(&self) -> u32 {
+        self.wear.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total writes absorbed by the array.
+    pub fn total_writes(&self) -> u64 {
+        self.wear.iter().map(|&w| w as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array_with(values: &[u64]) -> Array {
+        let mut a = Array::new(values.len() as u32);
+        for (row, &v) in values.iter().enumerate() {
+            a.write_row(row, v);
+            a.set_select_bit(row, true);
+        }
+        a
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = Array::new(4);
+        a.write_row(2, 0xDEAD_BEEF);
+        assert_eq!(a.read_row(2), 0xDEAD_BEEF);
+        assert_eq!(a.read_row(0), 0);
+    }
+
+    #[test]
+    fn sense_column_reports_mixed() {
+        let a = array_with(&[0b10, 0b00, 0b11]);
+        let s = a.sense_column(1);
+        assert!(s.any_one && s.any_zero && !s.all_same());
+        let s0 = a.sense_column(0);
+        assert!(s0.any_one && s0.any_zero);
+    }
+
+    #[test]
+    fn sense_column_uniform() {
+        let a = array_with(&[0b1, 0b1, 0b1]);
+        let s = a.sense_column(0);
+        assert!(s.any_one && !s.any_zero && s.all_same());
+    }
+
+    #[test]
+    fn sense_respects_selection() {
+        let mut a = array_with(&[0b1, 0b0]);
+        a.set_select_bit(1, false);
+        let s = a.sense_column(0);
+        assert!(
+            s.any_one && !s.any_zero,
+            "deselected row must not be sensed"
+        );
+    }
+
+    #[test]
+    fn empty_selection_is_silent() {
+        let mut a = array_with(&[0b1]);
+        a.clear_select();
+        let s = a.sense_column(0);
+        assert!(!s.any_one && !s.any_zero && s.all_same());
+    }
+
+    #[test]
+    fn match_and_load_exclude_rows() {
+        let mut a = array_with(&[0b10, 0b00, 0b11]);
+        // keep rows with 0 in column 1 → only row 1 survives
+        let m = a.match_vector(1, false);
+        let removed = a.load_select(&m);
+        assert_eq!(removed, 2);
+        assert_eq!(a.first_selected(), Some(1));
+    }
+
+    #[test]
+    fn wear_tracks_writes_only() {
+        let mut a = Array::new(2);
+        a.write_row(0, 1);
+        a.write_row(0, 2);
+        a.write_row(1, 3);
+        let _ = a.read_row(0);
+        let _ = a.sense_column(0);
+        assert_eq!(a.wear(), &[2, 1]);
+        assert_eq!(a.max_wear(), 2);
+        assert_eq!(a.total_writes(), 3);
+    }
+
+    #[test]
+    fn stuck_cell_overrides_writes() {
+        let mut a = Array::new(2);
+        a.write_row(0, 0b0000);
+        a.inject_stuck_cell(0, 1, true);
+        assert_eq!(a.read_row(0), 0b0010);
+        a.write_row(0, 0b1111);
+        a.inject_stuck_cell(0, 3, false);
+        assert_eq!(a.read_row(0), 0b0111);
+        assert_eq!(a.fault_count(), 2);
+        a.clear_faults();
+        assert_eq!(a.read_row(0), 0b1111);
+    }
+
+    #[test]
+    fn faulty_cell_corrupts_column_search() {
+        let mut a = array_with(&[0b10, 0b01]);
+        // Row 1's MSB is stuck high: it now looks like 0b11.
+        a.inject_stuck_cell(1, 1, true);
+        let s = a.sense_column(1);
+        assert!(s.any_one && !s.any_zero, "both rows sense 1 in column 1");
+        let m = a.match_vector(1, true);
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn reinjecting_same_cell_replaces_fault() {
+        let mut a = Array::new(1);
+        a.inject_stuck_cell(0, 0, true);
+        a.inject_stuck_cell(0, 0, false);
+        assert_eq!(a.fault_count(), 1);
+        a.write_row(0, 1);
+        assert_eq!(a.read_row(0), 0);
+    }
+
+    #[test]
+    fn signals_merge_is_or() {
+        let mut s = ColumnSignals {
+            any_one: true,
+            any_zero: false,
+        };
+        s.merge(ColumnSignals {
+            any_one: false,
+            any_zero: true,
+        });
+        assert!(s.any_one && s.any_zero);
+    }
+}

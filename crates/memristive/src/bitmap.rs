@@ -1,0 +1,338 @@
+//! Dense bit vectors for select vectors, match vectors, and exclusion flags.
+//!
+//! The RIME periphery manipulates whole vectors of per-row latches at once
+//! (Fig. 7): the select vector gates which rows participate in a column
+//! search, the match vector is the XNOR of the sensed column with the
+//! reference bit, and exclusion flags persist found rows across sort
+//! accesses. [`Bitmap`] is the shared representation for all three.
+
+use std::fmt;
+
+/// A fixed-length vector of bits backed by `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use rime_memristive::Bitmap;
+///
+/// let mut select = Bitmap::zeros(8);
+/// select.set_range(2, 6);
+/// assert_eq!(select.count_ones(), 4);
+/// assert_eq!(select.first_one(), Some(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a bitmap of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut bm = Bitmap {
+            len,
+            words: vec![u64::MAX; len.div_ceil(64)],
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of bits in the bitmap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits (length zero, not value zero).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Writes the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Sets every bit in `[start, end)` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len`.
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        for idx in start..end {
+            self.set(idx, true);
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether at least one bit is set.
+    pub fn any(&self) -> bool {
+        !self.none()
+    }
+
+    /// Index of the lowest set bit, if any.
+    ///
+    /// The H-tree priority encoder always resolves ties toward the lowest
+    /// address (Fig. 10), which this mirrors.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                return (idx < self.len).then_some(idx);
+            }
+        }
+        None
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: clears every bit that is set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_not_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap[{}; ", self.len)?;
+        for idx in 0..self.len.min(128) {
+            write!(f, "{}", self.get(idx) as u8)?;
+        }
+        if self.len > 128 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut bm = Bitmap::zeros(bits.len());
+        for (idx, bit) in bits.into_iter().enumerate() {
+            if bit {
+                bm.set(idx, true);
+            }
+        }
+        bm
+    }
+}
+
+/// Iterator over set-bit indices produced by [`Bitmap::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * 64 + bit;
+                if idx < self.bitmap.len {
+                    return Some(idx);
+                }
+                return None;
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(70);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.none());
+        let o = Bitmap::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.any());
+        // tail bits beyond len must not be set
+        assert_eq!(o.words.last().unwrap().count_ones(), 6);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bm = Bitmap::zeros(130);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1));
+        bm.set(64, false);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn set_range_spans_words() {
+        let mut bm = Bitmap::zeros(200);
+        bm.set_range(60, 140);
+        assert_eq!(bm.count_ones(), 80);
+        assert!(bm.get(60) && bm.get(139));
+        assert!(!bm.get(59) && !bm.get(140));
+    }
+
+    #[test]
+    fn first_one_finds_lowest() {
+        let mut bm = Bitmap::zeros(512);
+        assert_eq!(bm.first_one(), None);
+        bm.set(300, true);
+        bm.set(77, true);
+        assert_eq!(bm.first_one(), Some(77));
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = Bitmap::zeros(10);
+        a.set_range(0, 6);
+        let mut b = Bitmap::zeros(10);
+        b.set_range(4, 10);
+
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![4, 5]);
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or.count_ones(), 10);
+
+        a.and_not_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn iter_ones_across_words() {
+        let mut bm = Bitmap::zeros(256);
+        for idx in [0, 63, 64, 127, 128, 255] {
+            bm.set(idx, true);
+        }
+        assert_eq!(
+            bm.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 255]
+        );
+    }
+
+    #[test]
+    fn from_iterator() {
+        let bm: Bitmap = [true, false, true, true].into_iter().collect();
+        assert_eq!(bm.len(), 4);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::zeros(4).get(4);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let bm = Bitmap::zeros(4);
+        assert!(!format!("{bm:?}").is_empty());
+    }
+}

@@ -1,0 +1,477 @@
+//! Number formats RIME ranks natively (§III-A).
+//!
+//! RIME stores keys in their *native* binary representation — unsigned or
+//! two's-complement fixed point, or IEEE-754 floating point — and adapts the
+//! bit-serial search schedule to the format rather than re-encoding data
+//! ("No data conversion is required", §VI-C). [`KeyFormat`] captures the
+//! format and width; [`SortableBits`] maps Rust primitive keys onto raw bit
+//! patterns and defines the total order the hardware realizes, which for
+//! floats coincides with [`f32::total_cmp`]/[`f64::total_cmp`].
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The interpretation of a stored bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// Unsigned fixed point: `b(α−1)…b0 . b(−1)…b(−β)` (§III-A.1).
+    Unsigned,
+    /// Two's-complement signed fixed point (§III-A.2).
+    Signed,
+    /// IEEE-754 floating point: sign, biased exponent, fraction (§III-A.3).
+    Float,
+}
+
+/// A key format: interpretation plus bit width `k = α + β`.
+///
+/// Fraction bits never change *ordering* — a fixed-point value with β
+/// fraction bits orders identically to the α+β-bit integer holding the same
+/// pattern — so the format only records the split for display purposes.
+///
+/// # Example
+///
+/// ```
+/// use rime_memristive::KeyFormat;
+///
+/// let q3_2 = KeyFormat::unsigned_fixed(3, 2); // the Fig. 4 format
+/// assert_eq!(q3_2.bits(), 5);
+/// assert_eq!(KeyFormat::FLOAT32.bits(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyFormat {
+    kind: FormatKind,
+    int_bits: u16,
+    frac_bits: u16,
+}
+
+impl KeyFormat {
+    /// 32-bit unsigned integers.
+    pub const UNSIGNED32: KeyFormat = KeyFormat {
+        kind: FormatKind::Unsigned,
+        int_bits: 32,
+        frac_bits: 0,
+    };
+    /// 64-bit unsigned integers.
+    pub const UNSIGNED64: KeyFormat = KeyFormat {
+        kind: FormatKind::Unsigned,
+        int_bits: 64,
+        frac_bits: 0,
+    };
+    /// 32-bit two's-complement integers.
+    pub const SIGNED32: KeyFormat = KeyFormat {
+        kind: FormatKind::Signed,
+        int_bits: 32,
+        frac_bits: 0,
+    };
+    /// 64-bit two's-complement integers.
+    pub const SIGNED64: KeyFormat = KeyFormat {
+        kind: FormatKind::Signed,
+        int_bits: 64,
+        frac_bits: 0,
+    };
+    /// IEEE-754 binary32.
+    pub const FLOAT32: KeyFormat = KeyFormat {
+        kind: FormatKind::Float,
+        int_bits: 32,
+        frac_bits: 0,
+    };
+    /// IEEE-754 binary64.
+    pub const FLOAT64: KeyFormat = KeyFormat {
+        kind: FormatKind::Float,
+        int_bits: 64,
+        frac_bits: 0,
+    };
+
+    /// Unsigned fixed point with `int_bits` integer and `frac_bits`
+    /// fraction bits (α and β in §III-A.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width is zero or exceeds 64 bits.
+    pub fn unsigned_fixed(int_bits: u16, frac_bits: u16) -> KeyFormat {
+        let k = int_bits + frac_bits;
+        assert!(
+            (1..=64).contains(&k),
+            "key width must be in 1..=64, got {k}"
+        );
+        KeyFormat {
+            kind: FormatKind::Unsigned,
+            int_bits,
+            frac_bits,
+        }
+    }
+
+    /// Two's-complement signed fixed point with `int_bits` integer bits
+    /// (including the sign bit) and `frac_bits` fraction bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width is zero or exceeds 64 bits.
+    pub fn signed_fixed(int_bits: u16, frac_bits: u16) -> KeyFormat {
+        let k = int_bits + frac_bits;
+        assert!(
+            (2..=64).contains(&k),
+            "signed key width must be in 2..=64, got {k}"
+        );
+        KeyFormat {
+            kind: FormatKind::Signed,
+            int_bits,
+            frac_bits,
+        }
+    }
+
+    /// The format's interpretation.
+    pub fn kind(&self) -> FormatKind {
+        self.kind
+    }
+
+    /// Total key width `k` in bits.
+    pub fn bits(&self) -> u16 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// Number of fraction bits β (zero for integers and floats).
+    pub fn frac_bits(&self) -> u16 {
+        self.frac_bits
+    }
+
+    /// Short static name used in diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            FormatKind::Unsigned => "unsigned",
+            FormatKind::Signed => "signed",
+            FormatKind::Float => "float",
+        }
+    }
+
+    /// Compares two raw `k`-bit patterns under this format's value order.
+    ///
+    /// This is the ground truth the hardware model is tested against. For
+    /// floats the order is the IEEE-754 *total order* (sign-magnitude),
+    /// which is what the bit-serial algorithm realizes.
+    pub fn compare_bits(&self, a: u64, b: u64) -> Ordering {
+        let k = self.bits() as u32;
+        let a = mask_to(a, k);
+        let b = mask_to(b, k);
+        match self.kind {
+            FormatKind::Unsigned => a.cmp(&b),
+            FormatKind::Signed => sign_extend(a, k).cmp(&sign_extend(b, k)),
+            FormatKind::Float => {
+                // IEEE total order: flip the sign bit for non-negatives,
+                // complement for negatives; then compare unsigned.
+                total_order_key(a, k).cmp(&total_order_key(b, k))
+            }
+        }
+    }
+
+    /// Extracts bit `pos` (0 = LSB) from a raw pattern.
+    pub fn bit(&self, raw: u64, pos: u16) -> bool {
+        debug_assert!(pos < self.bits());
+        raw >> pos & 1 == 1
+    }
+}
+
+impl fmt::Display for KeyFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FormatKind::Float => write!(f, "float{}", self.bits()),
+            FormatKind::Unsigned if self.frac_bits > 0 => {
+                write!(f, "uq{}.{}", self.int_bits, self.frac_bits)
+            }
+            FormatKind::Unsigned => write!(f, "u{}", self.bits()),
+            FormatKind::Signed if self.frac_bits > 0 => {
+                write!(f, "q{}.{}", self.int_bits, self.frac_bits)
+            }
+            FormatKind::Signed => write!(f, "i{}", self.bits()),
+        }
+    }
+}
+
+fn mask_to(raw: u64, k: u32) -> u64 {
+    if k >= 64 {
+        raw
+    } else {
+        raw & ((1u64 << k) - 1)
+    }
+}
+
+fn sign_extend(raw: u64, k: u32) -> i64 {
+    let shift = 64 - k;
+    ((raw << shift) as i64) >> shift
+}
+
+fn total_order_key(raw: u64, k: u32) -> u64 {
+    let sign = 1u64 << (k - 1);
+    if raw & sign == 0 {
+        raw | sign
+    } else {
+        !raw & (if k >= 64 { u64::MAX } else { (1u64 << k) - 1 })
+    }
+}
+
+/// Rust primitive keys RIME can store: the mapping between values and the
+/// raw bit patterns held in memristive cells.
+///
+/// Implementations exist for `u8`–`u64`, `i8`–`i64`, `f32`, and `f64`.
+/// The associated [`FORMAT`](SortableBits::FORMAT) tells the device which
+/// search schedule to use.
+///
+/// # Example
+///
+/// ```
+/// use rime_memristive::{KeyFormat, SortableBits};
+///
+/// assert_eq!(<f32 as SortableBits>::FORMAT, KeyFormat::FLOAT32);
+/// assert_eq!(u32::from_raw_bits(7u32.to_raw_bits()), 7);
+/// ```
+pub trait SortableBits: Copy {
+    /// The device format for this key type.
+    const FORMAT: KeyFormat;
+
+    /// Converts the value into the raw bit pattern stored in cells.
+    fn to_raw_bits(self) -> u64;
+
+    /// Reconstructs the value from a stored bit pattern.
+    fn from_raw_bits(raw: u64) -> Self;
+}
+
+impl SortableBits for u8 {
+    const FORMAT: KeyFormat = KeyFormat {
+        kind: FormatKind::Unsigned,
+        int_bits: 8,
+        frac_bits: 0,
+    };
+    fn to_raw_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw as u8
+    }
+}
+
+impl SortableBits for u16 {
+    const FORMAT: KeyFormat = KeyFormat {
+        kind: FormatKind::Unsigned,
+        int_bits: 16,
+        frac_bits: 0,
+    };
+    fn to_raw_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw as u16
+    }
+}
+
+impl SortableBits for i8 {
+    const FORMAT: KeyFormat = KeyFormat {
+        kind: FormatKind::Signed,
+        int_bits: 8,
+        frac_bits: 0,
+    };
+    fn to_raw_bits(self) -> u64 {
+        self as u8 as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw as u8 as i8
+    }
+}
+
+impl SortableBits for i16 {
+    const FORMAT: KeyFormat = KeyFormat {
+        kind: FormatKind::Signed,
+        int_bits: 16,
+        frac_bits: 0,
+    };
+    fn to_raw_bits(self) -> u64 {
+        self as u16 as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw as u16 as i16
+    }
+}
+
+impl SortableBits for u32 {
+    const FORMAT: KeyFormat = KeyFormat::UNSIGNED32;
+    fn to_raw_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw as u32
+    }
+}
+
+impl SortableBits for u64 {
+    const FORMAT: KeyFormat = KeyFormat::UNSIGNED64;
+    fn to_raw_bits(self) -> u64 {
+        self
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl SortableBits for i32 {
+    const FORMAT: KeyFormat = KeyFormat::SIGNED32;
+    fn to_raw_bits(self) -> u64 {
+        self as u32 as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw as u32 as i32
+    }
+}
+
+impl SortableBits for i64 {
+    const FORMAT: KeyFormat = KeyFormat::SIGNED64;
+    fn to_raw_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        raw as i64
+    }
+}
+
+impl SortableBits for f32 {
+    const FORMAT: KeyFormat = KeyFormat::FLOAT32;
+    fn to_raw_bits(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        f32::from_bits(raw as u32)
+    }
+}
+
+impl SortableBits for f64 {
+    const FORMAT: KeyFormat = KeyFormat::FLOAT64;
+    fn to_raw_bits(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_raw_bits(raw: u64) -> Self {
+        f64::from_bits(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(KeyFormat::UNSIGNED32.bits(), 32);
+        assert_eq!(KeyFormat::SIGNED64.bits(), 64);
+        assert_eq!(KeyFormat::unsigned_fixed(3, 2).bits(), 5);
+        assert_eq!(KeyFormat::signed_fixed(4, 4).bits(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "key width")]
+    fn zero_width_rejected() {
+        KeyFormat::unsigned_fixed(0, 0);
+    }
+
+    #[test]
+    fn unsigned_compare_matches_integer_order() {
+        let fmt = KeyFormat::unsigned_fixed(3, 2);
+        // Fig. 4 values: 4.00=10000, 1.75=00111, 1.25=00101, 1.00=00100, 6.50=11010
+        let vals = [0b10000u64, 0b00111, 0b00101, 0b00100, 0b11010];
+        let min = vals
+            .iter()
+            .copied()
+            .min_by(|a, b| fmt.compare_bits(*a, *b))
+            .unwrap();
+        assert_eq!(min, 0b00100); // 1.00
+    }
+
+    #[test]
+    fn signed_compare_matches_i64_order() {
+        let fmt = KeyFormat::SIGNED32;
+        let pairs = [(-5i32, 3i32), (-1, -8), (0, -0), (i32::MIN, i32::MAX)];
+        for (a, b) in pairs {
+            assert_eq!(
+                fmt.compare_bits(a.to_raw_bits(), b.to_raw_bits()),
+                a.cmp(&b),
+                "compare {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_fixed_narrow_width() {
+        let fmt = KeyFormat::signed_fixed(4, 0);
+        // 4-bit two's complement: -8=1000, -1=1111, 3=0011
+        assert_eq!(fmt.compare_bits(0b1000, 0b1111), Ordering::Less);
+        assert_eq!(fmt.compare_bits(0b1111, 0b0011), Ordering::Less);
+        assert_eq!(fmt.compare_bits(0b0011, 0b0011), Ordering::Equal);
+    }
+
+    #[test]
+    fn float_compare_matches_total_cmp() {
+        let fmt = KeyFormat::FLOAT32;
+        let vals = [
+            18.0f32,
+            -1.625,
+            -0.75,
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1e-9,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    fmt.compare_bits(a.to_raw_bits(), b.to_raw_bits()),
+                    a.total_cmp(&b),
+                    "compare {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float64_compare_matches_total_cmp() {
+        let fmt = KeyFormat::FLOAT64;
+        let vals = [1.5f64, -2.25, 0.0, -0.0, f64::MAX, f64::MIN];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    fmt.compare_bits(a.to_raw_bits(), b.to_raw_bits()),
+                    a.total_cmp(&b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_bits_roundtrip() {
+        assert_eq!(i32::from_raw_bits((-7i32).to_raw_bits()), -7);
+        assert_eq!(i64::from_raw_bits(i64::MIN.to_raw_bits()), i64::MIN);
+        assert_eq!(f64::from_raw_bits((-0.5f64).to_raw_bits()), -0.5);
+        assert_eq!(u64::from_raw_bits(u64::MAX.to_raw_bits()), u64::MAX);
+    }
+
+    #[test]
+    fn narrow_integer_roundtrips_and_formats() {
+        assert_eq!(u8::from_raw_bits(200u8.to_raw_bits()), 200);
+        assert_eq!(i8::from_raw_bits((-100i8).to_raw_bits()), -100);
+        assert_eq!(u16::from_raw_bits(50_000u16.to_raw_bits()), 50_000);
+        assert_eq!(i16::from_raw_bits(i16::MIN.to_raw_bits()), i16::MIN);
+        assert_eq!(<u8 as SortableBits>::FORMAT.bits(), 8);
+        assert_eq!(<i16 as SortableBits>::FORMAT.bits(), 16);
+        // Order preservation for the signed narrow types.
+        let fmt = <i8 as SortableBits>::FORMAT;
+        assert_eq!(
+            fmt.compare_bits((-5i8).to_raw_bits(), 3i8.to_raw_bits()),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(KeyFormat::FLOAT32.to_string(), "float32");
+        assert_eq!(KeyFormat::UNSIGNED64.to_string(), "u64");
+        assert_eq!(KeyFormat::unsigned_fixed(3, 2).to_string(), "uq3.2");
+        assert_eq!(KeyFormat::signed_fixed(4, 4).to_string(), "q4.4");
+        assert_eq!(KeyFormat::SIGNED32.to_string(), "i32");
+    }
+}

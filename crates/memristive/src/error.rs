@@ -1,0 +1,90 @@
+//! Error type for the memristive substrate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported by the memristive chip model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A key slot address exceeded the chip's capacity.
+    AddressOutOfRange {
+        /// Offending slot address.
+        addr: u64,
+        /// Chip capacity in key slots.
+        capacity: u64,
+    },
+    /// A key range was empty or inverted (`begin >= end`).
+    EmptyRange {
+        /// Range begin (inclusive).
+        begin: u64,
+        /// Range end (exclusive).
+        end: u64,
+    },
+    /// A ranking operation was issued before `init_range`.
+    NotInitialized,
+    /// The requested key width exceeds what one array row can hold.
+    KeyTooWide {
+        /// Requested key width in bits.
+        bits: u16,
+        /// Maximum supported width (array columns).
+        max: u16,
+    },
+    /// Stored keys use a different format than the operation requested.
+    FormatMismatch {
+        /// Format recorded at `store_keys`/`init_range` time.
+        stored: &'static str,
+        /// Format the operation asked for.
+        requested: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AddressOutOfRange { addr, capacity } => {
+                write!(f, "slot address {addr} out of range (capacity {capacity})")
+            }
+            Error::EmptyRange { begin, end } => {
+                write!(f, "empty or inverted key range [{begin}, {end})")
+            }
+            Error::NotInitialized => {
+                write!(f, "ranking operation issued before init_range")
+            }
+            Error::KeyTooWide { bits, max } => {
+                write!(f, "key width {bits} exceeds array row width {max}")
+            }
+            Error::FormatMismatch { stored, requested } => {
+                write!(
+                    f,
+                    "stored key format {stored} does not match requested {requested}"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = Error::AddressOutOfRange {
+            addr: 9,
+            capacity: 8,
+        };
+        assert!(err.to_string().contains('9'));
+        let err = Error::EmptyRange { begin: 5, end: 5 };
+        assert!(err.to_string().contains("empty"));
+        assert!(Error::NotInitialized.to_string().contains("init_range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

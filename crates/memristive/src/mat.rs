@@ -1,0 +1,327 @@
+//! A mat: four arrays sharing sense/drive circuits (§IV-B.1, Fig. 8).
+//!
+//! The mat controller sequences row read, row write, and column search
+//! commands over its four arrays; all four are active during each command
+//! (bit-parallel access). For RIME computation the mat reports the two
+//! upstream signals of §IV-B.2 — the *all-0-or-1* outcome and whether a 1
+//! was present — and applies select-vector loads when the chip controller
+//! orders a global exclusion.
+//!
+//! Key slots within a mat are numbered `array * rows + row`.
+
+use crate::array::{Array, ColumnSignals};
+
+/// A command the chip controller sends to a mat (Fig. 8's three access
+/// types plus the RIME-mode select-vector operations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatCommand {
+    /// Row read: load the key at `slot`.
+    RowRead {
+        /// Slot within the mat.
+        slot: u32,
+    },
+    /// Row write: store `raw` into `slot`.
+    RowWrite {
+        /// Slot within the mat.
+        slot: u32,
+        /// Raw key pattern.
+        raw: u64,
+    },
+    /// Column search at bit `pos`: sense the column, report the
+    /// two-signal outcome upstream (Fig. 9).
+    ColumnSearch {
+        /// Bit position (0 = LSB).
+        pos: u16,
+    },
+    /// Global exclusion ordered by the controller: latch the match
+    /// vector for (`pos`, `keep`) into the select latches.
+    LoadSelect {
+        /// Bit position searched.
+        pos: u16,
+        /// Reference bit to keep.
+        keep: bool,
+    },
+    /// Select-vector initialization for `[start, end)` (Fig. 11 leaves).
+    SetSelectRange {
+        /// First slot (inclusive).
+        start: u32,
+        /// One past the last slot.
+        end: u32,
+        /// Latch value for the range.
+        value: bool,
+    },
+}
+
+/// A mat's response to a [`MatCommand`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatResponse {
+    /// Data read by `RowRead`.
+    Data(u64),
+    /// The two upstream signals of a `ColumnSearch`.
+    Signals(ColumnSignals),
+    /// Rows deselected by a `LoadSelect`.
+    Deselected(u32),
+    /// Acknowledgement for writes and select-range commands.
+    Ack,
+}
+
+/// Four memristive arrays under one mat controller.
+#[derive(Debug, Clone)]
+pub struct Mat {
+    arrays: Vec<Array>,
+    rows_per_array: u32,
+}
+
+impl Mat {
+    /// Creates a mat of `arrays_per_mat` arrays with `rows` wordlines each.
+    pub fn new(arrays_per_mat: u16, rows: u32) -> Mat {
+        Mat {
+            arrays: (0..arrays_per_mat).map(|_| Array::new(rows)).collect(),
+            rows_per_array: rows,
+        }
+    }
+
+    /// Key-slot capacity of the mat.
+    pub fn slots(&self) -> u32 {
+        self.arrays.len() as u32 * self.rows_per_array
+    }
+
+    fn split(&self, slot: u32) -> (usize, usize) {
+        debug_assert!(slot < self.slots());
+        (
+            (slot / self.rows_per_array) as usize,
+            (slot % self.rows_per_array) as usize,
+        )
+    }
+
+    /// Row-write command: stores a raw key into `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the mat capacity.
+    pub fn write_slot(&mut self, slot: u32, raw: u64) {
+        let (array, row) = self.split(slot);
+        self.arrays[array].write_row(row, raw);
+    }
+
+    /// Row-read command: loads the raw key stored in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the mat capacity.
+    pub fn read_slot(&self, slot: u32) -> u64 {
+        let (array, row) = self.split(slot);
+        self.arrays[array].read_row(row)
+    }
+
+    /// Sets one select latch.
+    pub fn set_select_bit(&mut self, slot: u32, value: bool) {
+        let (array, row) = self.split(slot);
+        self.arrays[array].set_select_bit(row, value);
+    }
+
+    /// Whether the latch for `slot` is set.
+    pub fn select_bit(&self, slot: u32) -> bool {
+        let (array, row) = self.split(slot);
+        self.arrays[array].select().get(row)
+    }
+
+    /// Clears every select latch in the mat.
+    pub fn clear_select(&mut self) {
+        for array in &mut self.arrays {
+            array.clear_select();
+        }
+    }
+
+    /// Number of selected slots across the mat's arrays.
+    pub fn selected_count(&self) -> usize {
+        self.arrays.iter().map(Array::selected_count).sum()
+    }
+
+    /// Column-search command: all four arrays sense column `pos`; the mat
+    /// wire-ORs their signals upstream (Fig. 9's two-signal protocol).
+    pub fn sense_column(&self, pos: u16) -> ColumnSignals {
+        let mut signals = ColumnSignals::default();
+        for array in &self.arrays {
+            signals.merge(array.sense_column(pos));
+            if signals.any_one && signals.any_zero {
+                break;
+            }
+        }
+        signals
+    }
+
+    /// Applies a global exclusion: every array latches its match vector for
+    /// (`pos`, `keep`) into its select vector. Returns rows deselected.
+    pub fn apply_exclusion(&mut self, pos: u16, keep: bool) -> usize {
+        let mut removed = 0;
+        for array in &mut self.arrays {
+            let matches = array.match_vector(pos, keep);
+            removed += array.load_select(&matches);
+        }
+        removed
+    }
+
+    /// Lowest selected slot in the mat, if any — the mat's initial index
+    /// `A` fed into the H-tree (Fig. 10, priority to smaller indices).
+    pub fn first_selected(&self) -> Option<u32> {
+        for (ai, array) in self.arrays.iter().enumerate() {
+            if let Some(row) = array.first_selected() {
+                return Some(ai as u32 * self.rows_per_array + row as u32);
+            }
+        }
+        None
+    }
+
+    /// Executes one controller command — the explicit protocol form of
+    /// the typed methods, useful for command-level tests and traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is out of range (as the typed methods do).
+    pub fn execute(&mut self, command: MatCommand) -> MatResponse {
+        match command {
+            MatCommand::RowRead { slot } => MatResponse::Data(self.read_slot(slot)),
+            MatCommand::RowWrite { slot, raw } => {
+                self.write_slot(slot, raw);
+                MatResponse::Ack
+            }
+            MatCommand::ColumnSearch { pos } => MatResponse::Signals(self.sense_column(pos)),
+            MatCommand::LoadSelect { pos, keep } => {
+                MatResponse::Deselected(self.apply_exclusion(pos, keep) as u32)
+            }
+            MatCommand::SetSelectRange { start, end, value } => {
+                for slot in start..end.min(self.slots()) {
+                    self.set_select_bit(slot, value);
+                }
+                MatResponse::Ack
+            }
+        }
+    }
+
+    /// Injects a stuck-at fault at `slot`'s cell `bit`.
+    pub fn inject_stuck_cell(&mut self, slot: u32, bit: u16, stuck: bool) {
+        let (array, row) = self.split(slot);
+        self.arrays[array].inject_stuck_cell(row, bit, stuck);
+    }
+
+    /// The most-written slot's write count (endurance).
+    pub fn max_wear(&self) -> u32 {
+        self.arrays.iter().map(Array::max_wear).max().unwrap_or(0)
+    }
+
+    /// Total writes absorbed by the mat.
+    pub fn total_writes(&self) -> u64 {
+        self.arrays.iter().map(Array::total_writes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded_mat(values: &[u64]) -> Mat {
+        let mut mat = Mat::new(4, 4); // 16 slots
+        for (slot, &v) in values.iter().enumerate() {
+            mat.write_slot(slot as u32, v);
+            mat.set_select_bit(slot as u32, true);
+        }
+        mat
+    }
+
+    #[test]
+    fn slots_span_arrays() {
+        let mut mat = Mat::new(4, 4);
+        mat.write_slot(0, 11); // array 0 row 0
+        mat.write_slot(5, 22); // array 1 row 1
+        mat.write_slot(15, 33); // array 3 row 3
+        assert_eq!(mat.read_slot(0), 11);
+        assert_eq!(mat.read_slot(5), 22);
+        assert_eq!(mat.read_slot(15), 33);
+        assert_eq!(mat.slots(), 16);
+    }
+
+    #[test]
+    fn sense_merges_across_arrays() {
+        // slot 0 (array 0) holds a 1-bit, slot 5 (array 1) holds a 0-bit.
+        let mat = loaded_mat(&[0b1, 0, 0, 0, 0, 0b0]);
+        let s = mat.sense_column(0);
+        assert!(s.any_one && s.any_zero);
+    }
+
+    #[test]
+    fn exclusion_applies_to_all_arrays() {
+        let mut mat = loaded_mat(&[0b1, 0b0, 0b1, 0b0, 0b1]);
+        let removed = mat.apply_exclusion(0, false);
+        assert_eq!(removed, 3);
+        assert_eq!(mat.selected_count(), 2);
+        assert_eq!(mat.first_selected(), Some(1));
+    }
+
+    #[test]
+    fn first_selected_prefers_lowest_array() {
+        let mut mat = Mat::new(4, 4);
+        mat.set_select_bit(9, true); // array 2
+        mat.set_select_bit(6, true); // array 1
+        assert_eq!(mat.first_selected(), Some(6));
+        assert!(mat.select_bit(9));
+        assert!(!mat.select_bit(0));
+    }
+
+    #[test]
+    fn clear_select_resets() {
+        let mut mat = loaded_mat(&[1, 2, 3]);
+        assert_eq!(mat.selected_count(), 3);
+        mat.clear_select();
+        assert_eq!(mat.selected_count(), 0);
+        assert_eq!(mat.first_selected(), None);
+    }
+
+    #[test]
+    fn command_protocol_matches_typed_methods() {
+        // Drive one full min-search step purely through commands.
+        let mut mat = Mat::new(4, 4);
+        for (slot, raw) in [(0u32, 0b10u64), (1, 0b01), (2, 0b11)] {
+            assert_eq!(
+                mat.execute(MatCommand::RowWrite { slot, raw }),
+                MatResponse::Ack
+            );
+        }
+        assert_eq!(
+            mat.execute(MatCommand::SetSelectRange { start: 0, end: 3, value: true }),
+            MatResponse::Ack
+        );
+        let MatResponse::Signals(signals) = mat.execute(MatCommand::ColumnSearch { pos: 1 })
+        else {
+            panic!("column search returns signals");
+        };
+        assert!(signals.any_one && signals.any_zero);
+        // Controller decides: keep rows with 0 at bit 1 (min search).
+        assert_eq!(
+            mat.execute(MatCommand::LoadSelect { pos: 1, keep: false }),
+            MatResponse::Deselected(2)
+        );
+        assert_eq!(mat.first_selected(), Some(1));
+        assert_eq!(
+            mat.execute(MatCommand::RowRead { slot: 1 }),
+            MatResponse::Data(0b01)
+        );
+    }
+
+    #[test]
+    fn set_select_range_clamps_to_capacity() {
+        let mut mat = Mat::new(2, 2);
+        mat.execute(MatCommand::SetSelectRange { start: 0, end: 99, value: true });
+        assert_eq!(mat.selected_count(), 4);
+    }
+
+    #[test]
+    fn wear_aggregates() {
+        let mut mat = Mat::new(2, 2);
+        mat.write_slot(0, 1);
+        mat.write_slot(0, 2);
+        mat.write_slot(3, 7);
+        assert_eq!(mat.max_wear(), 2);
+        assert_eq!(mat.total_writes(), 3);
+    }
+}

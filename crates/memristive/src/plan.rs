@@ -1,0 +1,217 @@
+//! The bit-serial search schedule (§III-A).
+//!
+//! Algorithm 1 scans bit positions from MSB to LSB; at each position the
+//! periphery keeps the selected rows whose cell matches a *reference bit*,
+//! unless no selected row matches (the *all-0-or-1* gate, Fig. 7). Which
+//! reference bit each step uses depends on the key format and on whether a
+//! minimum or maximum is sought; for floating point it additionally depends
+//! on whether the sign step left negative survivors (§III-A.3 and the
+//! erratum note in `DESIGN.md` §5).
+//!
+//! [`SearchPlan`] encodes that schedule so the chip controller, the golden
+//! software model, and tests all share one definition.
+
+use crate::encoding::{FormatKind, KeyFormat};
+
+/// Whether a ranking operation extracts the minimum or the maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Extract the smallest remaining key.
+    Min,
+    /// Extract the largest remaining key.
+    Max,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Min => Direction::Max,
+            Direction::Max => Direction::Min,
+        }
+    }
+}
+
+/// The per-step reference-bit schedule for one (format, direction) pair.
+///
+/// # Example
+///
+/// ```
+/// use rime_memristive::{Direction, KeyFormat, SearchPlan};
+///
+/// let plan = SearchPlan::new(KeyFormat::FLOAT32, Direction::Min);
+/// assert_eq!(plan.steps(), 32);
+/// // Sign step keeps negatives (bit 1) when hunting the minimum.
+/// assert!(plan.keep_bit(0, false));
+/// // Among negative survivors, larger magnitude = smaller value.
+/// assert!(plan.keep_bit(1, true));
+/// assert!(!plan.keep_bit(1, false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchPlan {
+    format: KeyFormat,
+    direction: Direction,
+}
+
+impl SearchPlan {
+    /// Builds the schedule for `format` and `direction`.
+    pub fn new(format: KeyFormat, direction: Direction) -> SearchPlan {
+        SearchPlan { format, direction }
+    }
+
+    /// The key format this plan ranks.
+    pub fn format(&self) -> KeyFormat {
+        self.format
+    }
+
+    /// The ranking direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Number of column-search steps (the key width `k`).
+    pub fn steps(&self) -> u16 {
+        self.format.bits()
+    }
+
+    /// Bit position examined at `step` (step 0 is the MSB / sign bit).
+    pub fn position(&self, step: u16) -> u16 {
+        debug_assert!(step < self.steps());
+        self.steps() - 1 - step
+    }
+
+    /// Whether `step` is the sign step for a format whose MSB is a sign bit.
+    pub fn is_sign_step(&self, step: u16) -> bool {
+        step == 0 && !matches!(self.format.kind(), FormatKind::Unsigned)
+    }
+
+    /// The reference bit to *keep* at `step`.
+    ///
+    /// `survivors_negative` reports whether the sign step left a negative
+    /// survivor set; it is ignored at the sign step itself and for formats
+    /// where it cannot matter (unsigned, two's-complement signed).
+    /// The chip controller derives it from the sign-step column-search
+    /// outcome using the same two per-mat signals §IV-B.2 describes.
+    pub fn keep_bit(&self, step: u16, survivors_negative: bool) -> bool {
+        let min = self.direction == Direction::Min;
+        match self.format.kind() {
+            // Unsigned: more-significant 0s ⇒ smaller value.
+            FormatKind::Unsigned => !min,
+            // Two's complement: sign 1 ⇒ negative ⇒ smaller; after the sign
+            // step the remaining bits order like unsigned regardless of the
+            // survivor sign (e.g. -8 = 1000 < -1 = 1111).
+            FormatKind::Signed => {
+                if step == 0 {
+                    min
+                } else {
+                    !min
+                }
+            }
+            // IEEE-754 sign-magnitude: after the sign step, a *negative*
+            // survivor set orders inverted (bigger magnitude ⇒ smaller
+            // value), a positive one orders like unsigned.
+            FormatKind::Float => {
+                if step == 0 || survivors_negative {
+                    min
+                } else {
+                    !min
+                }
+            }
+        }
+    }
+
+    /// How the controller learns whether negative keys survived the sign
+    /// step, from the global column-search outcome at the sign position.
+    ///
+    /// `any_one` / `any_zero` are the ORed per-mat signals (§IV-B.2) saying
+    /// whether any *selected* cell in the sign column held a 1 / a 0.
+    pub fn survivors_negative(&self, any_one: bool, any_zero: bool) -> bool {
+        match self.direction {
+            // Min keeps sign-1 rows when present.
+            Direction::Min => any_one,
+            // Max keeps sign-0 rows when present; survivors are negative
+            // only if *no* positive key existed.
+            Direction::Max => !any_zero && any_one,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_plan_is_constant() {
+        let min = SearchPlan::new(KeyFormat::UNSIGNED32, Direction::Min);
+        let max = SearchPlan::new(KeyFormat::UNSIGNED32, Direction::Max);
+        for step in 0..32 {
+            assert!(!min.keep_bit(step, false));
+            assert!(!min.keep_bit(step, true));
+            assert!(max.keep_bit(step, false));
+        }
+        assert!(!min.is_sign_step(0));
+    }
+
+    #[test]
+    fn signed_plan_flips_only_at_sign() {
+        let min = SearchPlan::new(KeyFormat::SIGNED32, Direction::Min);
+        assert!(min.keep_bit(0, false), "sign step keeps negatives");
+        for step in 1..32 {
+            assert!(!min.keep_bit(step, true));
+            assert!(!min.keep_bit(step, false));
+        }
+        let max = SearchPlan::new(KeyFormat::SIGNED32, Direction::Max);
+        assert!(!max.keep_bit(0, false), "sign step keeps positives");
+        assert!(max.keep_bit(5, false));
+        assert!(min.is_sign_step(0));
+        assert!(!min.is_sign_step(1));
+    }
+
+    #[test]
+    fn float_plan_depends_on_survivor_sign() {
+        let min = SearchPlan::new(KeyFormat::FLOAT64, Direction::Min);
+        assert!(min.keep_bit(0, false));
+        assert!(min.keep_bit(3, true), "negatives: keep larger magnitude");
+        assert!(!min.keep_bit(3, false), "positives: keep smaller magnitude");
+        let max = SearchPlan::new(KeyFormat::FLOAT64, Direction::Max);
+        assert!(!max.keep_bit(0, false));
+        assert!(
+            !max.keep_bit(3, true),
+            "all-negative max: smallest magnitude"
+        );
+        assert!(max.keep_bit(3, false));
+    }
+
+    #[test]
+    fn survivor_sign_resolution() {
+        let min = SearchPlan::new(KeyFormat::FLOAT32, Direction::Min);
+        assert!(
+            min.survivors_negative(true, true),
+            "mixed: min keeps negatives"
+        );
+        assert!(!min.survivors_negative(false, true), "all positive");
+        assert!(min.survivors_negative(true, false), "all negative");
+
+        let max = SearchPlan::new(KeyFormat::FLOAT32, Direction::Max);
+        assert!(
+            !max.survivors_negative(true, true),
+            "mixed: max keeps positives"
+        );
+        assert!(max.survivors_negative(true, false), "all negative");
+        assert!(!max.survivors_negative(false, true), "all positive");
+    }
+
+    #[test]
+    fn positions_run_msb_to_lsb() {
+        let plan = SearchPlan::new(KeyFormat::UNSIGNED64, Direction::Min);
+        assert_eq!(plan.position(0), 63);
+        assert_eq!(plan.position(63), 0);
+        assert_eq!(plan.steps(), 64);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Min.reverse(), Direction::Max);
+        assert_eq!(Direction::Max.reverse(), Direction::Min);
+    }
+}

@@ -1,0 +1,302 @@
+//! Golden software model of the bit-serial min/max algorithm (§III-A).
+//!
+//! Two implementations live here:
+//!
+//! * [`algorithm1_unsigned_min`] is a literal transcription of the paper's
+//!   Algorithm 1 (search for 1s, exclude the matching rows unless all
+//!   match), covering the unsigned case exactly as printed.
+//! * [`run_plan`] is the generalized keep-matching-rows formulation driven
+//!   by a [`SearchPlan`], covering unsigned, signed, and float, min and max.
+//!
+//! Unit and property tests prove the two agree on unsigned minima and that
+//! [`run_plan`] always selects exactly the rows holding the extreme value
+//! under [`KeyFormat::compare_bits`]. The hardware model in [`crate::chip`]
+//! is in turn cross-checked against this module.
+
+use crate::bitmap::Bitmap;
+use crate::encoding::KeyFormat;
+use crate::plan::SearchPlan;
+
+/// Literal transcription of the paper's Algorithm 1 for unsigned keys.
+///
+/// Returns the set of rows (as a [`Bitmap`]) that hold the minimum among
+/// the rows selected in `initial`. `keys` are raw `k`-bit patterns.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != keys.len()`.
+pub fn algorithm1_unsigned_min(keys: &[u64], k: u16, initial: &Bitmap) -> Bitmap {
+    assert_eq!(initial.len(), keys.len(), "selection length mismatch");
+    let mut set = initial.clone();
+    for pos in (0..k).rev() {
+        // sel ← rows whose bit at `pos` is 1
+        let mut sel = Bitmap::zeros(keys.len());
+        for row in set.iter_ones() {
+            if keys[row] >> pos & 1 == 1 {
+                sel.set(row, true);
+            }
+        }
+        // if sel ≠ set, set ← set − sel
+        if sel != set {
+            set.and_not_assign(&sel);
+        }
+    }
+    set
+}
+
+/// Runs a full [`SearchPlan`] over `keys`, starting from `initial`, and
+/// returns the surviving selection: exactly the rows holding the extreme
+/// value.
+///
+/// This mirrors what the chip controller does across mats, with the
+/// survivor-sign resolution of §III-A.3 folded in.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != keys.len()`.
+pub fn run_plan(plan: &SearchPlan, keys: &[u64], initial: &Bitmap) -> Bitmap {
+    assert_eq!(initial.len(), keys.len(), "selection length mismatch");
+    let mut set = initial.clone();
+    let mut survivors_negative = false;
+    for step in 0..plan.steps() {
+        let pos = plan.position(step);
+        let mut any_one = false;
+        let mut any_zero = false;
+        for row in set.iter_ones() {
+            if keys[row] >> pos & 1 == 1 {
+                any_one = true;
+            } else {
+                any_zero = true;
+            }
+        }
+        if plan.is_sign_step(step) {
+            survivors_negative = plan.survivors_negative(any_one, any_zero);
+        }
+        let keep = plan.keep_bit(step, survivors_negative);
+        // The all-0-or-1 gate: only load the match vector when the column
+        // is non-uniform among selected rows *and* some row matches.
+        let some_match = if keep { any_one } else { any_zero };
+        let uniform = !(any_one && any_zero);
+        if some_match && !uniform {
+            let mut matches = Bitmap::zeros(keys.len());
+            for row in set.iter_ones() {
+                if (keys[row] >> pos & 1 == 1) == keep {
+                    matches.set(row, true);
+                }
+            }
+            set = matches;
+        }
+    }
+    set
+}
+
+/// Convenience: the lowest row index holding the extreme value (stable
+/// tie-break, matching the H-tree priority encoder), or `None` when nothing
+/// is selected.
+pub fn extreme_row(plan: &SearchPlan, keys: &[u64], initial: &Bitmap) -> Option<usize> {
+    run_plan(plan, keys, initial).first_one()
+}
+
+/// Ground-truth extreme row computed with a plain comparison loop over
+/// [`KeyFormat::compare_bits`]; used only by tests and cross-checks.
+pub fn extreme_row_by_compare(
+    format: KeyFormat,
+    min: bool,
+    keys: &[u64],
+    initial: &Bitmap,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for row in initial.iter_ones() {
+        best = Some(match best {
+            None => row,
+            Some(b) => {
+                let ord = format.compare_bits(keys[row], keys[b]);
+                let better = if min { ord.is_lt() } else { ord.is_gt() };
+                if better {
+                    row
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Direction;
+
+    fn all(n: usize) -> Bitmap {
+        Bitmap::ones(n)
+    }
+
+    /// The paper's Fig. 4 worked example: five uq3.2 values, min = 1.00.
+    #[test]
+    fn fig4_example_unsigned_min() {
+        // 4.00, 1.75, 1.25, 1.00, 6.50 with α=3, β=2
+        let keys = [0b10000u64, 0b00111, 0b00101, 0b00100, 0b11010];
+        let set = algorithm1_unsigned_min(&keys, 5, &all(5));
+        assert_eq!(set.iter_ones().collect::<Vec<_>>(), vec![3]); // 1.00
+    }
+
+    /// Step-by-step removals of Fig. 4: steps 1..5 exclude 2, 0, 0, 1, 1 rows.
+    #[test]
+    fn fig4_step_removals() {
+        let keys = [0b10000u64, 0b00111, 0b00101, 0b00100, 0b11010];
+        let plan = SearchPlan::new(KeyFormat::unsigned_fixed(3, 2), Direction::Min);
+        let mut set = all(5);
+        let mut removed = Vec::new();
+        for step in 0..plan.steps() {
+            let pos = plan.position(step);
+            let before = set.count_ones();
+            // replay one step via run_plan on a single-step "plan"
+            let mut any_one = false;
+            let mut any_zero = false;
+            for row in set.iter_ones() {
+                if keys[row] >> pos & 1 == 1 {
+                    any_one = true;
+                } else {
+                    any_zero = true;
+                }
+            }
+            if any_one && any_zero {
+                let mut keep = Bitmap::zeros(5);
+                for row in set.iter_ones() {
+                    if keys[row] >> pos & 1 == 0 {
+                        keep.set(row, true);
+                    }
+                }
+                set = keep;
+            }
+            removed.push(before - set.count_ones());
+        }
+        assert_eq!(removed, vec![2, 0, 0, 1, 1]);
+        assert_eq!(set.first_one(), Some(3));
+    }
+
+    /// The paper's Fig. 5 worked example: three 8-bit floats (1 sign,
+    /// 3 exponent, 4 mantissa bits), min = −1.625. We replay it in f32,
+    /// which has the same sign/exponent/mantissa ordering structure.
+    #[test]
+    fn fig5_example_float_min() {
+        let keys: Vec<u64> = [18.0f32, -1.625, -0.75]
+            .iter()
+            .map(|v| v.to_bits() as u64)
+            .collect();
+        let plan = SearchPlan::new(KeyFormat::FLOAT32, Direction::Min);
+        let set = run_plan(&plan, &keys, &all(3));
+        assert_eq!(set.iter_ones().collect::<Vec<_>>(), vec![1]); // −1.625
+    }
+
+    #[test]
+    fn generalized_matches_literal_algorithm1() {
+        let keys = [43u64, 7, 7, 99, 0, 255, 128, 1];
+        let lit = algorithm1_unsigned_min(&keys, 8, &all(8));
+        let plan = SearchPlan::new(KeyFormat::unsigned_fixed(8, 0), Direction::Min);
+        let gen = run_plan(&plan, &keys, &all(8));
+        assert_eq!(lit, gen);
+        assert_eq!(gen.first_one(), Some(4)); // the 0
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        let keys = [5u64, 2, 9, 2, 2];
+        let plan = SearchPlan::new(KeyFormat::UNSIGNED32, Direction::Min);
+        let set = run_plan(&plan, &keys, &all(5));
+        assert_eq!(set.iter_ones().collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(set.first_one(), Some(1), "stable: lowest address wins");
+    }
+
+    #[test]
+    fn respects_initial_selection() {
+        let keys = [1u64, 0, 3, 4];
+        let mut initial = Bitmap::zeros(4);
+        initial.set(2, true);
+        initial.set(3, true);
+        let plan = SearchPlan::new(KeyFormat::UNSIGNED32, Direction::Min);
+        assert_eq!(extreme_row(&plan, &keys, &initial), Some(2));
+    }
+
+    #[test]
+    fn empty_selection_yields_none() {
+        let keys = [1u64, 2];
+        let plan = SearchPlan::new(KeyFormat::UNSIGNED32, Direction::Min);
+        assert_eq!(extreme_row(&plan, &keys, &Bitmap::zeros(2)), None);
+    }
+
+    #[test]
+    fn signed_mixed_min_and_max() {
+        let vals = [-5i32, 3, -8, 0, 7, -1];
+        let keys: Vec<u64> = vals.iter().map(|v| *v as u32 as u64).collect();
+        let min_plan = SearchPlan::new(KeyFormat::SIGNED32, Direction::Min);
+        let max_plan = SearchPlan::new(KeyFormat::SIGNED32, Direction::Max);
+        assert_eq!(extreme_row(&min_plan, &keys, &all(6)), Some(2)); // −8
+        assert_eq!(extreme_row(&max_plan, &keys, &all(6)), Some(4)); // 7
+    }
+
+    #[test]
+    fn signed_all_positive_min() {
+        let vals = [5i32, 3, 8];
+        let keys: Vec<u64> = vals.iter().map(|v| *v as u32 as u64).collect();
+        let plan = SearchPlan::new(KeyFormat::SIGNED32, Direction::Min);
+        assert_eq!(extreme_row(&plan, &keys, &all(3)), Some(1));
+    }
+
+    #[test]
+    fn signed_all_negative_max() {
+        let vals = [-5i64, -3, -8];
+        let keys: Vec<u64> = vals.iter().map(|v| *v as u64).collect();
+        let plan = SearchPlan::new(KeyFormat::SIGNED64, Direction::Max);
+        assert_eq!(extreme_row(&plan, &keys, &all(3)), Some(1)); // −3
+    }
+
+    #[test]
+    fn float_all_negative_min_is_largest_magnitude() {
+        let vals = [-0.5f32, -32.0, -1.0];
+        let keys: Vec<u64> = vals.iter().map(|v| v.to_bits() as u64).collect();
+        let plan = SearchPlan::new(KeyFormat::FLOAT32, Direction::Min);
+        assert_eq!(extreme_row(&plan, &keys, &all(3)), Some(1)); // −32
+    }
+
+    #[test]
+    fn float_all_negative_max_is_smallest_magnitude() {
+        let vals = [-0.5f64, -32.0, -1.0];
+        let keys: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        let plan = SearchPlan::new(KeyFormat::FLOAT64, Direction::Max);
+        assert_eq!(extreme_row(&plan, &keys, &all(3)), Some(0)); // −0.5
+    }
+
+    #[test]
+    fn float_signed_zeros_follow_total_order() {
+        let vals = [0.0f32, -0.0];
+        let keys: Vec<u64> = vals.iter().map(|v| v.to_bits() as u64).collect();
+        let plan = SearchPlan::new(KeyFormat::FLOAT32, Direction::Min);
+        assert_eq!(extreme_row(&plan, &keys, &all(2)), Some(1), "−0.0 < 0.0");
+    }
+
+    #[test]
+    fn agrees_with_compare_ground_truth_exhaustively_4bit() {
+        // Exhaust every multiset of three 4-bit patterns for all formats.
+        for fmt in [
+            KeyFormat::unsigned_fixed(4, 0),
+            KeyFormat::signed_fixed(4, 0),
+        ] {
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    for c in 0..16u64 {
+                        let keys = [a, b, c];
+                        for dir in [Direction::Min, Direction::Max] {
+                            let plan = SearchPlan::new(fmt, dir);
+                            let got = extreme_row(&plan, &keys, &all(3));
+                            let want =
+                                extreme_row_by_compare(fmt, dir == Direction::Min, &keys, &all(3));
+                            assert_eq!(got, want, "{fmt:?} {dir:?} {keys:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Built-in self test for RIME chips.
+//!
+//! Memristive cells wear out (§VII-C) and worn cells freeze in one
+//! resistance state, silently corrupting ranking results (a stuck bit
+//! changes a key's value, not the algorithm's termination). Production
+//! memories ship march tests for exactly this failure mode; this module
+//! provides one for the RIME chip model plus a functional check of the
+//! ranking datapath:
+//!
+//! 1. **March element W0/R0** — write all-zeros, read back;
+//! 2. **March element W1/R1** — write all-ones, read back;
+//! 3. **Checkerboard** — alternating `0xAA…`/`0x55…` patterns per slot;
+//! 4. **Ranking check** — store a known sequence, extract it, and verify
+//!    the ordered stream (exercises column search, exclusion, H-tree).
+//!
+//! The test is destructive: tested slots end up holding the ranking-check
+//! pattern. Run it before `rime_malloc` hands the range to applications.
+
+use crate::chip::Chip;
+use crate::encoding::KeyFormat;
+use crate::error::Error;
+use crate::plan::Direction;
+
+/// Location of a detected defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Key slot with at least one bad cell.
+    pub slot: u64,
+    /// Bit position that failed pattern readback, when attributable.
+    pub bit: Option<u16>,
+}
+
+/// Outcome of a self-test run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTestReport {
+    /// Slots exercised.
+    pub slots_tested: u64,
+    /// Detected defects, ascending by slot.
+    pub faults: Vec<FaultSite>,
+    /// Whether the ranking datapath produced a correctly ordered stream.
+    pub ranking_ok: bool,
+}
+
+impl SelfTestReport {
+    /// Whether the range is defect-free and the datapath is healthy.
+    pub fn passed(&self) -> bool {
+        self.faults.is_empty() && self.ranking_ok
+    }
+}
+
+fn record(faults: &mut Vec<FaultSite>, slot: u64, observed: u64, expected: u64) {
+    let diff = observed ^ expected;
+    if diff != 0 {
+        record_site(faults, slot, Some(diff.trailing_zeros() as u16));
+    }
+}
+
+fn record_site(faults: &mut Vec<FaultSite>, slot: u64, bit: Option<u16>) {
+    if !faults.iter().any(|f| f.slot == slot) {
+        faults.push(FaultSite { slot, bit });
+    }
+}
+
+/// Runs the march + ranking self test over `[begin, end)`.
+///
+/// # Errors
+///
+/// Propagates address errors from the chip.
+pub fn march_test(chip: &mut Chip, begin: u64, end: u64) -> Result<SelfTestReport, Error> {
+    if begin >= end {
+        return Err(Error::EmptyRange { begin, end });
+    }
+    let mut faults = Vec::new();
+
+    // March elements: each pattern written to every slot, then verified.
+    for pattern in [0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555] {
+        for slot in begin..end {
+            chip.store_keys(slot, &[pattern], KeyFormat::UNSIGNED64)?;
+        }
+        for slot in begin..end {
+            let got = chip.read_key(slot)?;
+            record(&mut faults, slot, got, pattern);
+        }
+    }
+
+    // Ranking datapath check: store a descending ramp, stream it back.
+    let n = end - begin;
+    for (offset, slot) in (begin..end).enumerate() {
+        chip.store_keys(slot, &[n - offset as u64], KeyFormat::UNSIGNED64)?;
+    }
+    chip.init_range(begin, end, KeyFormat::UNSIGNED64)?;
+    let march_clean = faults.is_empty();
+    let mut ranking_ok = true;
+    let mut expected = 1u64;
+    while let Some(hit) = chip.extract(Direction::Min)? {
+        if hit.raw_bits != expected {
+            ranking_ok = false;
+            // Attribute sites only when the march found nothing: under
+            // cell faults every later extraction cascades, so the march
+            // report is the authoritative defect list.
+            if march_clean {
+                record_site(&mut faults, hit.slot, None);
+            }
+        }
+        expected += 1;
+    }
+    if expected != n + 1 {
+        ranking_ok = false;
+    }
+
+    faults.sort_by_key(|f| f.slot);
+    Ok(SelfTestReport {
+        slots_tested: n,
+        faults,
+        ranking_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ChipGeometry;
+
+    #[test]
+    fn clean_chip_passes() {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        let report = march_test(&mut chip, 0, 32).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.slots_tested, 32);
+        assert!(report.faults.is_empty());
+        assert!(report.ranking_ok);
+    }
+
+    #[test]
+    fn stuck_high_cell_is_located() {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        chip.inject_stuck_cell(5, 17, true).unwrap();
+        let report = march_test(&mut chip, 0, 32).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.slot == 5 && f.bit == Some(17)));
+    }
+
+    #[test]
+    fn stuck_low_cell_is_located() {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        chip.inject_stuck_cell(12, 0, false).unwrap();
+        let report = march_test(&mut chip, 0, 32).unwrap();
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.slot == 12 && f.bit == Some(0)));
+    }
+
+    #[test]
+    fn multiple_faults_all_reported_once() {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        chip.inject_stuck_cell(1, 3, true).unwrap();
+        chip.inject_stuck_cell(1, 9, false).unwrap();
+        chip.inject_stuck_cell(30, 63, true).unwrap();
+        let report = march_test(&mut chip, 0, 32).unwrap();
+        let slots: Vec<u64> = report.faults.iter().map(|f| f.slot).collect();
+        assert_eq!(slots, vec![1, 30]);
+    }
+
+    #[test]
+    fn faults_outside_the_range_are_not_flagged() {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        chip.inject_stuck_cell(40, 2, true).unwrap();
+        let report = march_test(&mut chip, 0, 32).unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        assert!(march_test(&mut chip, 3, 3).is_err());
+    }
+}

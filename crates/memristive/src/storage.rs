@@ -1,0 +1,192 @@
+//! Normal-storage-mode datapath (§V).
+//!
+//! A RIME chip that boots in normal storage mode serves ordinary
+//! byte-addressable reads and writes: each mat row (4 arrays × up to 64
+//! data bits per row in this model) holds a run of bytes, accessed
+//! through the same sense/drive circuitry as row reads/writes (Fig. 8).
+//! [`NormalStorageView`] adapts a [`Chip`] into that byte-addressable
+//! device so normal-mode DIMMs share the cell model — including wear
+//! tracking and stuck-at faults — with the ranking mode.
+//!
+//! Mapping: byte address `a` lives in key slot `a / 8`, byte `a % 8`
+//! (little-endian within the slot's 64-bit row).
+
+use crate::chip::Chip;
+use crate::encoding::KeyFormat;
+use crate::error::Error;
+
+/// Byte-addressable view over a chip in normal storage mode.
+#[derive(Debug)]
+pub struct NormalStorageView<'c> {
+    chip: &'c mut Chip,
+}
+
+impl<'c> NormalStorageView<'c> {
+    /// Wraps a chip. The caller is responsible for not mixing ranking
+    /// operations into a normal-mode chip (the DIMM mode is fixed at
+    /// boot, §V).
+    pub fn new(chip: &'c mut Chip) -> NormalStorageView<'c> {
+        NormalStorageView { chip }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.chip.capacity() * 8
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<(), Error> {
+        let end = addr + len as u64;
+        if end > self.capacity_bytes() {
+            return Err(Error::AddressOutOfRange {
+                addr: end,
+                capacity: self.capacity_bytes(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at byte address `addr` (read-modify-write
+    /// on partially covered rows, as the drive circuitry would).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AddressOutOfRange`] if the run exceeds capacity.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), Error> {
+        self.check(addr, data.len())?;
+        let mut idx = 0usize;
+        while idx < data.len() {
+            let byte_addr = addr + idx as u64;
+            let slot = byte_addr / 8;
+            let offset = (byte_addr % 8) as usize;
+            let take = (8 - offset).min(data.len() - idx);
+            let mut word = self.chip.read_key(slot)?.to_le_bytes();
+            word[offset..offset + take].copy_from_slice(&data[idx..idx + take]);
+            self.chip
+                .store_keys(slot, &[u64::from_le_bytes(word)], KeyFormat::UNSIGNED64)?;
+            idx += take;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AddressOutOfRange`] if the run exceeds capacity.
+    pub fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, Error> {
+        self.check(addr, len)?;
+        let mut out = Vec::with_capacity(len);
+        let mut idx = 0usize;
+        while idx < len {
+            let byte_addr = addr + idx as u64;
+            let slot = byte_addr / 8;
+            let offset = (byte_addr % 8) as usize;
+            let take = (8 - offset).min(len - idx);
+            let word = self.chip.read_key(slot)?.to_le_bytes();
+            out.extend_from_slice(&word[offset..offset + take]);
+            idx += take;
+        }
+        Ok(out)
+    }
+
+    /// Writes one little-endian `u64` at an 8-byte-aligned address.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AddressOutOfRange`] for out-of-range addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), Error> {
+        assert_eq!(addr % 8, 0, "u64 access must be aligned");
+        self.check(addr, 8)?;
+        self.chip
+            .store_keys(addr / 8, &[value], KeyFormat::UNSIGNED64)
+    }
+
+    /// Reads one little-endian `u64` from an 8-byte-aligned address.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AddressOutOfRange`] for out-of-range addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, Error> {
+        assert_eq!(addr % 8, 0, "u64 access must be aligned");
+        self.check(addr, 8)?;
+        self.chip.read_key(addr / 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ChipGeometry;
+
+    fn chip() -> Chip {
+        Chip::new(ChipGeometry::tiny())
+    }
+
+    #[test]
+    fn aligned_word_roundtrip() {
+        let mut c = chip();
+        let mut view = NormalStorageView::new(&mut c);
+        view.write_u64(16, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(view.read_u64(16).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(view.read_u64(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn unaligned_bytes_roundtrip() {
+        let mut c = chip();
+        let mut view = NormalStorageView::new(&mut c);
+        let data = b"memristive ranking!";
+        view.write_bytes(13, data).unwrap();
+        assert_eq!(view.read_bytes(13, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn partial_writes_preserve_neighbors() {
+        let mut c = chip();
+        let mut view = NormalStorageView::new(&mut c);
+        view.write_u64(0, u64::MAX).unwrap();
+        view.write_bytes(3, &[0]).unwrap();
+        let word = view.read_u64(0).unwrap();
+        assert_eq!(word, !(0xFFu64 << 24));
+    }
+
+    #[test]
+    fn capacity_and_bounds() {
+        let mut c = chip();
+        let mut view = NormalStorageView::new(&mut c);
+        let cap = view.capacity_bytes();
+        assert_eq!(cap, 64 * 8);
+        assert!(view.write_bytes(cap - 1, &[1]).is_ok());
+        assert!(view.write_bytes(cap, &[1]).is_err());
+        assert!(view.read_bytes(cap - 2, 3).is_err());
+    }
+
+    #[test]
+    fn wear_tracks_normal_writes_too() {
+        let mut c = chip();
+        {
+            let mut view = NormalStorageView::new(&mut c);
+            for _ in 0..5 {
+                view.write_u64(0, 42).unwrap();
+            }
+        }
+        assert_eq!(c.max_wear(), 5);
+    }
+
+    #[test]
+    fn faults_visible_through_the_byte_view() {
+        let mut c = chip();
+        c.inject_stuck_cell(0, 7, true).unwrap();
+        let mut view = NormalStorageView::new(&mut c);
+        view.write_bytes(0, &[0]).unwrap();
+        assert_eq!(view.read_bytes(0, 1).unwrap(), vec![0x80]);
+    }
+}

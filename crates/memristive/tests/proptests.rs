@@ -1,0 +1,156 @@
+//! Property-based tests for the memristive substrate: the bit-serial
+//! hardware model must agree with ordinary comparison-based ranking for
+//! every format, and the H-tree must behave as a priority encoder.
+
+use proptest::prelude::*;
+use rime_memristive::reference::{
+    algorithm1_unsigned_min, extreme_row, extreme_row_by_compare, run_plan,
+};
+use rime_memristive::{
+    Bitmap, Chip, ChipGeometry, Direction, IndexTree, KeyFormat, SearchPlan, SortableBits,
+};
+
+fn full(n: usize) -> Bitmap {
+    Bitmap::ones(n)
+}
+
+fn sort_on_chip<T: SortableBits>(keys: &[T], direction: Direction) -> Vec<u64> {
+    let mut chip = Chip::new(ChipGeometry::small());
+    let raw: Vec<u64> = keys.iter().map(|k| k.to_raw_bits()).collect();
+    chip.store_keys(0, &raw, T::FORMAT).unwrap();
+    chip.init_range(0, keys.len() as u64, T::FORMAT).unwrap();
+    let mut out = Vec::new();
+    while let Some(hit) = chip.extract(direction).unwrap() {
+        out.push(hit.raw_bits);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chip_sorts_u32_like_std(keys in prop::collection::vec(any::<u32>(), 1..40)) {
+        let got = sort_on_chip(&keys, Direction::Min);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want.iter().map(|k| *k as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chip_sorts_i64_like_std(keys in prop::collection::vec(any::<i64>(), 1..40)) {
+        let got = sort_on_chip(&keys, Direction::Min);
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want.iter().map(|k| k.to_raw_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chip_sorts_f32_like_total_cmp(keys in prop::collection::vec(any::<f32>(), 1..40)) {
+        let got = sort_on_chip(&keys, Direction::Min);
+        let mut want = keys.clone();
+        want.sort_unstable_by(f32::total_cmp);
+        prop_assert_eq!(got, want.iter().map(|k| k.to_raw_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chip_sorts_f64_descending_with_max(keys in prop::collection::vec(any::<f64>(), 1..32)) {
+        let got = sort_on_chip(&keys, Direction::Max);
+        let mut want = keys.clone();
+        want.sort_unstable_by(|a, b| b.total_cmp(a));
+        prop_assert_eq!(got, want.iter().map(|k| k.to_raw_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_min_matches_compare_u64(keys in prop::collection::vec(any::<u64>(), 1..64)) {
+        let plan = SearchPlan::new(KeyFormat::UNSIGNED64, Direction::Min);
+        let got = extreme_row(&plan, &keys, &full(keys.len()));
+        let want = extreme_row_by_compare(KeyFormat::UNSIGNED64, true, &keys, &full(keys.len()));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn plan_max_matches_compare_f64(vals in prop::collection::vec(any::<f64>(), 1..64)) {
+        let keys: Vec<u64> = vals.iter().map(|v| v.to_raw_bits()).collect();
+        let plan = SearchPlan::new(KeyFormat::FLOAT64, Direction::Max);
+        let got = extreme_row(&plan, &keys, &full(keys.len()));
+        let want = extreme_row_by_compare(KeyFormat::FLOAT64, false, &keys, &full(keys.len()));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn generalized_plan_equals_literal_algorithm1(
+        keys in prop::collection::vec(0u64..256, 1..64),
+    ) {
+        let lit = algorithm1_unsigned_min(&keys, 8, &full(keys.len()));
+        let plan = SearchPlan::new(KeyFormat::unsigned_fixed(8, 0), Direction::Min);
+        let gen = run_plan(&plan, &keys, &full(keys.len()));
+        prop_assert_eq!(lit, gen);
+    }
+
+    #[test]
+    fn survivors_are_exactly_the_ties(keys in prop::collection::vec(0u64..16, 1..48)) {
+        let plan = SearchPlan::new(KeyFormat::unsigned_fixed(4, 0), Direction::Min);
+        let set = run_plan(&plan, &keys, &full(keys.len()));
+        let min = *keys.iter().min().unwrap();
+        for (row, &key) in keys.iter().enumerate() {
+            prop_assert_eq!(set.get(row), key == min, "row {}", row);
+        }
+    }
+
+    #[test]
+    fn htree_reduce_is_priority_encoder(
+        hits in prop::collection::vec(prop::option::of(0u32..16), 1..32),
+    ) {
+        let mut tree = IndexTree::new(hits.len(), 16);
+        let got = tree.reduce(&hits);
+        let want = hits
+            .iter()
+            .enumerate()
+            .find_map(|(mat, h)| h.map(|row| mat as u64 * 16 + row as u64));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn htree_init_range_covers_exactly_the_range(
+        n_mats in 1usize..16,
+        spm in 1u64..32,
+        a in 0u64..400,
+        len in 1u64..120,
+    ) {
+        let cap = n_mats as u64 * spm;
+        let begin = a % cap;
+        let end = (begin + len).min(cap);
+        prop_assume!(begin < end);
+        let mut tree = IndexTree::new(n_mats, spm);
+        let ranges = tree.init_range(begin, end);
+        let mut covered: Vec<u64> = Vec::new();
+        for r in &ranges {
+            for local in r.start..r.end {
+                covered.push(r.mat as u64 * spm + local as u64);
+            }
+        }
+        covered.sort_unstable();
+        let want: Vec<u64> = (begin..end).collect();
+        prop_assert_eq!(covered, want);
+    }
+
+    #[test]
+    fn rank_k_via_repeated_extraction(
+        keys in prop::collection::vec(any::<u32>(), 1..32),
+        k in 0usize..32,
+    ) {
+        prop_assume!(k < keys.len());
+        let mut chip = Chip::new(ChipGeometry::small());
+        let raw: Vec<u64> = keys.iter().map(|v| v.to_raw_bits()).collect();
+        chip.store_keys(0, &raw, KeyFormat::UNSIGNED32).unwrap();
+        chip.init_range(0, keys.len() as u64, KeyFormat::UNSIGNED32).unwrap();
+        let mut hit = None;
+        for _ in 0..=k {
+            hit = chip.extract(Direction::Min).unwrap();
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(hit.unwrap().raw_bits, sorted[k] as u64);
+    }
+}

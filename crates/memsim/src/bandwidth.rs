@@ -1,0 +1,102 @@
+//! Sustained-bandwidth measurement (Fig. 1(c)).
+//!
+//! Fig. 1(c) plots the memory bandwidth a sort workload actually sustains
+//! as the core count varies: with few cores the demand side cannot cover
+//! the channels; with many cores the channels saturate. This module
+//! measures that curve by pushing a configurable mixed access stream
+//! through the trace-mode [`DramModel`] with a bounded number of
+//! outstanding requests per core (the ROB/MSHR limit).
+
+use crate::dram::{DramConfig, DramModel, LINE_BYTES};
+
+/// A synthetic demand stream: `cores` cores each issue line accesses with
+/// `gap_cycles` of compute between consecutive requests, over a working
+/// set streamed sequentially (per core, disjoint regions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemandStream {
+    /// Requesting cores.
+    pub cores: u32,
+    /// CPU cycles of compute between a core's consecutive requests.
+    pub gap_cycles: u64,
+    /// Line accesses issued per core.
+    pub lines_per_core: u64,
+}
+
+impl DemandStream {
+    /// Measures sustained bandwidth in bytes/cycle on `config`.
+    pub fn sustained_bytes_per_cycle(&self, config: DramConfig) -> f64 {
+        let mut model = DramModel::new(config);
+        // Each core streams a disjoint 1 GiB-aligned region.
+        let mut next_issue: Vec<u64> = vec![0; self.cores as usize];
+        let mut next_line: Vec<u64> = (0..self.cores as u64).map(|c| c << 24).collect();
+        let mut remaining: Vec<u64> = vec![self.lines_per_core; self.cores as usize];
+        let mut outstanding = remaining.clone();
+        let _ = &mut outstanding;
+
+        // Issue round-robin in time order: pick the core with the earliest
+        // next_issue among those with work left.
+        loop {
+            let mut best: Option<usize> = None;
+            for core in 0..self.cores as usize {
+                if remaining[core] == 0 {
+                    continue;
+                }
+                match best {
+                    None => best = Some(core),
+                    Some(b) if next_issue[core] < next_issue[b] => best = Some(core),
+                    _ => {}
+                }
+            }
+            let Some(core) = best else { break };
+            let addr = next_line[core] * LINE_BYTES;
+            let done = model.access(addr, false, next_issue[core]);
+            next_line[core] += 1;
+            remaining[core] -= 1;
+            // The core waits for the data, computes, then issues again.
+            next_issue[core] = done + self.gap_cycles;
+        }
+        model.sustained_bytes_per_cycle()
+    }
+
+    /// Sustained bandwidth in MB/s at `clock_ghz`.
+    pub fn sustained_mbps(&self, config: DramConfig, clock_ghz: f64) -> f64 {
+        self.sustained_bytes_per_cycle(config) * clock_ghz * 1e9 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(cores: u32) -> DemandStream {
+        DemandStream {
+            cores,
+            gap_cycles: 200,
+            lines_per_core: 2_000,
+        }
+    }
+
+    #[test]
+    fn bandwidth_grows_with_cores_then_saturates() {
+        let cfg = DramConfig::ddr4_offchip();
+        let b1 = stream(1).sustained_bytes_per_cycle(cfg);
+        let b8 = stream(8).sustained_bytes_per_cycle(cfg);
+        let b64 = stream(64).sustained_bytes_per_cycle(cfg);
+        assert!(b8 > 2.0 * b1, "{b1} {b8}");
+        assert!(b64 <= cfg.peak_bytes_per_cycle() * 1.01);
+        assert!(b64 >= b8 * 0.9);
+    }
+
+    #[test]
+    fn hbm_sustains_more_than_ddr4_when_saturated() {
+        let off = stream(64).sustained_bytes_per_cycle(DramConfig::ddr4_offchip());
+        let hbm = stream(64).sustained_bytes_per_cycle(DramConfig::hbm_in_package());
+        assert!(hbm > off, "hbm {hbm} off {off}");
+    }
+
+    #[test]
+    fn mbps_units() {
+        let mbps = stream(4).sustained_mbps(DramConfig::ddr4_offchip(), 2.0);
+        assert!(mbps > 100.0, "{mbps}");
+    }
+}

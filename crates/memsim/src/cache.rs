@@ -1,0 +1,330 @@
+//! Trace-driven cache hierarchy (Table I).
+//!
+//! Table I: 32 KB direct-mapped L1I, 32 KB 4-way LRU L1D, 8 MB 16-way LRU
+//! shared L2, all with 64-byte blocks. This model is exact: it is used to
+//! measure below-cache traffic for the sort kernels at validation scale
+//! and to cross-check the analytic traffic formulas in `rime-kernels`
+//! (Fig. 1's "memory accesses served by a memory system below the on-die
+//! cache").
+//!
+//! Coherence is not modelled beyond a shared L2 — the evaluated kernels
+//! partition their data between threads, so MESI traffic is negligible
+//! compared to capacity misses.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub ways: u32,
+    /// Block (line) size in bytes.
+    pub block_bytes: u32,
+    /// Hit latency in CPU cycles.
+    pub hit_cycles: u32,
+    /// Miss (lookup) latency in CPU cycles.
+    pub miss_cycles: u32,
+}
+
+impl CacheConfig {
+    /// Table I L1 instruction cache: 32 KB direct-mapped, 64 B blocks, 2/2.
+    pub fn l1i_table1() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 1,
+            block_bytes: 64,
+            hit_cycles: 2,
+            miss_cycles: 2,
+        }
+    }
+
+    /// Table I L1 data cache: 32 KB 4-way LRU, 64 B blocks, 2/2.
+    pub fn l1d_table1() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            block_bytes: 64,
+            hit_cycles: 2,
+            miss_cycles: 2,
+        }
+    }
+
+    /// Table I shared L2: 8 MB 16-way LRU, 64 B blocks, 15/12.
+    pub fn l2_table1() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 8 * 1024 * 1024,
+            ways: 16,
+            block_bytes: 64,
+            hit_cycles: 15,
+            miss_cycles: 12,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.block_bytes as u64)
+    }
+}
+
+/// One set-associative, write-allocate, write-back cache with LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: tags ordered most- to least-recently used.
+    sets: Vec<Vec<(u64, bool)>>, // (tag, dirty)
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        Cache {
+            config,
+            sets: vec![Vec::new(); config.sets() as usize],
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions so far (each becomes a memory write).
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Accesses byte address `addr`; returns `true` on hit. On a miss the
+    /// line is allocated, possibly evicting (and counting a writeback for)
+    /// a dirty victim.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.access_with_victim(addr, write).0
+    }
+
+    /// Like [`Cache::access`], additionally returning the byte address of
+    /// the dirty victim line evicted by a miss, when one exists — the
+    /// hierarchy propagates it to the next level as a write.
+    pub fn access_with_victim(&mut self, addr: u64, write: bool) -> (bool, Option<u64>) {
+        let sets = self.config.sets();
+        let block_bytes = self.config.block_bytes as u64;
+        let block = addr / block_bytes;
+        let set_idx = (block % sets) as usize;
+        let tag = block / sets;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, dirty) = set.remove(pos);
+            set.insert(0, (t, dirty || write));
+            self.hits += 1;
+            return (true, None);
+        }
+        self.misses += 1;
+        let mut victim = None;
+        if set.len() == self.config.ways as usize {
+            let (vtag, dirty) = set.pop().expect("full set has a victim");
+            if dirty {
+                self.writebacks += 1;
+                victim = Some((vtag * sets + set_idx as u64) * block_bytes);
+            }
+        }
+        set.insert(0, (tag, write));
+        (false, victim)
+    }
+
+    /// Empties the cache and resets statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+/// Per-core L1D caches in front of a shared L2: the data-side hierarchy
+/// that filters kernel traffic before the memory system.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1d: Vec<Cache>,
+    l2: Cache,
+    /// Lines requested from memory (L2 misses).
+    pub mem_reads: u64,
+    /// Lines written back to memory (L2 dirty evictions, tracked live).
+    pub mem_writes: u64,
+}
+
+impl Hierarchy {
+    /// Builds the Table I hierarchy for `cores` cores.
+    pub fn new(cores: u32, l1d: CacheConfig, l2: CacheConfig) -> Hierarchy {
+        Hierarchy {
+            l1d: (0..cores).map(|_| Cache::new(l1d)).collect(),
+            l2: Cache::new(l2),
+            mem_reads: 0,
+            mem_writes: 0,
+        }
+    }
+
+    /// Number of cores (L1D instances).
+    pub fn cores(&self) -> u32 {
+        self.l1d.len() as u32
+    }
+
+    /// Core `core` accesses byte address `addr`. Returns the access
+    /// latency in CPU cycles (L1 hit, L2 hit, or memory-bound miss with
+    /// the lookup costs accumulated). Dirty victims propagate: L1 → L2 as
+    /// a write, L2 → memory as a memory write.
+    pub fn access(&mut self, core: u32, addr: u64, write: bool) -> u32 {
+        let l1 = &mut self.l1d[core as usize];
+        let l1_cfg = *l1.config();
+        let (l1_hit, l1_victim) = l1.access_with_victim(addr, write);
+        if let Some(victim) = l1_victim {
+            let (_, l2_victim) = self.l2.access_with_victim(victim, true);
+            if l2_victim.is_some() {
+                self.mem_writes += 1;
+            }
+        }
+        if l1_hit {
+            return l1_cfg.hit_cycles;
+        }
+        let l2_cfg = *self.l2.config();
+        let (l2_hit, l2_victim) = self.l2.access_with_victim(addr, write);
+        if l2_victim.is_some() {
+            self.mem_writes += 1;
+        }
+        if l2_hit {
+            return l1_cfg.miss_cycles + l2_cfg.hit_cycles;
+        }
+        self.mem_reads += 1;
+        l1_cfg.miss_cycles + l2_cfg.miss_cycles
+    }
+
+    /// Total below-cache line accesses so far (reads + writebacks) — the
+    /// quantity plotted in Fig. 1(a,b).
+    pub fn mem_accesses(&self) -> u64 {
+        self.mem_reads + self.mem_writes
+    }
+
+    /// Resets all levels and statistics.
+    pub fn reset(&mut self) {
+        for c in &mut self.l1d {
+            c.reset();
+        }
+        self.l2.reset();
+        self.mem_reads = 0;
+        self.mem_writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: u32) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 4 * 64 * ways as u64, // 4 sets
+            ways,
+            block_bytes: 64,
+            hit_cycles: 2,
+            miss_cycles: 2,
+        })
+    }
+
+    #[test]
+    fn table1_geometries() {
+        assert_eq!(CacheConfig::l1i_table1().sets(), 512);
+        assert_eq!(CacheConfig::l1d_table1().sets(), 128);
+        assert_eq!(CacheConfig::l2_table1().sets(), 8192);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small_cache(2);
+        assert!(!c.access(0, false));
+        assert!(c.access(0, false));
+        assert!(c.access(63, false), "same 64B block");
+        assert!(!c.access(64, false), "next block misses");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache(2);
+        // Two blocks mapping to the same set (set stride = 4 blocks).
+        c.access(0, false); // A
+        c.access(4 * 64, false); // B (same set 0)
+        c.access(0, false); // touch A → B is LRU
+        c.access(8 * 64, false); // C evicts B
+        assert!(c.access(0, false), "A still resident");
+        assert!(!c.access(4 * 64, false), "B was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small_cache(1); // direct mapped, 4 sets
+        c.access(0, true); // dirty A in set 0
+        c.access(4 * 64, false); // evicts dirty A
+        assert_eq!(c.writebacks(), 1);
+        c.access(8 * 64, false); // evicts clean block
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = small_cache(1);
+        c.access(0, false);
+        c.access(4 * 64, false);
+        assert!(!c.access(0, false), "conflict evicted block 0");
+    }
+
+    #[test]
+    fn hierarchy_filters_to_memory() {
+        let mut h = Hierarchy::new(2, CacheConfig::l1d_table1(), CacheConfig::l2_table1());
+        // A streaming scan touches each line once → every line reaches memory.
+        for line in 0..1000u64 {
+            h.access(0, line * 64, false);
+        }
+        assert_eq!(h.mem_reads, 1000);
+        // Re-scan: the L2 holds them all now.
+        for line in 0..1000u64 {
+            h.access(1, line * 64, false);
+        }
+        assert_eq!(h.mem_reads, 1000, "second scan served by shared L2");
+        assert_eq!(h.cores(), 2);
+    }
+
+    #[test]
+    fn hierarchy_latencies_ordered() {
+        let mut h = Hierarchy::new(1, CacheConfig::l1d_table1(), CacheConfig::l2_table1());
+        let miss = h.access(0, 0, false);
+        let hit = h.access(0, 0, false);
+        assert!(miss > hit);
+        assert_eq!(hit, 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = Hierarchy::new(1, CacheConfig::l1d_table1(), CacheConfig::l2_table1());
+        h.access(0, 0, true);
+        h.reset();
+        assert_eq!(h.mem_reads, 0);
+        assert_eq!(h.mem_accesses(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Table I system configurations.
+//!
+//! The evaluated systems share the processor and cache hierarchy and
+//! differ only in the memory below the shared L2: off-chip DDR4,
+//! in-package HBM, the ideal unlimited-bandwidth memory used in §II-C's
+//! characterization, or a RIME DIMM (modelled in `rime-core`).
+
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+
+/// Core clock in GHz (Table I: 2 GHz). All DRAM timings are expressed in
+/// CPU cycles at this clock, as the paper does.
+pub const CPU_GHZ: f64 = 2.0;
+
+/// Processor parameters (Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Number of cores (Table I: up to 64).
+    pub cores: u32,
+    /// Issue width (Table I: 4).
+    pub issue_width: u32,
+    /// Reorder-buffer entries (Table I: 256).
+    pub rob_entries: u32,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+}
+
+impl CoreConfig {
+    /// The Table I processor with `cores` cores enabled.
+    pub fn table1(cores: u32) -> CoreConfig {
+        CoreConfig {
+            cores,
+            issue_width: 4,
+            rob_entries: 256,
+            clock_ghz: CPU_GHZ,
+        }
+    }
+}
+
+/// Which memory sits below the shared L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemorySystem {
+    /// Ideal memory with unlimited bandwidth (latency only).
+    Unlimited,
+    /// Off-chip DDR4 DIMMs (Table I "Main Memory").
+    OffChip,
+    /// In-package high-bandwidth memory (Table I "HBM").
+    InPackage,
+}
+
+impl MemorySystem {
+    /// Short label used in figure output (matching the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemorySystem::Unlimited => "Unlimited",
+            MemorySystem::OffChip => "Off-Chip (DDR4)",
+            MemorySystem::InPackage => "In-Package (HBM)",
+        }
+    }
+
+    /// The DRAM timing configuration, if the memory is a real DRAM.
+    pub fn dram_config(&self) -> Option<DramConfig> {
+        match self {
+            MemorySystem::Unlimited => None,
+            MemorySystem::OffChip => Some(DramConfig::ddr4_offchip()),
+            MemorySystem::InPackage => Some(DramConfig::hbm_in_package()),
+        }
+    }
+}
+
+/// A complete baseline system: cores + caches + memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Processor configuration.
+    pub core: CoreConfig,
+    /// Private L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared L2.
+    pub l2: CacheConfig,
+    /// Memory below the L2.
+    pub memory: MemorySystem,
+}
+
+impl SystemConfig {
+    fn table1(cores: u32, memory: MemorySystem) -> SystemConfig {
+        SystemConfig {
+            core: CoreConfig::table1(cores),
+            l1i: CacheConfig::l1i_table1(),
+            l1d: CacheConfig::l1d_table1(),
+            l2: CacheConfig::l2_table1(),
+            memory,
+        }
+    }
+
+    /// Table I system with the off-chip DDR4 memory.
+    pub fn off_chip(cores: u32) -> SystemConfig {
+        SystemConfig::table1(cores, MemorySystem::OffChip)
+    }
+
+    /// Table I system with the in-package HBM.
+    pub fn in_package(cores: u32) -> SystemConfig {
+        SystemConfig::table1(cores, MemorySystem::InPackage)
+    }
+
+    /// Table I system with an ideal unlimited-bandwidth memory.
+    pub fn unlimited(cores: u32) -> SystemConfig {
+        SystemConfig::table1(cores, MemorySystem::Unlimited)
+    }
+
+    /// Usable capacity of the last-level cache in 8-byte keys — the
+    /// working-set threshold below which sorting stops generating
+    /// main-memory traffic (§III-B footnote 2).
+    pub fn l2_capacity_keys(&self) -> u64 {
+        self.l2.size_bytes / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core() {
+        let c = CoreConfig::table1(64);
+        assert_eq!(c.cores, 64);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 256);
+        assert_eq!(c.clock_ghz, 2.0);
+    }
+
+    #[test]
+    fn memory_labels_match_paper_legends() {
+        assert_eq!(MemorySystem::OffChip.label(), "Off-Chip (DDR4)");
+        assert_eq!(MemorySystem::InPackage.label(), "In-Package (HBM)");
+        assert_eq!(MemorySystem::Unlimited.label(), "Unlimited");
+    }
+
+    #[test]
+    fn dram_configs_exist_for_real_memories() {
+        assert!(MemorySystem::OffChip.dram_config().is_some());
+        assert!(MemorySystem::InPackage.dram_config().is_some());
+        assert!(MemorySystem::Unlimited.dram_config().is_none());
+    }
+
+    #[test]
+    fn l2_keys_threshold() {
+        let sys = SystemConfig::off_chip(16);
+        assert_eq!(sys.l2_capacity_keys(), 8 * 1024 * 1024 / 8);
+    }
+}

@@ -1,0 +1,107 @@
+//! Measured multicore cache contention — the mechanism behind Fig. 1(b).
+//!
+//! Fig. 1(b) shows below-cache accesses *growing with core count* at a
+//! fixed 65M-key working set: more cores mean more concurrent streams
+//! competing for the shared L2, so data that one core could keep resident
+//! gets evicted by its neighbors. This module measures that effect
+//! exactly, by interleaving per-core scan streams through the trace-driven
+//! [`Hierarchy`]: each core repeatedly scans its own partition, accesses
+//! interleaved round-robin as a multicore execution would issue them.
+//!
+//! The analytic counterpart is the `STREAM_PRESSURE / cores` term in
+//! `rime-kernels::model`; the test here pins the mechanism to a
+//! measurement.
+
+use crate::cache::{CacheConfig, Hierarchy};
+
+/// Result of one contention measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionResult {
+    /// Cores (streams) interleaved.
+    pub cores: u32,
+    /// Below-cache line accesses observed.
+    pub mem_accesses: u64,
+    /// Total element accesses issued.
+    pub issued: u64,
+}
+
+/// Interleaves `cores` per-core scan streams over private `keys_per_core`
+/// partitions for `passes` passes and reports the below-cache traffic.
+///
+/// Pass 0 is compulsory (cold) traffic; later passes measure what the
+/// cache hierarchy *retains* under contention.
+pub fn interleaved_scan(cores: u32, keys_per_core: u64, passes: u32) -> ContentionResult {
+    let cores = cores.max(1);
+    let mut hierarchy = Hierarchy::new(cores, CacheConfig::l1d_table1(), CacheConfig::l2_table1());
+    // Partition bases are far apart so partitions never alias.
+    let base = |core: u32| core as u64 * (keys_per_core * 8).next_multiple_of(1 << 24);
+    let mut issued = 0u64;
+    for _pass in 0..passes {
+        for idx in 0..keys_per_core {
+            for core in 0..cores {
+                hierarchy.access(core, base(core) + idx * 8, false);
+                issued += 1;
+            }
+        }
+    }
+    ContentionResult {
+        cores,
+        mem_accesses: hierarchy.mem_accesses(),
+        issued,
+    }
+}
+
+/// Below-cache accesses *per issued access* — the miss ratio a sort pass
+/// sees at this core count.
+pub fn miss_ratio(result: &ContentionResult) -> f64 {
+    if result.issued == 0 {
+        0.0
+    } else {
+        result.mem_accesses as f64 / result.issued as f64
+    }
+}
+
+/// Steady-state miss ratio: traffic of passes 2..=`passes` only, with the
+/// compulsory (cold) pass subtracted out.
+pub fn steady_state_miss_ratio(cores: u32, keys_per_core: u64, passes: u32) -> f64 {
+    assert!(passes >= 2, "need at least one steady-state pass");
+    let warm = interleaved_scan(cores, keys_per_core, 1);
+    let full = interleaved_scan(cores, keys_per_core, passes);
+    (full.mem_accesses - warm.mem_accesses) as f64 / (full.issued - warm.issued) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One core whose partition fits the L2 keeps it resident; eight
+    /// cores with the same per-core partition thrash it — Fig. 1(b)'s
+    /// growth, measured.
+    #[test]
+    fn contention_grows_traffic_with_cores() {
+        // 128 Ki keys = 1 MiB per core; 8 MiB shared L2.
+        let keys = 192 * 1024; // 1.5 MiB per core
+        let r1 = steady_state_miss_ratio(1, keys, 3);
+        let r8 = steady_state_miss_ratio(8, keys, 3);
+        assert!(r1 < 0.01, "single core re-scans from cache: {r1}");
+        assert!(r8 > 10.0 * r1.max(1e-4), "eight cores thrash: {r8} vs {r1}");
+    }
+
+    #[test]
+    fn first_pass_is_compulsory_for_everyone() {
+        let keys = 64 * 1024u64;
+        let res = interleaved_scan(4, keys, 1);
+        // Every line touched once: 8 B keys → 1 line per 8 keys per core.
+        let lines = 4 * keys / 8;
+        assert!(res.mem_accesses >= lines, "{} vs {lines}", res.mem_accesses);
+        assert!(res.mem_accesses < lines + lines / 4);
+        assert_eq!(res.issued, 4 * keys);
+    }
+
+    #[test]
+    fn tiny_partitions_never_miss_after_warmup() {
+        let res = interleaved_scan(4, 512, 4);
+        // 4 × 4 KiB fits everywhere: only compulsory misses.
+        assert_eq!(res.mem_accesses, 4 * 512 / 8);
+    }
+}

@@ -1,0 +1,536 @@
+//! DRAM bank/channel timing model (Table I).
+//!
+//! Two configurations are modelled, both DDR4-protocol memories per the
+//! paper's §V/§VI-A setup: the off-chip main memory (8 Gb DDR4-1600 chips,
+//! burst length `tBL = 10` CPU cycles) and the in-package HBM-class memory
+//! (DDR4-2000-rate, `tBL = 4`). All timing parameters are expressed in CPU
+//! cycles at 2 GHz, exactly as Table I lists them.
+//!
+//! The model is cycle-approximate: per access it resolves channel bus
+//! occupancy (`tBL`), per-bank row-buffer state (hit → `tCAS`; miss →
+//! `tRP + tRCD + tCAS` with the `tRC` activate window), and same-bank
+//! column spacing (`tCCD`). It supports two modes:
+//!
+//! * **trace mode** — [`DramModel::access`] serves one line access at a
+//!   time and advances bank/bus state, for exact small-scale runs;
+//! * **analytic mode** — [`DramConfig::streaming_cycles`] /
+//!   [`DramConfig::dependent_cycles`] summarize a phase's traffic, for
+//!   full-scale figure sweeps. Tests check the two agree on streams.
+
+/// Timing and geometry of one DRAM memory system (Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Independent channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks: u32,
+    /// Row-buffer size in bytes.
+    pub row_buffer_bytes: u32,
+    /// Activate-to-read delay (CPU cycles).
+    pub t_rcd: u32,
+    /// Column access latency (CPU cycles).
+    pub t_cas: u32,
+    /// Column-to-column delay, same bank (CPU cycles).
+    pub t_ccd: u32,
+    /// Write-to-read turnaround (CPU cycles).
+    pub t_wtr: u32,
+    /// Write recovery (CPU cycles).
+    pub t_wr: u32,
+    /// Read-to-precharge (CPU cycles).
+    pub t_rtp: u32,
+    /// Burst length on the data bus (CPU cycles per 64 B line).
+    pub t_bl: u32,
+    /// Write command-to-data delay (CPU cycles).
+    pub t_cwd: u32,
+    /// Precharge latency (CPU cycles).
+    pub t_rp: u32,
+    /// Activate-to-activate, different banks (CPU cycles).
+    pub t_rrd: u32,
+    /// Row-active minimum (CPU cycles).
+    pub t_ras: u32,
+    /// Row cycle: activate-to-activate, same bank (CPU cycles).
+    pub t_rc: u32,
+    /// Four-activate window (CPU cycles).
+    pub t_faw: u32,
+    /// Effective system-level memory-level parallelism: how many
+    /// below-cache accesses the memory system overlaps in steady state.
+    /// The paper's baselines sustain only hundreds of MB/s at 65M keys
+    /// (Fig. 1(c)), i.e. accesses are close to latency-serialized; the
+    /// in-package memory's extra ranks/vaults buy it more overlap.
+    pub system_mlp: f64,
+    /// Multiplier on unloaded latency capturing queueing/arbitration
+    /// under load.
+    pub queue_factor: f64,
+    /// Average refresh interval per rank (CPU cycles; 7.8 µs at 2 GHz).
+    pub t_refi: u32,
+    /// Refresh cycle time — the rank is unavailable this long (CPU
+    /// cycles; ~350 ns at 2 GHz for 8 Gb devices).
+    pub t_rfc: u32,
+}
+
+/// Cache-line (and DRAM burst) size in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+impl DramConfig {
+    /// Table I off-chip main memory: 8 KB row buffer, 8 Gb DDR4-1600
+    /// chips, channels/ranks/banks 4/2/8, `tBL = 10`.
+    pub fn ddr4_offchip() -> DramConfig {
+        DramConfig {
+            name: "Off-Chip (DDR4)",
+            channels: 4,
+            ranks: 2,
+            banks: 8,
+            row_buffer_bytes: 8 * 1024,
+            t_rcd: 44,
+            t_cas: 44,
+            t_ccd: 16,
+            t_wtr: 31,
+            t_wr: 4,
+            t_rtp: 46,
+            t_bl: 10,
+            t_cwd: 61,
+            t_rp: 44,
+            t_rrd: 16,
+            t_ras: 112,
+            t_rc: 271,
+            t_faw: 181,
+            system_mlp: 1.0,
+            queue_factor: 2.0,
+            t_refi: 15_600,
+            t_rfc: 700,
+        }
+    }
+
+    /// Table I in-package memory: 2 KB row buffer, DDR4-2000 rate,
+    /// channels/ranks/banks 4/8/8, `tBL = 4`.
+    pub fn hbm_in_package() -> DramConfig {
+        DramConfig {
+            name: "In-Package (HBM)",
+            channels: 4,
+            ranks: 8,
+            banks: 8,
+            row_buffer_bytes: 2 * 1024,
+            t_rcd: 44,
+            t_cas: 44,
+            t_ccd: 16,
+            t_wtr: 31,
+            t_wr: 4,
+            t_rtp: 46,
+            t_bl: 4,
+            t_cwd: 61,
+            t_rp: 44,
+            t_rrd: 16,
+            t_ras: 112,
+            t_rc: 271,
+            t_faw: 181,
+            system_mlp: 2.6,
+            queue_factor: 1.55,
+            t_refi: 15_600,
+            t_rfc: 520,
+        }
+    }
+
+    /// Total banks across the memory.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks * self.banks
+    }
+
+    /// Lines per row buffer.
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_buffer_bytes as u64 / LINE_BYTES
+    }
+
+    /// Idle (unloaded) row-miss access latency in CPU cycles.
+    pub fn miss_latency_cycles(&self) -> u64 {
+        (self.t_rp + self.t_rcd + self.t_cas + self.t_bl) as u64
+    }
+
+    /// Idle row-hit access latency in CPU cycles.
+    pub fn hit_latency_cycles(&self) -> u64 {
+        (self.t_cas + self.t_bl) as u64
+    }
+
+    /// Peak data bandwidth in bytes per CPU cycle (all channels busy).
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.channels as f64 * LINE_BYTES as f64 / self.t_bl as f64
+    }
+
+    /// Peak bandwidth in GB/s at `clock_ghz`.
+    pub fn peak_bandwidth_gbps(&self, clock_ghz: f64) -> f64 {
+        self.peak_bytes_per_cycle() * clock_ghz
+    }
+
+    /// Analytic service time (CPU cycles) for a *streaming* phase of
+    /// `lines` line accesses with row-hit fraction `row_hit`.
+    ///
+    /// The phase is limited by whichever resource saturates first:
+    /// channel data buses (`tBL` per line) or bank row cycles (`tRC` per
+    /// miss, spread over all banks).
+    pub fn streaming_cycles(&self, lines: u64, row_hit: f64) -> f64 {
+        let row_hit = row_hit.clamp(0.0, 1.0);
+        let bus = lines as f64 * self.t_bl as f64 / self.channels as f64;
+        let misses = lines as f64 * (1.0 - row_hit);
+        let bank = misses * self.t_rc as f64 / self.total_banks() as f64;
+        bus.max(bank)
+    }
+
+    /// Analytic service time (CPU cycles) for a *dependent* phase:
+    /// `chains` independent serial chains (one per core) of `lines` total
+    /// accesses, each paying the full row-miss latency, floored by the
+    /// streaming bandwidth bound.
+    pub fn dependent_cycles(&self, lines: u64, chains: u32, row_hit: f64) -> f64 {
+        let lat = row_hit * self.hit_latency_cycles() as f64
+            + (1.0 - row_hit) * self.miss_latency_cycles() as f64;
+        let serial = lines as f64 * lat / chains.max(1) as f64;
+        serial.max(self.streaming_cycles(lines, row_hit))
+    }
+
+    /// Expected row-hit fraction for a sequential stream: every
+    /// `lines_per_row`-th access opens a new row.
+    pub fn sequential_row_hit(&self) -> f64 {
+        1.0 - 1.0 / self.lines_per_row() as f64
+    }
+
+    /// Loaded per-access latency (CPU cycles) for a given row-hit mix:
+    /// the unloaded hit/miss latency scaled by the queueing factor.
+    pub fn loaded_latency_cycles(&self, row_hit: f64) -> f64 {
+        let row_hit = row_hit.clamp(0.0, 1.0);
+        let raw = row_hit * self.hit_latency_cycles() as f64
+            + (1.0 - row_hit) * self.miss_latency_cycles() as f64;
+        raw * self.queue_factor
+    }
+
+    /// Demand-bound service time (CPU cycles) for `lines` below-cache
+    /// accesses of a *streaming* phase: latency-serialized up to the
+    /// system MLP, floored by the bus/bank bound of
+    /// [`DramConfig::streaming_cycles`].
+    pub fn demand_streaming_cycles(&self, lines: u64, row_hit: f64) -> f64 {
+        let serialized = lines as f64 * self.loaded_latency_cycles(row_hit) / self.system_mlp;
+        serialized.max(self.streaming_cycles(lines, row_hit))
+    }
+
+    /// Demand-bound service time (CPU cycles) for a *dependent* phase:
+    /// pointer-chasing chains overlap only across cores (capped), and see
+    /// mostly row misses; the in-package memory's extra MLP does not help
+    /// a chain (§VII-A: A*-Search gains just 1–1.1× on HBM).
+    pub fn demand_dependent_cycles(&self, lines: u64, cores: u32, row_hit: f64) -> f64 {
+        let overlap = (cores as f64).clamp(1.0, 4.0);
+        let serialized = lines as f64 * self.loaded_latency_cycles(row_hit) / overlap;
+        serialized.max(self.streaming_cycles(lines, row_hit))
+    }
+}
+
+/// Per-bank trace-mode state.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    /// Earliest cycle the next activate may issue (tRC window).
+    next_activate: u64,
+    /// Earliest cycle the next column command may issue (tCCD).
+    next_column: u64,
+}
+
+/// Trace-mode DRAM model: serves one line access at a time.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    config: DramConfig,
+    banks: Vec<BankState>,
+    bus_free: Vec<u64>,
+    /// Whether each channel's previous column command was a write (for
+    /// the tWTR write→read turnaround).
+    last_was_write: Vec<bool>,
+    /// Per-rank next scheduled refresh (cycle).
+    next_refresh: Vec<u64>,
+    /// Refreshes performed.
+    pub refreshes: u64,
+    /// Completed accesses.
+    pub accesses: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row activations (misses).
+    pub activations: u64,
+    /// Reads vs writes.
+    pub writes: u64,
+    /// Cycle at which the last access completed.
+    pub last_completion: u64,
+}
+
+impl DramModel {
+    /// Creates an idle memory.
+    pub fn new(config: DramConfig) -> DramModel {
+        DramModel {
+            banks: vec![BankState::default(); config.total_banks() as usize],
+            bus_free: vec![0; config.channels as usize],
+            last_was_write: vec![false; config.channels as usize],
+            next_refresh: vec![config.t_refi as u64; (config.channels * config.ranks) as usize],
+            refreshes: 0,
+            config,
+            accesses: 0,
+            row_hits: 0,
+            activations: 0,
+            writes: 0,
+            last_completion: 0,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Maps a byte address to (channel, global bank index, row).
+    ///
+    /// The standard fine-grained interleave (row:column:bank:channel):
+    /// consecutive lines rotate across channels, then across a channel's
+    /// banks, so streams spread over every bank while each bank's open row
+    /// still serves many accesses before a conflict.
+    pub fn map(&self, addr: u64) -> (u32, u32, u64) {
+        let block = addr / LINE_BYTES;
+        let channel = (block % self.config.channels as u64) as u32;
+        let x = block / self.config.channels as u64;
+        let banks_per_channel = (self.config.ranks * self.config.banks) as u64;
+        let bank_in_channel = (x % banks_per_channel) as u32;
+        let y = x / banks_per_channel;
+        let row = y / self.config.lines_per_row();
+        let bank = channel * banks_per_channel as u32 + bank_in_channel;
+        (channel, bank, row)
+    }
+
+    /// Serves a line access issued at `issue_cycle`; returns the
+    /// completion cycle. Accesses must be issued in non-decreasing
+    /// `issue_cycle` order (FR-FCFS arbitration is approximated FCFS).
+    pub fn access(&mut self, addr: u64, write: bool, issue_cycle: u64) -> u64 {
+        let (channel, bank_idx, row) = self.map(addr);
+        let cfg = self.config;
+
+        // Refresh: if this rank's refresh deadline has passed, it stalls
+        // the access for tRFC and closes the rank's rows.
+        let rank_idx = (bank_idx / cfg.banks) as usize;
+        let mut refresh_stall = 0u64;
+        while issue_cycle >= self.next_refresh[rank_idx] {
+            refresh_stall = self.next_refresh[rank_idx] + cfg.t_rfc as u64;
+            self.next_refresh[rank_idx] += cfg.t_refi as u64;
+            self.refreshes += 1;
+            let rank_base = rank_idx as u32 * cfg.banks;
+            for b in rank_base..rank_base + cfg.banks {
+                self.banks[b as usize].open_row = None;
+            }
+        }
+
+        let bank = &mut self.banks[bank_idx as usize];
+        let bus = &mut self.bus_free[channel as usize];
+        let turnaround = &mut self.last_was_write[channel as usize];
+
+        let mut start = issue_cycle.max(bank.next_column).max(refresh_stall);
+        // Write→read turnaround: a read after a write waits tWTR on the
+        // channel (Table I tWTR).
+        if *turnaround && !write {
+            start = start.max(*bus + cfg.t_wtr as u64);
+        }
+        // Reads pay CAS; writes pay the command-to-data delay tCWD and
+        // the recovery tWR before the bank can precharge (folded into the
+        // column spacing below).
+        let column_latency = if write { cfg.t_cwd } else { cfg.t_cas } as u64;
+        let data_latency;
+        if bank.open_row == Some(row) {
+            self.row_hits += 1;
+            data_latency = column_latency;
+        } else {
+            // Precharge + activate respecting the tRC window.
+            start = start.max(bank.next_activate);
+            bank.next_activate = start + cfg.t_rc as u64;
+            bank.open_row = Some(row);
+            self.activations += 1;
+            data_latency = (cfg.t_rp + cfg.t_rcd) as u64 + column_latency;
+        }
+        // Column commands pipeline: the burst begins once the command
+        // latency elapses *and* the data bus frees up.
+        let data_start = (start + data_latency).max(*bus);
+        let completion = data_start + cfg.t_bl as u64;
+        *bus = completion;
+        let spacing = cfg.t_ccd as u64 + if write { cfg.t_wr as u64 } else { 0 };
+        bank.next_column = start + spacing;
+        *turnaround = write;
+
+        self.accesses += 1;
+        if write {
+            self.writes += 1;
+        }
+        self.last_completion = self.last_completion.max(completion);
+        completion
+    }
+
+    /// Sustained bandwidth of everything served so far, in bytes per
+    /// cycle (zero before any access completes).
+    pub fn sustained_bytes_per_cycle(&self) -> f64 {
+        if self.last_completion == 0 {
+            0.0
+        } else {
+            self.accesses as f64 * LINE_BYTES as f64 / self.last_completion as f64
+        }
+    }
+
+    /// Row-hit fraction of the trace so far.
+    pub fn row_hit_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        let off = DramConfig::ddr4_offchip();
+        assert_eq!(off.t_bl, 10);
+        assert_eq!(off.t_rc, 271);
+        assert_eq!(off.total_banks(), 64);
+        assert_eq!(off.lines_per_row(), 128);
+        let hbm = DramConfig::hbm_in_package();
+        assert_eq!(hbm.t_bl, 4);
+        assert_eq!(hbm.total_banks(), 256);
+        assert_eq!(hbm.lines_per_row(), 32);
+    }
+
+    #[test]
+    fn hbm_peaks_higher_than_offchip() {
+        let off = DramConfig::ddr4_offchip().peak_bandwidth_gbps(2.0);
+        let hbm = DramConfig::hbm_in_package().peak_bandwidth_gbps(2.0);
+        assert!(hbm / off > 2.0, "hbm {hbm} vs off {off}");
+    }
+
+    #[test]
+    fn sequential_stream_mostly_hits() {
+        let mut m = DramModel::new(DramConfig::ddr4_offchip());
+        for line in 0..10_000u64 {
+            m.access(line * 64, false, 0);
+        }
+        assert!(m.row_hit_fraction() > 0.9, "hit {}", m.row_hit_fraction());
+    }
+
+    #[test]
+    fn random_stream_mostly_misses() {
+        let mut m = DramModel::new(DramConfig::ddr4_offchip());
+        let mut addr = 12345u64;
+        for _ in 0..5_000 {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            m.access((addr % (1 << 34)) & !63, false, 0);
+        }
+        assert!(m.row_hit_fraction() < 0.3, "hit {}", m.row_hit_fraction());
+    }
+
+    #[test]
+    fn sustained_stream_bandwidth_near_peak() {
+        let cfg = DramConfig::ddr4_offchip();
+        let mut m = DramModel::new(cfg);
+        for line in 0..100_000u64 {
+            m.access(line * 64, false, 0);
+        }
+        let sustained = m.sustained_bytes_per_cycle();
+        let peak = cfg.peak_bytes_per_cycle();
+        assert!(sustained > 0.7 * peak, "sustained {sustained} peak {peak}");
+        assert!(sustained <= peak * 1.01);
+    }
+
+    #[test]
+    fn analytic_streaming_matches_trace() {
+        let cfg = DramConfig::ddr4_offchip();
+        let mut m = DramModel::new(cfg);
+        let lines = 50_000u64;
+        for line in 0..lines {
+            m.access(line * 64, false, 0);
+        }
+        let analytic = cfg.streaming_cycles(lines, m.row_hit_fraction());
+        let trace = m.last_completion as f64;
+        let ratio = trace / analytic;
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "trace {trace} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn dependent_slower_than_streaming() {
+        let cfg = DramConfig::ddr4_offchip();
+        let s = cfg.streaming_cycles(10_000, 0.9);
+        let d = cfg.dependent_cycles(10_000, 1, 0.9);
+        assert!(d > 5.0 * s, "dependent {d} streaming {s}");
+        // More cores shorten dependent phases until bandwidth-bound.
+        let d16 = cfg.dependent_cycles(10_000, 16, 0.9);
+        assert!(d16 < d);
+        assert!(d16 >= s);
+    }
+
+    #[test]
+    fn mapping_is_stable_and_in_range() {
+        let m = DramModel::new(DramConfig::hbm_in_package());
+        for addr in (0..1_000_000u64).step_by(4096) {
+            let (ch, bank, _row) = m.map(addr);
+            assert!(ch < 4);
+            assert!(bank < m.config().total_banks());
+            assert_eq!(m.map(addr), m.map(addr));
+        }
+    }
+
+    #[test]
+    fn row_miss_latency_exceeds_hit() {
+        let cfg = DramConfig::ddr4_offchip();
+        assert!(cfg.miss_latency_cycles() > cfg.hit_latency_cycles());
+        let mut m = DramModel::new(cfg);
+        let c1 = m.access(0, false, 0); // cold miss
+                                        // Same channel, same bank, same row: one stride of
+                                        // channels × banks-per-channel lines.
+        let same_row = (cfg.channels * cfg.ranks * cfg.banks) as u64 * 64;
+        let c2 = m.access(same_row, false, c1) - c1; // row hit
+        assert!(c1 > c2, "miss {c1} vs hit {c2}");
+    }
+
+    #[test]
+    fn write_read_turnaround_costs_twtr() {
+        let cfg = DramConfig::ddr4_offchip();
+        // Same-bank row hits: read-after-read vs read-after-write.
+        let stride = (cfg.channels * cfg.ranks * cfg.banks) as u64 * 64;
+        let mut m = DramModel::new(cfg);
+        let c0 = m.access(0, false, 0); // open the row
+        let rr = m.access(stride, false, c0) - c0;
+        let mut m = DramModel::new(cfg);
+        let c0 = m.access(0, true, 0); // write opens the row
+        let wr = m.access(stride, false, c0) - c0;
+        assert!(wr > rr, "read-after-write {wr} vs read-after-read {rr}");
+    }
+
+    #[test]
+    fn refresh_fires_and_closes_rows() {
+        let cfg = DramConfig::ddr4_offchip();
+        let mut m = DramModel::new(cfg);
+        // First access opens a row well before the first refresh.
+        m.access(0, false, 0);
+        assert_eq!(m.refreshes, 0);
+        // An access issued after tREFI triggers the rank's refresh and
+        // re-opens the row (a miss).
+        let hits_before = m.row_hits;
+        let same_row = (cfg.channels * cfg.ranks * cfg.banks) as u64 * 64;
+        m.access(same_row, false, cfg.t_refi as u64 + 1);
+        assert_eq!(m.refreshes, 1);
+        assert_eq!(m.row_hits, hits_before, "refresh closed the row");
+        assert_eq!(m.activations, 2);
+    }
+
+    #[test]
+    fn writes_counted() {
+        let mut m = DramModel::new(DramConfig::ddr4_offchip());
+        m.access(0, true, 0);
+        m.access(64, false, 0);
+        assert_eq!(m.writes, 1);
+        assert_eq!(m.accesses, 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # rime-memsim
+//!
+//! Cycle-approximate models of the baseline memory systems RIME is
+//! evaluated against (§VI-A, Table I): an off-chip DDR4 main memory, an
+//! in-package HBM, an ideal unlimited-bandwidth memory, and the multicore
+//! cache hierarchy that filters traffic before it reaches them.
+//!
+//! The paper drives these with a QEMU/ESESC cycle-accurate out-of-order
+//! simulator; we substitute a two-layer methodology (see `DESIGN.md` §3):
+//!
+//! * [`cache`] is an exact, trace-driven set-associative cache model used
+//!   to *measure* below-cache traffic for a workload at validation scale.
+//! * [`dram`] is a bank/channel timing model that converts an access
+//!   stream — or a phase-level traffic summary ([`perf`]) — into cycles,
+//!   sustained bandwidth, and energy-relevant activity counts.
+//! * [`perf`] combines calibrated per-key compute costs with the memory
+//!   model: a workload is a sequence of [`perf::Phase`]s, each either
+//!   bandwidth-bound streaming or latency-bound dependent accesses,
+//!   executed on a configurable number of cores.
+//!
+//! # Example
+//!
+//! ```
+//! use rime_memsim::{DramConfig, MemorySystem, SystemConfig};
+//! use rime_memsim::perf::{Phase, Workload};
+//!
+//! // One streaming pass over 1M 8-byte keys, 20 CPU cycles per key.
+//! let phase = Phase::streaming("pass", 1_000_000, 20.0, 2 * 8_000_000);
+//! let workload = Workload::new(vec![phase]);
+//! let ddr4 = SystemConfig::off_chip(16);
+//! let hbm = SystemConfig::in_package(16);
+//! let t_ddr4 = workload.execute(&ddr4).total_seconds();
+//! let t_hbm = workload.execute(&hbm).total_seconds();
+//! assert!(t_hbm <= t_ddr4);
+//! assert!(matches!(ddr4.memory, MemorySystem::OffChip));
+//! let _ = DramConfig::ddr4_offchip();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod cache;
+pub mod config;
+pub mod contention;
+pub mod dram;
+pub mod perf;
+
+pub use cache::{Cache, CacheConfig, Hierarchy};
+pub use config::{CoreConfig, MemorySystem, SystemConfig, CPU_GHZ};
+pub use dram::{DramConfig, DramModel};

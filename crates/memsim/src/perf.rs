@@ -1,0 +1,351 @@
+//! Phase-level performance model.
+//!
+//! A workload is a sequence of [`Phase`]s. Each phase processes some
+//! number of keys with a calibrated CPU cost and generates some number of
+//! below-cache line accesses with a given row-buffer locality and access
+//! pattern. Executing a workload on a [`SystemConfig`] overlaps compute
+//! with memory (out-of-order cores with deep ROBs hide whichever is
+//! shorter) and charges the longer of the two — the standard roofline
+//! treatment, which is what makes sort throughput *bandwidth-limited*
+//! exactly as §II-C observes.
+//!
+//! The per-kernel phase decompositions (how many passes, how many lines
+//! per pass) live in `rime-kernels`; they are validated against the exact
+//! trace-driven [`crate::cache`] model in that crate's tests.
+
+use crate::config::{MemorySystem, SystemConfig};
+use crate::dram::LINE_BYTES;
+
+/// Memory access pattern of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Independent accesses that pipeline freely (bandwidth-bound).
+    Streaming,
+    /// Serially dependent accesses, one chain per core (latency-bound).
+    Dependent,
+}
+
+/// One phase of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Label for reports.
+    pub name: &'static str,
+    /// Work items processed (keys, edges, packets …).
+    pub keys: u64,
+    /// Calibrated CPU cycles per work item on one core.
+    pub cpu_cycles_per_key: f64,
+    /// Below-cache line accesses (64 B each), reads plus writebacks.
+    pub mem_lines: u64,
+    /// Row-buffer hit fraction of those accesses.
+    pub row_hit: f64,
+    /// Whether accesses pipeline or form dependent chains.
+    pub pattern: AccessPattern,
+    /// Whether the phase scales across cores.
+    pub parallel: bool,
+}
+
+impl Phase {
+    /// A parallel streaming phase touching `mem_bytes` below-cache bytes
+    /// with sequential locality.
+    pub fn streaming(
+        name: &'static str,
+        keys: u64,
+        cpu_cycles_per_key: f64,
+        mem_bytes: u64,
+    ) -> Phase {
+        Phase {
+            name,
+            keys,
+            cpu_cycles_per_key,
+            mem_lines: mem_bytes.div_ceil(LINE_BYTES),
+            row_hit: 0.35,
+            pattern: AccessPattern::Streaming,
+            parallel: true,
+        }
+    }
+
+    /// A parallel latency-bound phase of pointer-chasing accesses
+    /// (heap traversals, graph adjacency walks).
+    pub fn dependent(
+        name: &'static str,
+        keys: u64,
+        cpu_cycles_per_key: f64,
+        mem_bytes: u64,
+    ) -> Phase {
+        Phase {
+            name,
+            keys,
+            cpu_cycles_per_key,
+            mem_lines: mem_bytes.div_ceil(LINE_BYTES),
+            row_hit: 0.10,
+            pattern: AccessPattern::Dependent,
+            parallel: true,
+        }
+    }
+
+    /// Marks the phase as serial (single core).
+    pub fn serial(mut self) -> Phase {
+        self.parallel = false;
+        self
+    }
+
+    /// Overrides the row-hit fraction.
+    pub fn with_row_hit(mut self, row_hit: f64) -> Phase {
+        self.row_hit = row_hit.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Timing of one executed phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTime {
+    /// CPU-side cycles (after dividing across cores).
+    pub cpu_cycles: f64,
+    /// Memory-side cycles.
+    pub mem_cycles: f64,
+    /// Charged cycles: `max(cpu, mem)`.
+    pub cycles: f64,
+}
+
+/// A sequence of phases.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Creates a workload from its phases.
+    pub fn new(phases: Vec<Phase>) -> Workload {
+        Workload { phases }
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Appends a phase.
+    pub fn push(&mut self, phase: Phase) {
+        self.phases.push(phase);
+    }
+
+    /// Total below-cache traffic in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.mem_lines * LINE_BYTES).sum()
+    }
+
+    /// Total below-cache line accesses (Fig. 1's y-axis).
+    pub fn mem_lines(&self) -> u64 {
+        self.phases.iter().map(|p| p.mem_lines).sum()
+    }
+
+    /// Executes the workload on a system, producing per-phase timings.
+    pub fn execute(&self, system: &SystemConfig) -> Execution {
+        let cores = system.core.cores.max(1);
+        let dram = system.memory.dram_config();
+        let mut phases = Vec::with_capacity(self.phases.len());
+        let mut total = 0.0f64;
+        let mut cpu_busy = 0.0f64;
+        let mut mem_busy = 0.0f64;
+
+        for phase in &self.phases {
+            let eff_cores = if phase.parallel { cores } else { 1 };
+            let cpu_cycles = phase.keys as f64 * phase.cpu_cycles_per_key / eff_cores as f64;
+            let mem_cycles = match (&system.memory, dram) {
+                (MemorySystem::Unlimited, _) | (_, None) => 0.0,
+                (_, Some(cfg)) => match phase.pattern {
+                    AccessPattern::Streaming => {
+                        cfg.demand_streaming_cycles(phase.mem_lines, phase.row_hit)
+                    }
+                    AccessPattern::Dependent => {
+                        cfg.demand_dependent_cycles(phase.mem_lines, eff_cores, phase.row_hit)
+                    }
+                },
+            };
+            let cycles = cpu_cycles.max(mem_cycles);
+            total += cycles;
+            cpu_busy += cpu_cycles;
+            mem_busy += mem_cycles;
+            phases.push(PhaseTime {
+                cpu_cycles,
+                mem_cycles,
+                cycles,
+            });
+        }
+
+        Execution {
+            clock_ghz: system.core.clock_ghz,
+            total_cycles: total,
+            cpu_busy_cycles: cpu_busy,
+            mem_busy_cycles: mem_busy,
+            mem_bytes: self.mem_bytes(),
+            phases,
+        }
+    }
+}
+
+impl FromIterator<Phase> for Workload {
+    fn from_iter<I: IntoIterator<Item = Phase>>(iter: I) -> Workload {
+        Workload::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Phase> for Workload {
+    fn extend<I: IntoIterator<Item = Phase>>(&mut self, iter: I) {
+        self.phases.extend(iter);
+    }
+}
+
+/// The result of executing a [`Workload`] on a [`SystemConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    clock_ghz: f64,
+    /// Charged cycles across all phases.
+    pub total_cycles: f64,
+    /// CPU-side busy cycles (for energy accounting).
+    pub cpu_busy_cycles: f64,
+    /// Memory-side busy cycles (for energy accounting).
+    pub mem_busy_cycles: f64,
+    /// Below-cache traffic in bytes.
+    pub mem_bytes: u64,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseTime>,
+}
+
+impl Execution {
+    /// Wall-clock seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles / (self.clock_ghz * 1e9)
+    }
+
+    /// Throughput in million keys per second for `keys` processed items —
+    /// the unit of Figs. 2 and 15–18.
+    pub fn throughput_mkps(&self, keys: u64) -> f64 {
+        if self.total_cycles == 0.0 {
+            return f64::INFINITY;
+        }
+        keys as f64 / self.total_seconds() / 1e6
+    }
+
+    /// Sustained memory bandwidth over the run, in MB/s (Fig. 1(c)).
+    pub fn sustained_bandwidth_mbps(&self) -> f64 {
+        let secs = self.total_seconds();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.mem_bytes as f64 / secs / 1e6
+        }
+    }
+
+    /// Fraction of time the memory side was the bottleneck.
+    pub fn memory_bound_fraction(&self) -> f64 {
+        if self.total_cycles == 0.0 {
+            return 0.0;
+        }
+        let bound: f64 = self
+            .phases
+            .iter()
+            .filter(|p| p.mem_cycles > p.cpu_cycles)
+            .map(|p| p.cycles)
+            .sum();
+        bound / self.total_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn one_pass(n: u64) -> Workload {
+        Workload::new(vec![Phase::streaming("pass", n, 20.0, 2 * 8 * n)])
+    }
+
+    #[test]
+    fn unlimited_is_compute_bound() {
+        let w = one_pass(1_000_000);
+        let e = w.execute(&SystemConfig::unlimited(16));
+        assert_eq!(e.mem_busy_cycles, 0.0);
+        assert!(e.total_cycles > 0.0);
+        assert_eq!(e.memory_bound_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_ordering_unlimited_hbm_ddr4() {
+        let w = one_pass(64_000_000);
+        let unl = w.execute(&SystemConfig::unlimited(64)).total_seconds();
+        let hbm = w.execute(&SystemConfig::in_package(64)).total_seconds();
+        let off = w.execute(&SystemConfig::off_chip(64)).total_seconds();
+        assert!(unl <= hbm && hbm <= off, "{unl} {hbm} {off}");
+    }
+
+    #[test]
+    fn more_cores_help_compute_bound_phases() {
+        let w = Workload::new(vec![Phase::streaming("cpu-heavy", 10_000_000, 500.0, 8)]);
+        let one = w.execute(&SystemConfig::off_chip(1)).total_seconds();
+        let many = w.execute(&SystemConfig::off_chip(64)).total_seconds();
+        assert!(many < one / 10.0);
+    }
+
+    #[test]
+    fn cores_do_not_help_bandwidth_bound_phases() {
+        let n = 64_000_000u64;
+        let w = Workload::new(vec![Phase::streaming("stream", n, 2.0, 16 * n)]);
+        let few = w.execute(&SystemConfig::off_chip(16)).total_seconds();
+        let many = w.execute(&SystemConfig::off_chip(64)).total_seconds();
+        assert!(
+            (few - many).abs() / few < 0.01,
+            "bandwidth wall: {few} vs {many}"
+        );
+    }
+
+    #[test]
+    fn serial_phase_ignores_cores() {
+        let w = Workload::new(vec![Phase::streaming("s", 1_000_000, 100.0, 8).serial()]);
+        let a = w.execute(&SystemConfig::unlimited(1)).total_seconds();
+        let b = w.execute(&SystemConfig::unlimited(64)).total_seconds();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn throughput_and_bandwidth_reported() {
+        let n = 1_000_000u64;
+        let e = one_pass(n).execute(&SystemConfig::off_chip(16));
+        assert!(e.throughput_mkps(n) > 0.0);
+        assert!(e.sustained_bandwidth_mbps() > 0.0);
+        assert_eq!(e.mem_bytes, 16 * n);
+    }
+
+    #[test]
+    fn dependent_pattern_hurts_on_one_core() {
+        let n = 1_000_000u64;
+        let s = Workload::new(vec![Phase::streaming("s", n, 2.0, 8 * n)])
+            .execute(&SystemConfig::off_chip(1));
+        let d = Workload::new(vec![Phase::dependent("d", n, 2.0, 8 * n)])
+            .execute(&SystemConfig::off_chip(1));
+        assert!(d.total_cycles > s.total_cycles);
+    }
+
+    #[test]
+    fn hbm_helps_streaming_more_than_dependent() {
+        // §VII-A: A*-Search (dependent) gains only 1–1.1× on HBM while
+        // streaming kernels gain 2× or more.
+        let n = 8_000_000u64;
+        let stream = Workload::new(vec![Phase::streaming("s", n, 2.0, 16 * n)]);
+        let dep = Workload::new(vec![Phase::dependent("d", n, 2.0, 16 * n)]);
+        let s_gain = stream.execute(&SystemConfig::off_chip(16)).total_cycles
+            / stream.execute(&SystemConfig::in_package(16)).total_cycles;
+        let d_gain = dep.execute(&SystemConfig::off_chip(16)).total_cycles
+            / dep.execute(&SystemConfig::in_package(16)).total_cycles;
+        assert!(s_gain > 2.0, "streaming HBM gain {s_gain}");
+        assert!(d_gain < 1.5, "dependent HBM gain {d_gain}");
+        assert!(s_gain > d_gain);
+    }
+
+    #[test]
+    fn workload_collects_from_iterator() {
+        let w: Workload = (0..3).map(|_| Phase::streaming("p", 10, 1.0, 64)).collect();
+        assert_eq!(w.phases().len(), 3);
+        assert_eq!(w.mem_lines(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Weighted-graph generators for Kruskal, Prim, and Dijkstra (§VI-C).
+//!
+//! Graphs are connected by construction (a random spanning backbone plus
+//! uniform extra edges) with IEEE-754 `f32` weights, the format those
+//! workloads use in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    /// Endpoint.
+    pub u: u32,
+    /// Endpoint.
+    pub v: u32,
+    /// Positive weight.
+    pub w: f32,
+}
+
+/// An undirected weighted graph as an edge list plus adjacency index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// Edge list.
+    pub edges: Vec<WeightedEdge>,
+    adjacency: Vec<Vec<(u32, f32)>>,
+}
+
+impl Graph {
+    /// Generates a connected random graph of `vertices` vertices and
+    /// roughly `edges` edges (at least `vertices − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is zero.
+    pub fn random_connected(vertices: u32, edges: usize, seed: u64) -> Graph {
+        assert!(vertices > 0, "graph needs vertices");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut list = Vec::with_capacity(edges.max(vertices as usize - 1));
+        // Spanning backbone: connect each vertex i>0 to a random earlier one.
+        for v in 1..vertices {
+            let u = rng.gen_range(0..v);
+            list.push(WeightedEdge {
+                u,
+                v,
+                w: rng.gen_range(0.001f32..1000.0),
+            });
+        }
+        while list.len() < edges {
+            let u = rng.gen_range(0..vertices);
+            let v = rng.gen_range(0..vertices);
+            if u != v {
+                list.push(WeightedEdge {
+                    u,
+                    v,
+                    w: rng.gen_range(0.001f32..1000.0),
+                });
+            }
+        }
+        let mut adjacency = vec![Vec::new(); vertices as usize];
+        for e in &list {
+            adjacency[e.u as usize].push((e.v, e.w));
+            adjacency[e.v as usize].push((e.u, e.w));
+        }
+        Graph {
+            vertices,
+            edges: list,
+            adjacency,
+        }
+    }
+
+    /// Builds a graph from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is zero or an edge endpoint is out of range.
+    pub fn from_edges(vertices: u32, edges: Vec<WeightedEdge>) -> Graph {
+        assert!(vertices > 0, "graph needs vertices");
+        let mut adjacency = vec![Vec::new(); vertices as usize];
+        for e in &edges {
+            assert!(
+                e.u < vertices && e.v < vertices,
+                "edge endpoint out of range"
+            );
+            adjacency[e.u as usize].push((e.v, e.w));
+            adjacency[e.v as usize].push((e.u, e.w));
+        }
+        Graph {
+            vertices,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// Neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: u32) -> &[(u32, f32)] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_connected(g: &Graph) -> bool {
+        let mut seen = vec![false; g.vertices as usize];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(n, _) in g.neighbors(v) {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == g.vertices
+    }
+
+    #[test]
+    fn generated_graph_is_connected() {
+        let g = Graph::random_connected(500, 2_000, 11);
+        assert!(is_connected(&g));
+        assert_eq!(g.vertices, 500);
+        assert!(g.edge_count() >= 2_000);
+    }
+
+    #[test]
+    fn minimum_edges_for_connectivity() {
+        let g = Graph::random_connected(10, 0, 3);
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn weights_positive_and_finite() {
+        let g = Graph::random_connected(100, 500, 5);
+        assert!(g.edges.iter().all(|e| e.w > 0.0 && e.w.is_finite()));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = Graph::random_connected(50, 300, 6);
+        assert!(g.edges.iter().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Graph::random_connected(64, 256, 9);
+        let b = Graph::random_connected(64, 256, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,132 @@
+//! Obstacle grids for A*-Search (§VI-C): "a 2D binary matrix representing
+//! the obstacles with 0 and non-obstacles with 1".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2D grid where cells are either passable or obstacles. The source is
+/// the top-left corner and the destination the bottom-right; both are
+/// always passable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObstacleGrid {
+    width: u32,
+    height: u32,
+    passable: Vec<bool>,
+}
+
+impl ObstacleGrid {
+    /// Generates a `width × height` grid with an approximate obstacle
+    /// `density` (0.0–1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn random(width: u32, height: u32, density: f64, seed: u64) -> ObstacleGrid {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let density = density.clamp(0.0, 1.0);
+        let mut passable: Vec<bool> = (0..width as usize * height as usize)
+            .map(|_| rng.gen_bool(1.0 - density))
+            .collect();
+        let last = passable.len() - 1;
+        passable[0] = true;
+        passable[last] = true;
+        ObstacleGrid {
+            width,
+            height,
+            passable,
+        }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total cells.
+    pub fn cells(&self) -> usize {
+        self.passable.len()
+    }
+
+    /// Whether `(x, y)` is inside the grid and passable.
+    pub fn is_passable(&self, x: i64, y: i64) -> bool {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return false;
+        }
+        self.passable[y as usize * self.width as usize + x as usize]
+    }
+
+    /// The source cell (top-left).
+    pub fn source(&self) -> (u32, u32) {
+        (0, 0)
+    }
+
+    /// The destination cell (bottom-right).
+    pub fn destination(&self) -> (u32, u32) {
+        (self.width - 1, self.height - 1)
+    }
+
+    /// The 4-connected passable neighbors of `(x, y)`.
+    pub fn neighbors(&self, x: u32, y: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(4);
+        for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+            let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+            if self.is_passable(nx, ny) {
+                out.push((nx as u32, ny as u32));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_always_passable() {
+        let g = ObstacleGrid::random(10, 10, 0.9, 1);
+        assert!(g.is_passable(0, 0));
+        assert!(g.is_passable(9, 9));
+        assert_eq!(g.source(), (0, 0));
+        assert_eq!(g.destination(), (9, 9));
+    }
+
+    #[test]
+    fn density_respected_roughly() {
+        let g = ObstacleGrid::random(100, 100, 0.3, 2);
+        let blocked = (0..100i64)
+            .flat_map(|y| (0..100i64).map(move |x| (x, y)))
+            .filter(|&(x, y)| !g.is_passable(x, y))
+            .count();
+        let frac = blocked as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn out_of_bounds_is_impassable() {
+        let g = ObstacleGrid::random(5, 5, 0.0, 3);
+        assert!(!g.is_passable(-1, 0));
+        assert!(!g.is_passable(0, 5));
+    }
+
+    #[test]
+    fn neighbors_exclude_obstacles_and_bounds() {
+        let g = ObstacleGrid::random(3, 3, 0.0, 4);
+        assert_eq!(g.neighbors(0, 0).len(), 2);
+        assert_eq!(g.neighbors(1, 1).len(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            ObstacleGrid::random(20, 20, 0.25, 7),
+            ObstacleGrid::random(20, 20, 0.25, 7)
+        );
+    }
+}

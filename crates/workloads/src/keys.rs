@@ -1,0 +1,182 @@
+//! Key-array generators for the sorting kernels (Figs. 1, 2, 15).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated key array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Independent uniform keys — the figures' default workload.
+    Uniform,
+    /// Already sorted ascending (adversarial for quicksort pivots,
+    /// trivial for adaptive algorithms).
+    Sorted,
+    /// Sorted descending.
+    Reverse,
+    /// Sorted with `fraction` of positions perturbed.
+    NearlySorted {
+        /// Fraction of keys displaced (0.0–1.0).
+        fraction: f64,
+    },
+    /// Heavy duplication: keys drawn from a domain of `distinct` values.
+    FewDistinct {
+        /// Number of distinct key values.
+        distinct: u64,
+    },
+}
+
+/// Generates `n` 64-bit keys with the given distribution and seed.
+///
+/// # Example
+///
+/// ```
+/// use rime_workloads::keys::{generate_u64, KeyDistribution};
+///
+/// let a = generate_u64(1000, KeyDistribution::Uniform, 7);
+/// let b = generate_u64(1000, KeyDistribution::Uniform, 7);
+/// assert_eq!(a, b, "seeded generation is deterministic");
+/// ```
+pub fn generate_u64(n: usize, dist: KeyDistribution, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dist {
+        KeyDistribution::Uniform => (0..n).map(|_| rng.gen()).collect(),
+        KeyDistribution::Sorted => {
+            let mut v: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            v.sort_unstable();
+            v
+        }
+        KeyDistribution::Reverse => {
+            let mut v: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v
+        }
+        KeyDistribution::NearlySorted { fraction } => {
+            let mut v: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            v.sort_unstable();
+            let swaps = ((n as f64) * fraction.clamp(0.0, 1.0) / 2.0) as usize;
+            for _ in 0..swaps {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                v.swap(i, j);
+            }
+            v
+        }
+        KeyDistribution::FewDistinct { distinct } => {
+            let distinct = distinct.max(1);
+            (0..n).map(|_| rng.gen_range(0..distinct)).collect()
+        }
+    }
+}
+
+/// Generates `n` positive uniform `f32` keys (graph weights and the like).
+pub fn generate_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0f32..1.0e6)).collect()
+}
+
+/// Generates `n` uniform `f32` keys spanning negative and positive values.
+pub fn generate_f32_signed(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0e6f32..1.0e6)).collect()
+}
+
+/// Generates `n` keys Zipf-distributed over `[0, domain)` with skew `s`
+/// (s = 0 is uniform; s ≈ 1 is the classic web-like skew). Uses inverse
+/// transform sampling over the precomputed CDF.
+///
+/// # Panics
+///
+/// Panics if `domain` is zero or `s` is negative.
+pub fn generate_zipf(n: usize, domain: u64, s: f64, seed: u64) -> Vec<u64> {
+    assert!(domain > 0, "domain must be positive");
+    assert!(s >= 0.0, "skew must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = domain.min(1 << 22); // bound the CDF table
+    let mut cdf = Vec::with_capacity(domain as usize);
+    let mut acc = 0.0f64;
+    for rank in 1..=domain {
+        acc += 1.0 / (rank as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u = rng.gen_range(0.0..total);
+            cdf.partition_point(|&c| c < u) as u64
+        })
+        .collect()
+}
+
+/// Generates `n` signed keys spanning negative and positive values.
+pub fn generate_i64(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            generate_u64(100, KeyDistribution::Uniform, 1),
+            generate_u64(100, KeyDistribution::Uniform, 1)
+        );
+        assert_ne!(
+            generate_u64(100, KeyDistribution::Uniform, 1),
+            generate_u64(100, KeyDistribution::Uniform, 2)
+        );
+    }
+
+    #[test]
+    fn sorted_is_sorted() {
+        let v = generate_u64(500, KeyDistribution::Sorted, 3);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let r = generate_u64(500, KeyDistribution::Reverse, 3);
+        assert!(r.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_sorted() {
+        let v = generate_u64(10_000, KeyDistribution::NearlySorted { fraction: 0.05 }, 4);
+        let inversions = v.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0);
+        assert!(inversions < 2_000, "{inversions}");
+    }
+
+    #[test]
+    fn few_distinct_bounds_domain() {
+        let v = generate_u64(1_000, KeyDistribution::FewDistinct { distinct: 8 }, 5);
+        assert!(v.iter().all(|&k| k < 8));
+        let uniq: std::collections::HashSet<_> = v.iter().collect();
+        assert!(uniq.len() <= 8 && uniq.len() > 1);
+    }
+
+    #[test]
+    fn float_keys_positive() {
+        let v = generate_f32(100, 6);
+        assert!(v.iter().all(|&x| (0.0..1.0e6).contains(&x)));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let v = generate_zipf(20_000, 1_000, 1.1, 8);
+        assert_eq!(v, generate_zipf(20_000, 1_000, 1.1, 8));
+        assert!(v.iter().all(|&k| k < 1_000));
+        // Rank 0 dominates under heavy skew.
+        let zeros = v.iter().filter(|&&k| k == 0).count();
+        assert!(zeros > v.len() / 20, "rank-0 count {zeros}");
+        // Uniform (s = 0) does not.
+        let u = generate_zipf(20_000, 1_000, 0.0, 8);
+        let zeros_u = u.iter().filter(|&&k| k == 0).count();
+        assert!(zeros_u < zeros / 4, "uniform rank-0 count {zeros_u}");
+    }
+
+    #[test]
+    fn signed_keys_span_signs() {
+        let v = generate_i64(1_000, 7);
+        assert!(v.iter().any(|&x| x < 0));
+        assert!(v.iter().any(|&x| x > 0));
+    }
+}

@@ -1,0 +1,24 @@
+//! # rime-workloads
+//!
+//! Deterministic, seeded generators for every dataset the evaluation uses
+//! (§VI-C): key arrays for the sort kernels, key-value tables for GroupBy
+//! and MergeJoin, weighted graphs for Kruskal/Prim/Dijkstra, obstacle
+//! grids for A*-Search, and packet streams for the strict priority queue.
+//!
+//! Everything is reproducible from a seed so figure regeneration is
+//! stable run to run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graphs;
+pub mod grids;
+pub mod keys;
+pub mod packets;
+pub mod tables;
+
+pub use graphs::{Graph, WeightedEdge};
+pub use grids::ObstacleGrid;
+pub use keys::KeyDistribution;
+pub use packets::{PacketEvent, PacketStream};
+pub use tables::{JoinTables, KvTable};

@@ -1,0 +1,110 @@
+//! Packet streams for the strict-priority-queue workload (§VI-C, Fig. 18).
+//!
+//! Two threads share a buffer: one adds packets, one removes the
+//! minimum-key packet. The workload is parameterized by the initial
+//! buffer size and the add-to-remove ratio `R` (Fig. 18 sweeps R = 1..5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One event in a packet-processing trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketEvent {
+    /// Enqueue a packet with the given priority key.
+    Add(u64),
+    /// Dequeue the packet with the minimum key.
+    Remove,
+}
+
+/// A reproducible packet-processing trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketStream {
+    /// Keys pre-loaded into the buffer before the trace starts.
+    pub initial: Vec<u64>,
+    /// Interleaved add/remove events (`adds : removes = R : 1`).
+    pub events: Vec<PacketEvent>,
+    /// The add-to-remove ratio R.
+    pub ratio: u32,
+}
+
+impl PacketStream {
+    /// Generates a trace with `initial_size` pre-loaded packets,
+    /// `removes` remove operations, and `ratio` adds per remove.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero.
+    pub fn generate(initial_size: usize, removes: usize, ratio: u32, seed: u64) -> PacketStream {
+        assert!(ratio > 0, "R is at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial: Vec<u64> = (0..initial_size).map(|_| rng.gen()).collect();
+        let mut events = Vec::with_capacity(removes * (1 + ratio as usize));
+        for _ in 0..removes {
+            for _ in 0..ratio {
+                events.push(PacketEvent::Add(rng.gen()));
+            }
+            events.push(PacketEvent::Remove);
+        }
+        PacketStream {
+            initial,
+            events,
+            ratio,
+        }
+    }
+
+    /// Number of remove operations in the trace.
+    pub fn removes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, PacketEvent::Remove))
+            .count()
+    }
+
+    /// Number of add operations in the trace.
+    pub fn adds(&self) -> usize {
+        self.events.len() - self.removes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_respected() {
+        let s = PacketStream::generate(100, 50, 3, 1);
+        assert_eq!(s.removes(), 50);
+        assert_eq!(s.adds(), 150);
+        assert_eq!(s.initial.len(), 100);
+        assert_eq!(s.ratio, 3);
+    }
+
+    #[test]
+    fn queue_never_underflows() {
+        let s = PacketStream::generate(10, 100, 1, 2);
+        let mut size = s.initial.len() as i64;
+        let mut min_size = size;
+        for e in &s.events {
+            match e {
+                PacketEvent::Add(_) => size += 1,
+                PacketEvent::Remove => size -= 1,
+            }
+            min_size = min_size.min(size);
+        }
+        assert!(min_size >= 0, "buffer never goes negative (R ≥ 1)");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            PacketStream::generate(10, 10, 2, 9),
+            PacketStream::generate(10, 10, 2, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "R is at least 1")]
+    fn zero_ratio_rejected() {
+        PacketStream::generate(10, 10, 0, 1);
+    }
+}

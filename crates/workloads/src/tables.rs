@@ -1,0 +1,100 @@
+//! Key-value tables for the database workloads (GroupBy, MergeJoin —
+//! §VI-C, Fig. 16).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A key-value table: `keys[i]` is row *i*'s grouping/join key and
+/// `values[i]` its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvTable {
+    /// Row keys.
+    pub keys: Vec<u64>,
+    /// Row payloads.
+    pub values: Vec<u64>,
+}
+
+impl KvTable {
+    /// Generates `rows` rows whose keys are drawn from `groups` distinct
+    /// group identifiers — the GroupBy workload.
+    pub fn grouped(rows: usize, groups: u64, seed: u64) -> KvTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let groups = groups.max(1);
+        KvTable {
+            keys: (0..rows).map(|_| rng.gen_range(0..groups)).collect(),
+            values: (0..rows).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// A pair of tables with controlled key overlap — the MergeJoin workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTables {
+    /// Left relation.
+    pub left: KvTable,
+    /// Right relation.
+    pub right: KvTable,
+}
+
+impl JoinTables {
+    /// Generates two tables of `rows` rows each over a shared key domain
+    /// sized so that roughly `overlap` of keys appear in both.
+    pub fn with_overlap(rows: usize, overlap: f64, seed: u64) -> JoinTables {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let overlap = overlap.clamp(0.01, 1.0);
+        // Birthday bound: domain ≈ rows / overlap makes a left key appear
+        // in the right table with probability ≈ overlap.
+        let domain = ((rows as f64 / overlap).ceil() as u64).max(1);
+        let gen_table = |rng: &mut StdRng| KvTable {
+            keys: (0..rows).map(|_| rng.gen_range(0..domain)).collect(),
+            values: (0..rows).map(|_| rng.gen()).collect(),
+        };
+        JoinTables {
+            left: gen_table(&mut rng),
+            right: gen_table(&mut rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grouped_table_shape() {
+        let t = KvTable::grouped(1_000, 16, 1);
+        assert_eq!(t.len(), 1_000);
+        assert!(!t.is_empty());
+        assert!(t.keys.iter().all(|&k| k < 16));
+        let distinct: HashSet<_> = t.keys.iter().collect();
+        assert!(distinct.len() > 4);
+    }
+
+    #[test]
+    fn join_overlap_is_roughly_controlled() {
+        let j = JoinTables::with_overlap(5_000, 0.5, 2);
+        let right: HashSet<_> = j.right.keys.iter().collect();
+        let hits = j.left.keys.iter().filter(|k| right.contains(k)).count();
+        let frac = hits as f64 / j.left.len() as f64;
+        assert!((0.2..0.8).contains(&frac), "overlap {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            KvTable::grouped(100, 4, 9).keys,
+            KvTable::grouped(100, 4, 9).keys
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the workload generators: structural
+//! invariants must hold for every parameterization.
+
+use proptest::prelude::*;
+use rime_workloads::keys::{generate_u64, generate_zipf, KeyDistribution};
+use rime_workloads::{Graph, JoinTables, KvTable, ObstacleGrid, PacketEvent, PacketStream};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn graphs_are_always_connected(v in 2u32..120, extra in 0usize..400, seed in 0u64..100) {
+        let g = Graph::random_connected(v, extra, seed);
+        // BFS from 0 reaches everything.
+        let mut seen = vec![false; v as usize];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1u32;
+        while let Some(x) = stack.pop() {
+            for &(n, _) in g.neighbors(x) {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        prop_assert_eq!(count, v);
+        prop_assert!(g.edge_count() >= (v as usize).saturating_sub(1));
+        prop_assert!(g.edges.iter().all(|e| e.u != e.v && e.w > 0.0));
+    }
+
+    #[test]
+    fn grids_have_passable_endpoints(w in 1u32..40, h in 1u32..40, d in 0.0f64..1.0, seed in 0u64..50) {
+        let g = ObstacleGrid::random(w, h, d, seed);
+        prop_assert!(g.is_passable(0, 0));
+        prop_assert!(g.is_passable(w as i64 - 1, h as i64 - 1));
+        prop_assert_eq!(g.cells(), (w * h) as usize);
+        // Neighbors are always in bounds and passable.
+        for (x, y) in [(0u32, 0u32), (w - 1, h - 1)] {
+            for (nx, ny) in g.neighbors(x, y) {
+                prop_assert!(g.is_passable(nx as i64, ny as i64));
+            }
+        }
+    }
+
+    #[test]
+    fn packet_traces_balance(initial in 0usize..64, removes in 1usize..64, r in 1u32..6, seed in 0u64..50) {
+        let s = PacketStream::generate(initial, removes, r, seed);
+        prop_assert_eq!(s.removes(), removes);
+        prop_assert_eq!(s.adds(), removes * r as usize);
+        // Running queue size never goes negative.
+        let mut size = s.initial.len() as i64;
+        for e in &s.events {
+            match e {
+                PacketEvent::Add(_) => size += 1,
+                PacketEvent::Remove => size -= 1,
+            }
+            prop_assert!(size >= 0);
+        }
+    }
+
+    #[test]
+    fn distributions_produce_requested_counts(
+        n in 0usize..500,
+        dist in prop_oneof![
+            Just(KeyDistribution::Uniform),
+            Just(KeyDistribution::Sorted),
+            Just(KeyDistribution::Reverse),
+            Just(KeyDistribution::NearlySorted { fraction: 0.1 }),
+            Just(KeyDistribution::FewDistinct { distinct: 5 }),
+        ],
+        seed in 0u64..20,
+    ) {
+        prop_assert_eq!(generate_u64(n, dist, seed).len(), n);
+    }
+
+    #[test]
+    fn zipf_stays_in_domain(n in 1usize..300, domain in 1u64..5_000, s in 0.0f64..2.0, seed in 0u64..20) {
+        let v = generate_zipf(n, domain, s, seed);
+        prop_assert_eq!(v.len(), n);
+        prop_assert!(v.iter().all(|&k| k < domain));
+    }
+
+    #[test]
+    fn join_tables_share_a_domain(rows in 1usize..300, overlap in 0.05f64..1.0, seed in 0u64..20) {
+        let j = JoinTables::with_overlap(rows, overlap, seed);
+        prop_assert_eq!(j.left.len(), rows);
+        prop_assert_eq!(j.right.len(), rows);
+    }
+
+    #[test]
+    fn grouped_tables_bound_keys(rows in 0usize..300, groups in 1u64..64, seed in 0u64..20) {
+        let t = KvTable::grouped(rows, groups, seed);
+        prop_assert_eq!(t.len(), rows);
+        prop_assert!(t.keys.iter().all(|&k| k < groups));
+    }
+}

@@ -1,0 +1,59 @@
+//! Endurance-failure handling: inject worn-out (stuck) cells into a
+//! chip, locate them with the march-test BIST, and show how a driver
+//! would fence the bad slots and keep ranking on the healthy ones.
+//!
+//! Run with: `cargo run --example fault_recovery`
+
+use rime_memristive::{march_test, Chip, ChipGeometry, Direction, KeyFormat};
+
+fn main() -> Result<(), rime_memristive::Error> {
+    let mut chip = Chip::new(ChipGeometry::small());
+    let slots = 64u64;
+
+    // A healthy chip passes its power-on self test.
+    let report = march_test(&mut chip, 0, slots)?;
+    println!("power-on BIST: passed = {}", report.passed());
+    assert!(report.passed());
+
+    // Years later, two cells wear out and freeze.
+    chip.inject_stuck_cell(9, 13, true)?;
+    chip.inject_stuck_cell(40, 0, false)?;
+    let report = march_test(&mut chip, 0, slots)?;
+    println!(
+        "after wear-out: passed = {}, defects at {:?}",
+        report.passed(),
+        report
+            .faults
+            .iter()
+            .map(|f| (f.slot, f.bit))
+            .collect::<Vec<_>>()
+    );
+    assert!(!report.passed());
+
+    // The driver fences the faulty slots: data goes everywhere else, and
+    // rime_init ranges simply exclude the bad rows.
+    let bad: Vec<u64> = report.faults.iter().map(|f| f.slot).collect();
+    let keys: Vec<u64> = (0..slots).map(|i| 1_000 - i * 3).collect();
+    for (slot, &key) in (0..slots).zip(&keys) {
+        if !bad.contains(&slot) {
+            chip.store_keys(slot, &[key], KeyFormat::UNSIGNED64)?;
+        }
+    }
+    // Rank the healthy prefix region before the first bad slot.
+    let healthy_end = bad[0];
+    chip.init_range(0, healthy_end, KeyFormat::UNSIGNED64)?;
+    let mut sorted = Vec::new();
+    while let Some(hit) = chip.extract(Direction::Min)? {
+        sorted.push(hit.raw_bits);
+    }
+    println!(
+        "ranked {} healthy slots below the first defect: {:?} …",
+        sorted.len(),
+        &sorted[..4.min(sorted.len())]
+    );
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(sorted.len() as u64, healthy_end);
+
+    println!("\nwear so far (hottest slot): {} writes", chip.max_wear());
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Graph routing on RIME: Dijkstra shortest paths, MSTs, and A* path
+//! finding (§VI-C, Fig. 17) — the workloads that rank IEEE-754 weights.
+//!
+//! Run with: `cargo run --example graph_routing`
+
+use rime_apps::{astar, dijkstra, kruskal, prim};
+use rime_core::{RimeConfig, RimeDevice};
+use rime_workloads::{Graph, ObstacleGrid};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dev = RimeDevice::new(RimeConfig::small());
+
+    // --- Dijkstra: network routing -------------------------------------
+    let graph = Graph::random_connected(300, 1_800, 99);
+    let base = dijkstra::dijkstra_baseline(&graph, 0);
+    let rime = dijkstra::dijkstra_rime(&mut dev, &graph, 0)?;
+    assert_eq!(base, rime);
+    let reachable = rime.iter().filter(|d| d.is_finite()).count();
+    let furthest = rime.iter().cloned().fold(0.0f32, f32::max);
+    println!(
+        "Dijkstra over {} vertices / {} edges: {} reachable, max dist {:.1}",
+        graph.vertices,
+        graph.edge_count(),
+        reachable,
+        furthest
+    );
+
+    // --- Minimum spanning trees: Kruskal vs Prim ------------------------
+    let (kw, kn) = kruskal::kruskal_rime(&mut dev, &graph)?;
+    let (pw, pn) = prim::prim_rime(&mut dev, &graph)?;
+    println!("Kruskal MST: {kn} edges, weight {kw:.1}");
+    println!("Prim    MST: {pn} edges, weight {pw:.1}");
+    assert!((kw - pw).abs() < 1e-3 * kw, "both MSTs weigh the same");
+
+    // --- A*: path finding through obstacles -----------------------------
+    let grid = ObstacleGrid::random(24, 24, 0.2, 5);
+    let base = astar::astar_baseline(&grid);
+    let rime = astar::astar_rime(&mut dev, &grid)?;
+    assert_eq!(base, rime);
+    match rime {
+        Some(steps) => println!("A* on a 24×24 grid (20% obstacles): {steps}-step path"),
+        None => println!("A*: destination walled off"),
+    }
+
+    println!("\ndevice extraction count: {}", dev.counters().extractions);
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Driving RIME the way a kernel driver does (§V): every operation is an
+//! in-order strong-uncacheable 64-bit read or write against the
+//! memory-mapped register file — no typed API, just addresses and values.
+//!
+//! Run with: `cargo run --example mmio_driver`
+
+use rime_core::mmio::{cmd, format_code, regs, status, MmioInterface, DATA_BASE};
+use rime_core::{KeyFormat, RimeConfig};
+
+fn main() {
+    let mut mmio = MmioInterface::new(RimeConfig::small());
+
+    // 1. Ordinary stores through the data window (these are the same
+    //    DDR4 writes the application would issue to any memory).
+    let packets = [412u64, 17, 9_000, 233, 17, 4];
+    println!("storing {} keys through the data window…", packets.len());
+    for (i, &key) in packets.iter().enumerate() {
+        mmio.write(DATA_BASE + 8 * i as u64, key);
+    }
+
+    // 2. Program the operation: range, format, then the INIT doorbell.
+    mmio.write(regs::BEGIN, 0);
+    mmio.write(regs::END, packets.len() as u64);
+    mmio.write(regs::FORMAT, format_code(KeyFormat::UNSIGNED64));
+    mmio.write(regs::COMMAND, cmd::INIT);
+    assert_eq!(mmio.read(regs::STATUS), status::OK);
+    println!("rime_init over [0, {})", packets.len());
+
+    // 3. Ring the MIN doorbell until the range is exhausted.
+    println!("\n{:>8} {:>8}", "value", "slot");
+    loop {
+        mmio.write(regs::COMMAND, cmd::MIN);
+        match mmio.read(regs::STATUS) {
+            status::OK => println!(
+                "{:>8} {:>8}",
+                mmio.read(regs::RESULT_VALUE),
+                mmio.read(regs::RESULT_ADDR)
+            ),
+            status::EXHAUSTED => break,
+            other => panic!("device fault: status {other}"),
+        }
+    }
+
+    // 4. Error handling is also register-visible.
+    mmio.write(regs::BEGIN, 10);
+    mmio.write(regs::END, 5); // inverted range
+    mmio.write(regs::COMMAND, cmd::INIT);
+    assert_eq!(mmio.read(regs::STATUS), status::ERROR);
+    println!("\ninverted range correctly faulted (STATUS = ERROR)");
+
+    println!(
+        "uncacheable accesses issued: {} — every one of these is an\n\
+         in-order UC transaction on the DDR4 bus (§V)",
+        mmio.uc_accesses
+    );
+}

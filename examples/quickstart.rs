@@ -1,0 +1,69 @@
+//! Quickstart: the RIME API end to end.
+//!
+//! Mirrors the paper's Fig. 12 code snippet — allocate a region, store
+//! keys, initialize it, and stream ranked values back with `rime_min` —
+//! then shows ranking, descending order, and merge.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rime_core::{ops, RimeConfig, RimeDevice, RimeError};
+
+fn main() -> Result<(), RimeError> {
+    // A functional device: 2 channels × 2 chips of small memristive arrays.
+    let mut dev = RimeDevice::new(RimeConfig::small());
+    println!("RIME device: {} key slots\n", dev.capacity());
+
+    // --- rime_malloc + ordinary stores -------------------------------
+    let data = [248u64, 125, 16, 49, 105, 192, 5, 218]; // Fig. 14's chip 0
+    let region = dev.alloc(data.len() as u64)?;
+    dev.write(region, 0, &data)?;
+    println!("stored {:?}", data);
+
+    // --- Fig. 12: find the k least values in sorted order -------------
+    dev.init_all::<u64>(region)?;
+    let mut sorted_list = Vec::new();
+    for _ in 0..3 {
+        if let Some((addr, value)) = dev.rime_min::<u64>(region)? {
+            sorted_list.push(value);
+            println!("rime_min -> {value:>3} (global slot {addr})");
+        }
+    }
+    assert_eq!(sorted_list, vec![5, 16, 49]);
+
+    // --- full sort as an ordered stream ------------------------------
+    let sorted = ops::sort_into_vec::<u64>(&mut dev, region)?;
+    println!("\nfull sort: {sorted:?}");
+
+    // --- ranking: the k-th order statistic costs k accesses ----------
+    let median = ops::kth_smallest::<u64>(&mut dev, region, data.len() as u64 / 2)?;
+    println!("median   : {:?}", median);
+
+    // --- descending order with rime_max ------------------------------
+    let mut top = ops::sorted_desc::<u64>(&mut dev, region)?;
+    println!("top-2    : {:?} {:?}", top.try_next()?, top.try_next()?);
+
+    // --- merging two sets (the paper's Fig. 6 example) ----------------
+    let a = dev.alloc(5)?;
+    dev.write(a, 0, &[5u32, 1, 3, 7, 10])?;
+    let b = dev.alloc(3)?;
+    dev.write(b, 0, &[4u32, 8, 5])?;
+    let merged = ops::merge::<u32>(&mut dev, &[a, b])?;
+    let joined = ops::merge_join::<u32>(&mut dev, a, b)?;
+    println!("\nmerge    : {merged:?}");
+    println!("mergejoin: {joined:?}");
+    assert_eq!(merged, vec![1, 3, 4, 5, 5, 7, 8, 10]);
+    assert_eq!(joined, vec![5]);
+
+    // --- floats rank natively (no conversion, §VI-C) ------------------
+    let f = dev.alloc(3)?;
+    dev.write(f, 0, &[18.0f32, -1.625, -0.75])?; // Fig. 5's values
+    let fs = ops::sort_into_vec::<f32>(&mut dev, f)?;
+    println!("floats   : {fs:?}");
+    assert_eq!(fs, vec![-1.625, -0.75, 18.0]);
+
+    for r in [region, a, b, f] {
+        dev.free(r)?;
+    }
+    println!("\ndevice counters: {:?}", dev.counters());
+    Ok(())
+}

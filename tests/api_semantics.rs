@@ -1,0 +1,135 @@
+//! API-contract tests: the semantics §V promises for `rime_malloc`,
+//! `rime_init`, `rime_min`/`rime_max`, and `rime_free`.
+
+use rime_core::{ops, RimeConfig, RimeDevice, RimeError};
+
+fn device() -> RimeDevice {
+    RimeDevice::new(RimeConfig::small())
+}
+
+#[test]
+fn malloc_fails_cleanly_then_recovers_after_free() {
+    // §V: rime_malloc returns null under fragmentation; the user frees
+    // and retries.
+    let mut dev = device();
+    let total = dev.capacity();
+    let half = dev.alloc(total / 2).unwrap();
+    let _quarter = dev.alloc(total / 4).unwrap();
+    let err = dev.alloc(total / 2).unwrap_err();
+    assert!(matches!(err, RimeError::OutOfContiguousMemory { .. }));
+    dev.free(half).unwrap();
+    assert!(dev.alloc(total / 2).is_ok());
+}
+
+#[test]
+fn regions_are_isolated() {
+    let mut dev = device();
+    let a = dev.alloc(8).unwrap();
+    let b = dev.alloc(8).unwrap();
+    dev.write(a, 0, &[1u32; 8]).unwrap();
+    dev.write(b, 0, &[2u32; 8]).unwrap();
+    assert_eq!(dev.read::<u32>(a, 0, 8).unwrap(), vec![1; 8]);
+    assert_eq!(dev.read::<u32>(b, 0, 8).unwrap(), vec![2; 8]);
+}
+
+#[test]
+fn init_defines_the_operating_subrange() {
+    // Fig. 12: rime_init may select a sub-region of a malloc'd region.
+    let mut dev = device();
+    let region = dev.alloc(8).unwrap();
+    dev.write(region, 0, &[80u32, 70, 60, 50, 40, 30, 20, 10])
+        .unwrap();
+    dev.init::<u32>(region, 2, 3).unwrap(); // {60, 50, 40}
+    let mut got = Vec::new();
+    while let Some((_, v)) = dev.rime_min::<u32>(region).unwrap() {
+        got.push(v);
+    }
+    assert_eq!(got, vec![40, 50, 60]);
+}
+
+#[test]
+fn reinit_restarts_the_stream_and_discards_buffers() {
+    let mut dev = device();
+    let region = dev.alloc(4).unwrap();
+    dev.write(region, 0, &[9u32, 5, 7, 1]).unwrap();
+    dev.init_all::<u32>(region).unwrap();
+    assert_eq!(dev.rime_min::<u32>(region).unwrap().unwrap().1, 1);
+    assert_eq!(dev.rime_min::<u32>(region).unwrap().unwrap().1, 5);
+    dev.init_all::<u32>(region).unwrap();
+    assert_eq!(
+        dev.rime_min::<u32>(region).unwrap().unwrap().1,
+        1,
+        "restarted"
+    );
+}
+
+#[test]
+fn normal_loads_coexist_with_ranking() {
+    // §V: allocated memory is usable with ordinary loads/stores.
+    let mut dev = device();
+    let region = dev.alloc(6).unwrap();
+    dev.write(region, 0, &[6u64, 4, 2, 8, 12, 10]).unwrap();
+    dev.init_all::<u64>(region).unwrap();
+    assert_eq!(dev.rime_min::<u64>(region).unwrap().unwrap().1, 2);
+    // A plain read does not disturb the exclusion state.
+    assert_eq!(dev.read::<u64>(region, 0, 2).unwrap(), vec![6, 4]);
+    assert_eq!(dev.rime_min::<u64>(region).unwrap().unwrap().1, 4);
+}
+
+#[test]
+fn type_checking_is_enforced_per_region() {
+    let mut dev = device();
+    let region = dev.alloc(4).unwrap();
+    dev.write(region, 0, &[1.5f32, -2.5, 0.0, 3.5]).unwrap();
+    assert!(matches!(
+        dev.init_all::<u32>(region),
+        Err(RimeError::TypeMismatch { .. })
+    ));
+    dev.init_all::<f32>(region).unwrap();
+    assert_eq!(dev.rime_min::<f32>(region).unwrap().unwrap().1, -2.5);
+}
+
+#[test]
+fn min_and_max_are_duals() {
+    let mut dev = device();
+    let region = dev.alloc(16).unwrap();
+    let keys: Vec<i32> = (0..16).map(|i| (i * 37 % 23) - 11).collect();
+    dev.write(region, 0, &keys).unwrap();
+
+    let asc = ops::sort_into_vec::<i32>(&mut dev, region).unwrap();
+    let mut desc = ops::sorted_desc::<i32>(&mut dev, region)
+        .unwrap()
+        .collect_remaining()
+        .unwrap();
+    desc.reverse();
+    assert_eq!(asc, desc);
+}
+
+#[test]
+fn freeing_under_active_session_invalidates_it() {
+    let mut dev = device();
+    let region = dev.alloc(4).unwrap();
+    dev.write(region, 0, &[3u32, 1, 4, 1]).unwrap();
+    dev.init_all::<u32>(region).unwrap();
+    dev.free(region).unwrap();
+    assert_eq!(dev.rime_min::<u32>(region), Err(RimeError::InvalidRegion));
+}
+
+#[test]
+fn many_small_regions_roundtrip() {
+    let mut dev = device();
+    let mut regions = Vec::new();
+    for i in 0..32u64 {
+        let r = dev.alloc(16).unwrap();
+        let keys: Vec<u64> = (0..16).map(|j| (i * 1_000 + j * 7) % 977).collect();
+        dev.write(r, 0, &keys).unwrap();
+        regions.push((r, keys));
+    }
+    for (r, keys) in regions {
+        let got = ops::sort_into_vec::<u64>(&mut dev, r).unwrap();
+        let mut want = keys;
+        want.sort_unstable();
+        assert_eq!(got, want);
+        dev.free(r).unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-validation of every evaluated application (§VI-C): the RIME
+//! version and the conventional baseline must produce identical results
+//! on real generated data, across several seeds.
+
+use rime_apps::{astar, dijkstra, groupby, kruskal, mergejoin, prim, spq};
+use rime_core::{RimeConfig, RimeDevice};
+use rime_workloads::{Graph, JoinTables, KvTable, ObstacleGrid, PacketStream};
+
+fn device() -> RimeDevice {
+    RimeDevice::new(RimeConfig::small())
+}
+
+#[test]
+fn groupby_agrees_across_seeds() {
+    for seed in 0..3 {
+        let table = KvTable::grouped(1_200, 25, seed);
+        let mut dev = device();
+        assert_eq!(
+            groupby::groupby_baseline(&table),
+            groupby::groupby_rime(&mut dev, &table).unwrap(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn mergejoin_agrees_across_overlaps() {
+    for (seed, overlap) in [(10, 0.1), (11, 0.5), (12, 0.9)] {
+        let tables = JoinTables::with_overlap(900, overlap, seed);
+        let mut dev = device();
+        assert_eq!(
+            mergejoin::mergejoin_baseline(&tables),
+            mergejoin::mergejoin_rime(&mut dev, &tables).unwrap(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn mst_algorithms_agree_with_each_other_and_rime() {
+    for seed in 20..23 {
+        let graph = Graph::random_connected(120, 700, seed);
+        let mut dev = device();
+        let (kw, kn) = kruskal::kruskal_baseline(&graph);
+        let (pw, pn) = prim::prim_baseline(&graph);
+        let (rkw, rkn) = kruskal::kruskal_rime(&mut dev, &graph).unwrap();
+        let (rpw, rpn) = prim::prim_rime(&mut dev, &graph).unwrap();
+        assert_eq!(kn, 119);
+        assert_eq!(kn, pn);
+        assert_eq!(kn, rkn);
+        assert_eq!(kn, rpn);
+        let tol = 1e-4 * kw.max(1.0);
+        assert!((kw - pw).abs() < tol, "kruskal {kw} vs prim {pw}");
+        assert!((kw - rkw).abs() < tol);
+        assert!((pw - rpw).abs() < tol);
+    }
+}
+
+#[test]
+fn dijkstra_agrees_on_dense_and_sparse_graphs() {
+    for (seed, v, e) in [(30, 60u32, 150usize), (31, 40, 600)] {
+        let graph = Graph::random_connected(v, e, seed);
+        let mut dev = device();
+        assert_eq!(
+            dijkstra::dijkstra_baseline(&graph, 0),
+            dijkstra::dijkstra_rime(&mut dev, &graph, 0).unwrap(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn astar_agrees_across_densities() {
+    for (seed, density) in [(40, 0.0), (41, 0.2), (42, 0.35)] {
+        let grid = ObstacleGrid::random(14, 14, density, seed);
+        let mut dev = device();
+        assert_eq!(
+            astar::astar_baseline(&grid),
+            astar::astar_rime(&mut dev, &grid).unwrap(),
+            "seed {seed} density {density}"
+        );
+    }
+}
+
+#[test]
+fn spq_agrees_across_ratios() {
+    for ratio in 1..=5u32 {
+        let stream = PacketStream::generate(128, 64, ratio, 50 + ratio as u64);
+        let mut dev = device();
+        assert_eq!(
+            spq::spq_baseline(&stream),
+            spq::spq_rime(&mut dev, &stream).unwrap(),
+            "R = {ratio}"
+        );
+    }
+}
+
+#[test]
+fn apps_share_one_device_sequentially() {
+    // One device hosts all applications one after another — allocations
+    // and sessions must not leak between them.
+    let mut dev = device();
+    let table = KvTable::grouped(400, 8, 60);
+    let graph = Graph::random_connected(50, 200, 61);
+    let grid = ObstacleGrid::random(10, 10, 0.2, 62);
+    let stream = PacketStream::generate(64, 32, 2, 63);
+
+    assert_eq!(
+        groupby::groupby_rime(&mut dev, &table).unwrap(),
+        groupby::groupby_baseline(&table)
+    );
+    assert_eq!(
+        dijkstra::dijkstra_rime(&mut dev, &graph, 0).unwrap(),
+        dijkstra::dijkstra_baseline(&graph, 0)
+    );
+    assert_eq!(
+        astar::astar_rime(&mut dev, &grid).unwrap(),
+        astar::astar_baseline(&grid)
+    );
+    assert_eq!(
+        spq::spq_rime(&mut dev, &stream).unwrap(),
+        spq::spq_baseline(&stream)
+    );
+    // Everything was freed: the full capacity is available again.
+    assert_eq!(dev.largest_free(), dev.capacity());
+}

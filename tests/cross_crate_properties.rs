@@ -1,0 +1,174 @@
+//! Property-based tests spanning crates: random workloads through the
+//! full functional stack.
+
+use proptest::prelude::*;
+use rime_apps::{groupby, mergejoin, spq, RimePriorityQueue};
+use rime_core::{ops, RimeConfig, RimeDevice};
+use rime_workloads::{JoinTables, KvTable, PacketStream};
+
+fn device() -> RimeDevice {
+    RimeDevice::new(RimeConfig::small())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn device_sort_is_a_permutation_in_order(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut dev = device();
+        let region = dev.alloc(keys.len() as u64).unwrap();
+        dev.write(region, 0, &keys).unwrap();
+        let got = ops::sort_into_vec::<u64>(&mut dev, region).unwrap();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_equals_sort_of_concatenation(
+        a in prop::collection::vec(any::<u32>(), 1..80),
+        b in prop::collection::vec(any::<u32>(), 1..80),
+        c in prop::collection::vec(any::<u32>(), 1..80),
+    ) {
+        let mut dev = device();
+        let mut regions = Vec::new();
+        for set in [&a, &b, &c] {
+            let r = dev.alloc(set.len() as u64).unwrap();
+            dev.write(r, 0, set).unwrap();
+            regions.push(r);
+        }
+        let merged = ops::merge::<u32>(&mut dev, &regions).unwrap();
+        let mut want: Vec<u32> = a.iter().chain(&b).chain(&c).copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn merge_join_is_multiset_intersection(
+        a in prop::collection::vec(0u64..32, 1..60),
+        b in prop::collection::vec(0u64..32, 1..60),
+    ) {
+        let mut dev = device();
+        let ra = dev.alloc(a.len() as u64).unwrap();
+        dev.write(ra, 0, &a).unwrap();
+        let rb = dev.alloc(b.len() as u64).unwrap();
+        dev.write(rb, 0, &b).unwrap();
+        let joined = ops::merge_join::<u64>(&mut dev, ra, rb).unwrap();
+
+        // Reference multiset intersection.
+        let mut want = Vec::new();
+        let mut counts = std::collections::HashMap::new();
+        for &x in &b {
+            *counts.entry(x).or_insert(0u64) += 1;
+        }
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        for x in sa {
+            if let Some(c) = counts.get_mut(&x) {
+                if *c > 0 {
+                    *c -= 1;
+                    want.push(x);
+                }
+            }
+        }
+        prop_assert_eq!(joined, want);
+    }
+
+    #[test]
+    fn rime_pq_matches_binary_heap(
+        ops_list in prop::collection::vec(
+            prop_oneof![
+                (0u64..1_000_000).prop_map(Some), // push
+                Just(None),                        // pop
+            ],
+            1..120,
+        ),
+    ) {
+        let mut dev = device();
+        let mut pq = RimePriorityQueue::new(&mut dev, 128).unwrap();
+        let mut heap = std::collections::BinaryHeap::new();
+        for op in ops_list {
+            match op {
+                Some(k) => {
+                    if pq.spare() > 0 {
+                        pq.push(&mut dev, k).unwrap();
+                        heap.push(std::cmp::Reverse(k));
+                    }
+                }
+                None => {
+                    let want = heap.pop().map(|std::cmp::Reverse(k)| k);
+                    let got = pq.pop_min(&mut dev).unwrap();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(pq.len(), heap.len() as u64);
+    }
+
+    #[test]
+    fn multiway_join_is_multiset_intersection(
+        a in prop::collection::vec(0u32..24, 1..40),
+        b in prop::collection::vec(0u32..24, 1..40),
+        c in prop::collection::vec(0u32..24, 1..40),
+    ) {
+        let mut dev = device();
+        let mut regions = Vec::new();
+        for set in [&a, &b, &c] {
+            let r = dev.alloc(set.len() as u64).unwrap();
+            dev.write(r, 0, set).unwrap();
+            regions.push(r);
+        }
+        let joined = ops::merge_join_all::<u32>(&mut dev, &regions).unwrap();
+
+        // Reference: per-key min count across the three multisets.
+        let count = |v: &Vec<u32>, k: u32| v.iter().filter(|&&x| x == k).count();
+        let mut want = Vec::new();
+        for k in 0u32..24 {
+            let m = count(&a, k).min(count(&b, k)).min(count(&c, k));
+            want.extend(std::iter::repeat_n(k, m));
+        }
+        prop_assert_eq!(joined, want);
+    }
+
+    #[test]
+    fn groupby_sums_are_conserved(rows in 1usize..400, groups in 1u64..20, seed in 0u64..50) {
+        let table = KvTable::grouped(rows, groups, seed);
+        let mut dev = device();
+        let result = groupby::groupby_rime(&mut dev, &table).unwrap();
+        let total: u64 = result.iter().map(|(_, s)| s).sum();
+        let want: u64 = table.values.iter().map(|&v| v as u32 as u64).sum();
+        prop_assert_eq!(total, want, "aggregation conserves the payload sum");
+        // Group keys come out sorted and distinct.
+        prop_assert!(result.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn join_is_commutative(seed in 0u64..40) {
+        let tables = JoinTables::with_overlap(150, 0.4, seed);
+        let mut dev = device();
+        let ab = mergejoin::mergejoin_rime(&mut dev, &tables).unwrap();
+        let flipped = JoinTables { left: tables.right.clone(), right: tables.left.clone() };
+        let ba = mergejoin::mergejoin_rime(&mut dev, &flipped).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn spq_total_order_of_removals(seed in 0u64..30, ratio in 1u32..5) {
+        let stream = PacketStream::generate(40, 25, ratio, seed);
+        let mut dev = device();
+        let removed = spq::spq_rime(&mut dev, &stream).unwrap();
+        prop_assert_eq!(removed.len(), stream.removes());
+        // Every removed key was actually offered.
+        let mut offered: Vec<u64> = stream.initial.clone();
+        for e in &stream.events {
+            if let rime_workloads::PacketEvent::Add(k) = e {
+                offered.push(*k);
+            }
+        }
+        for k in &removed {
+            prop_assert!(offered.contains(k));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end sorting: the full stack (workload generator → RIME device →
+//! ordered stream) against the baseline kernels and `std` sorts.
+
+use rime_core::{ops, RimeConfig, RimeDevice};
+use rime_kernels::exec::{heap_sort, merge_sort, quick_sort, radix_sort, TracedMemory};
+use rime_kernels::rime_sort::sort_via_device;
+use rime_workloads::keys::{generate_f32_signed, generate_i64, generate_u64, KeyDistribution};
+
+#[test]
+fn rime_and_all_baseline_kernels_agree() {
+    let keys = generate_u64(4_000, KeyDistribution::Uniform, 1001);
+    let mut want = keys.clone();
+    want.sort_unstable();
+
+    // RIME path.
+    let mut dev = RimeDevice::new(RimeConfig::small());
+    assert_eq!(sort_via_device(&mut dev, &keys, 4).unwrap(), want);
+
+    // Baseline kernels.
+    let mut mem = TracedMemory::untraced();
+    let b = mem.add_buf(keys.clone());
+    let out = merge_sort(&mut mem, b);
+    assert_eq!(mem.into_buf(out), want);
+
+    let mut mem = TracedMemory::untraced();
+    let b = mem.add_buf(keys.clone());
+    quick_sort(&mut mem, b);
+    assert_eq!(mem.into_buf(b), want);
+
+    let mut mem = TracedMemory::untraced();
+    let b = mem.add_buf(keys.clone());
+    let out = radix_sort(&mut mem, b);
+    assert_eq!(mem.into_buf(out), want);
+
+    let mut mem = TracedMemory::untraced();
+    let b = mem.add_buf(keys);
+    heap_sort(&mut mem, b);
+    assert_eq!(mem.into_buf(b), want);
+}
+
+#[test]
+fn rime_sorts_signed_keys_across_chips() {
+    let keys = generate_i64(6_000, 1002);
+    let mut dev = RimeDevice::new(RimeConfig::small());
+    let region = dev.alloc(keys.len() as u64).unwrap();
+    dev.write(region, 0, &keys).unwrap();
+    let got = ops::sort_into_vec::<i64>(&mut dev, region).unwrap();
+    let mut want = keys;
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn rime_sorts_floats_in_total_order() {
+    let mut keys = generate_f32_signed(2_000, 1003);
+    keys.extend([0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY]);
+    let got = rime_kernels::rime_sort::sort_small(&keys).unwrap();
+    let mut want = keys;
+    want.sort_unstable_by(f32::total_cmp);
+    assert_eq!(
+        got.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sorted_streams_resume_after_partial_consumption() {
+    // Consume half the stream, write fresh data elsewhere, finish later.
+    let mut dev = RimeDevice::new(RimeConfig::small());
+    let region = dev.alloc(100).unwrap();
+    let keys = generate_u64(100, KeyDistribution::Uniform, 1004);
+    dev.write(region, 0, &keys).unwrap();
+    dev.init_all::<u64>(region).unwrap();
+
+    let mut got = Vec::new();
+    for _ in 0..50 {
+        got.push(dev.rime_min::<u64>(region).unwrap().unwrap().1);
+    }
+    // Unrelated activity on another region must not disturb the stream.
+    let other = dev.alloc(10).unwrap();
+    dev.write(other, 0, &[1u64, 2, 3]).unwrap();
+    let _ = ops::sort_into_vec::<u64>(&mut dev, other).unwrap();
+
+    while let Some((_, v)) = dev.rime_min::<u64>(region).unwrap() {
+        got.push(v);
+    }
+    let mut want = keys;
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn exhaustive_small_permutations() {
+    // Every permutation of 6 distinct keys sorts correctly.
+    fn permutations(mut v: Vec<u64>, k: usize, out: &mut Vec<Vec<u64>>) {
+        if k == v.len() {
+            out.push(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permutations(v.clone(), k + 1, out);
+            v.swap(k, i);
+        }
+    }
+    let mut perms = Vec::new();
+    permutations(vec![3, 1, 4, 1, 5, 9], 0, &mut perms);
+    let mut dev = RimeDevice::new(RimeConfig::small());
+    let region = dev.alloc(6).unwrap();
+    for perm in perms {
+        dev.write(region, 0, &perm).unwrap();
+        let got = ops::sort_into_vec::<u64>(&mut dev, region).unwrap();
+        assert_eq!(got, vec![1, 1, 3, 4, 5, 9], "input {perm:?}");
+    }
+}
