@@ -24,16 +24,16 @@ use rime_core::{ops, RimeDevice, RimeError};
 /// use rime_core::{RimeConfig, RimeDevice};
 ///
 /// # fn main() -> Result<(), rime_core::RimeError> {
-/// let mut dev = RimeDevice::new(RimeConfig::small());
+/// let dev = RimeDevice::new(RimeConfig::small());
 /// let keys = vec![5u64, 3, 9, 1, 7, 2, 8, 4];
 /// // Pretend the device only fits 3 keys at a time.
-/// let sorted = external_sort(&mut dev, &keys, 3)?;
+/// let sorted = external_sort(&dev, &keys, 3)?;
 /// assert_eq!(sorted, vec![1, 2, 3, 4, 5, 7, 8, 9]);
 /// # Ok(())
 /// # }
 /// ```
 pub fn external_sort(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     keys: &[u64],
     run_slots: usize,
 ) -> Result<Vec<u64>, RimeError> {
@@ -77,8 +77,8 @@ mod tests {
     fn check(keys: Vec<u64>, run_slots: usize) {
         let mut want = keys.clone();
         want.sort_unstable();
-        let mut dev = RimeDevice::new(RimeConfig::small());
-        assert_eq!(external_sort(&mut dev, &keys, run_slots).unwrap(), want);
+        let dev = RimeDevice::new(RimeConfig::small());
+        assert_eq!(external_sort(&dev, &keys, run_slots).unwrap(), want);
     }
 
     #[test]
@@ -108,13 +108,13 @@ mod tests {
     #[test]
     fn larger_than_device_capacity() {
         // Force more data through than the device holds at once.
-        let mut dev = RimeDevice::new(RimeConfig::small());
+        let dev = RimeDevice::new(RimeConfig::small());
         let cap = dev.capacity() as usize;
         let keys = generate_u64(cap / 16, KeyDistribution::Uniform, 80);
         let run = cap / 64;
         let mut want = keys.clone();
         want.sort_unstable();
-        assert_eq!(external_sort(&mut dev, &keys, run).unwrap(), want);
+        assert_eq!(external_sort(&dev, &keys, run).unwrap(), want);
         assert_eq!(dev.largest_free(), dev.capacity(), "all runs freed");
     }
 }

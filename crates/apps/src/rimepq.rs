@@ -35,7 +35,7 @@ impl RimePriorityQueue {
     /// # Errors
     ///
     /// Propagates allocation failures.
-    pub fn new(device: &mut RimeDevice, capacity: u64) -> Result<RimePriorityQueue, RimeError> {
+    pub fn new(device: &RimeDevice, capacity: u64) -> Result<RimePriorityQueue, RimeError> {
         let region = device.alloc(capacity)?;
         device.write(region, 0, &vec![EMPTY; capacity as usize])?;
         Ok(RimePriorityQueue {
@@ -70,7 +70,7 @@ impl RimePriorityQueue {
     /// # Panics
     ///
     /// Panics if `key` is the reserved [`EMPTY`] sentinel.
-    pub fn push(&mut self, device: &mut RimeDevice, key: u64) -> Result<(), RimeError> {
+    pub fn push(&mut self, device: &RimeDevice, key: u64) -> Result<(), RimeError> {
         assert_ne!(key, EMPTY, "u64::MAX is the empty-slot sentinel");
         let slot = self.free.pop_front().ok_or(RimeError::OutOfBounds {
             offset: self.region.len(),
@@ -87,7 +87,7 @@ impl RimePriorityQueue {
     /// # Errors
     ///
     /// Propagates device errors.
-    pub fn pop_min(&mut self, device: &mut RimeDevice) -> Result<Option<u64>, RimeError> {
+    pub fn pop_min(&mut self, device: &RimeDevice) -> Result<Option<u64>, RimeError> {
         if self.len == 0 {
             return Ok(None);
         }
@@ -105,12 +105,43 @@ impl RimePriorityQueue {
         Ok(Some(key))
     }
 
+    /// Removes and returns the `k` smallest keys, ascending, in one
+    /// batched extraction (§VI-C with the top-k interface): a single
+    /// `rime_min_k` access amortizes select-vector setup across all `k`
+    /// removals before the freed slots are rewritten with the sentinel.
+    ///
+    /// Returns fewer than `k` keys when the queue holds fewer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn pop_min_k(&mut self, device: &RimeDevice, k: u64) -> Result<Vec<u64>, RimeError> {
+        let want = k.min(self.len);
+        if want == 0 {
+            return Ok(Vec::new());
+        }
+        device.init_all::<u64>(self.region)?;
+        // All real keys rank below the sentinel, so the first `want`
+        // results are exactly the queued minima.
+        let hits = device.rime_min_k::<u64>(self.region, want as usize)?;
+        let mut out = Vec::with_capacity(hits.len());
+        for (slot, key) in hits {
+            debug_assert_ne!(key, EMPTY, "sentinel must never win while len > 0");
+            let local = slot - self.region.start();
+            device.write(self.region, local, &[EMPTY])?;
+            self.free.push_back(local);
+            self.len -= 1;
+            out.push(key);
+        }
+        Ok(out)
+    }
+
     /// Releases the underlying region.
     ///
     /// # Errors
     ///
     /// Propagates device errors.
-    pub fn destroy(self, device: &mut RimeDevice) -> Result<(), RimeError> {
+    pub fn destroy(self, device: &RimeDevice) -> Result<(), RimeError> {
         device.free(self.region)
     }
 }
@@ -126,14 +157,14 @@ mod tests {
 
     #[test]
     fn pushes_and_pops_in_order() {
-        let mut dev = device();
-        let mut pq = RimePriorityQueue::new(&mut dev, 16).unwrap();
+        let dev = device();
+        let mut pq = RimePriorityQueue::new(&dev, 16).unwrap();
         for k in [5u64, 1, 9, 3] {
-            pq.push(&mut dev, k).unwrap();
+            pq.push(&dev, k).unwrap();
         }
         assert_eq!(pq.len(), 4);
         let mut out = Vec::new();
-        while let Some(k) = pq.pop_min(&mut dev).unwrap() {
+        while let Some(k) = pq.pop_min(&dev).unwrap() {
             out.push(k);
         }
         assert_eq!(out, vec![1, 3, 5, 9]);
@@ -142,62 +173,96 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop() {
-        let mut dev = device();
-        let mut pq = RimePriorityQueue::new(&mut dev, 8).unwrap();
-        pq.push(&mut dev, 10).unwrap();
-        pq.push(&mut dev, 4).unwrap();
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(4));
-        pq.push(&mut dev, 2).unwrap();
-        pq.push(&mut dev, 7).unwrap();
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(2));
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(10));
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), None);
+        let dev = device();
+        let mut pq = RimePriorityQueue::new(&dev, 8).unwrap();
+        pq.push(&dev, 10).unwrap();
+        pq.push(&dev, 4).unwrap();
+        assert_eq!(pq.pop_min(&dev).unwrap(), Some(4));
+        pq.push(&dev, 2).unwrap();
+        pq.push(&dev, 7).unwrap();
+        assert_eq!(pq.pop_min(&dev).unwrap(), Some(2));
+        assert_eq!(pq.pop_min(&dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&dev).unwrap(), Some(10));
+        assert_eq!(pq.pop_min(&dev).unwrap(), None);
     }
 
     #[test]
     fn slots_recycle() {
-        let mut dev = device();
-        let mut pq = RimePriorityQueue::new(&mut dev, 2).unwrap();
+        let dev = device();
+        let mut pq = RimePriorityQueue::new(&dev, 2).unwrap();
         for round in 0..5u64 {
-            pq.push(&mut dev, round + 1).unwrap();
-            pq.push(&mut dev, round + 100).unwrap();
-            assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(round + 1));
-            assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(round + 100));
+            pq.push(&dev, round + 1).unwrap();
+            pq.push(&dev, round + 100).unwrap();
+            assert_eq!(pq.pop_min(&dev).unwrap(), Some(round + 1));
+            assert_eq!(pq.pop_min(&dev).unwrap(), Some(round + 100));
         }
         assert_eq!(pq.spare(), 2);
     }
 
     #[test]
     fn overflow_reported() {
-        let mut dev = device();
-        let mut pq = RimePriorityQueue::new(&mut dev, 1).unwrap();
-        pq.push(&mut dev, 1).unwrap();
+        let dev = device();
+        let mut pq = RimePriorityQueue::new(&dev, 1).unwrap();
+        pq.push(&dev, 1).unwrap();
         assert!(matches!(
-            pq.push(&mut dev, 2),
+            pq.push(&dev, 2),
             Err(RimeError::OutOfBounds { .. })
         ));
     }
 
     #[test]
     fn duplicates_pop_individually() {
-        let mut dev = device();
-        let mut pq = RimePriorityQueue::new(&mut dev, 4).unwrap();
+        let dev = device();
+        let mut pq = RimePriorityQueue::new(&dev, 4).unwrap();
         for _ in 0..3 {
-            pq.push(&mut dev, 7).unwrap();
+            pq.push(&dev, 7).unwrap();
         }
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), Some(7));
-        assert_eq!(pq.pop_min(&mut dev).unwrap(), None);
+        assert_eq!(pq.pop_min(&dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&dev).unwrap(), Some(7));
+        assert_eq!(pq.pop_min(&dev).unwrap(), None);
+    }
+
+    #[test]
+    fn pop_min_k_drains_in_batches() {
+        let dev = device();
+        let mut pq = RimePriorityQueue::new(&dev, 16).unwrap();
+        for k in [50u64, 20, 80, 10, 60, 30] {
+            pq.push(&dev, k).unwrap();
+        }
+        assert_eq!(pq.pop_min_k(&dev, 3).unwrap(), vec![10, 20, 30]);
+        assert_eq!(pq.len(), 3);
+        // Freed slots recycle for new pushes, and over-asking drains.
+        pq.push(&dev, 5).unwrap();
+        assert_eq!(pq.pop_min_k(&dev, 99).unwrap(), vec![5, 50, 60, 80]);
+        assert!(pq.is_empty());
+        assert!(pq.pop_min_k(&dev, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pop_min_k_matches_repeated_pop_min() {
+        let dev = device();
+        let mut a = RimePriorityQueue::new(&dev, 32).unwrap();
+        let mut b = RimePriorityQueue::new(&dev, 32).unwrap();
+        let keys: Vec<u64> = (0..20).map(|i| (i * 2654435761u64) % 1009).collect();
+        for &k in &keys {
+            a.push(&dev, k).unwrap();
+            b.push(&dev, k).unwrap();
+        }
+        let batched = a.pop_min_k(&dev, 20).unwrap();
+        let mut sequential = Vec::new();
+        while let Some(k) = b.pop_min(&dev).unwrap() {
+            sequential.push(k);
+        }
+        assert_eq!(batched, sequential);
     }
 
     #[test]
     fn destroy_frees_region() {
-        let mut dev = device();
+        let dev = device();
         let before = dev.largest_free();
-        let pq = RimePriorityQueue::new(&mut dev, 64).unwrap();
-        pq.destroy(&mut dev).unwrap();
+        let pq = RimePriorityQueue::new(&dev, 64).unwrap();
+        pq.destroy(&dev).unwrap();
         assert_eq!(dev.largest_free(), before);
     }
 }

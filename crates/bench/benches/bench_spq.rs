@@ -19,8 +19,8 @@ fn bench_spq(c: &mut Criterion) {
             &stream,
             |b, s| {
                 b.iter(|| {
-                    let mut dev = RimeDevice::new(RimeConfig::small());
-                    black_box(spq::spq_rime(&mut dev, s).unwrap())
+                    let dev = RimeDevice::new(RimeConfig::small());
+                    black_box(spq::spq_rime(&dev, s).unwrap())
                 })
             },
         );

@@ -102,9 +102,9 @@ fn main() {
     }
 
     // Functional wear-leveling check for the PQ.
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
     let stream = PacketStream::generate(512, 2_000, 1, 9);
-    spq::spq_rime(&mut dev, &stream).expect("spq");
+    spq::spq_rime(&dev, &stream).expect("spq");
     let max_wear = dev.max_wear() as f64;
     let mean_wear = 2.0 * (stream.adds() + stream.initial.len()) as f64 / 4096.0;
     println!(

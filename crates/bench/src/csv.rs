@@ -87,7 +87,10 @@ mod tests {
         let csv = to_csv(
             "keys",
             &[1, 2],
-            &[("A".to_string(), vec![0.5, 1.5]), ("B".to_string(), vec![2.0, 3.0])],
+            &[
+                ("A".to_string(), vec![0.5, 1.5]),
+                ("B".to_string(), vec![2.0, 3.0]),
+            ],
         );
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("keys,A,B"));
@@ -106,7 +109,12 @@ mod tests {
     fn export_writes_when_enabled() {
         let dir = std::env::temp_dir().join("rime_csv_test");
         std::env::set_var("RIME_CSV_DIR", &dir);
-        export("Unit Test Series", "x", &[7], &[("y".to_string(), vec![9.0])]);
+        export(
+            "Unit Test Series",
+            "x",
+            &[7],
+            &[("y".to_string(), vec![9.0])],
+        );
         let path = dir.join("unit_test_series.csv");
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("7,9.000000"));

@@ -21,10 +21,12 @@
 //! library; the CPU picks the global winner and only the winning chip
 //! recomputes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use rime_memristive::{
-    ArrayTiming, Chip, ChipGeometry, Direction, KeyFormat, OpCounters, SortableBits,
+    ArrayTiming, Chip, ChipGeometry, Direction, KeyFormat, OpCounters, ParallelPolicy, SortableBits,
 };
 
 use crate::driver::{ContiguousAllocator, DriverConfig};
@@ -119,22 +121,40 @@ struct Session {
     begin: u64,
     end: u64,
     format: KeyFormat,
-    /// Per spanned chip: buffered candidate (global slot, raw bits).
-    candidates: HashMap<u32, Option<(u64, u64)>>,
+    /// Per spanned chip: FIFO of buffered candidates (global slot, raw
+    /// bits), in extraction order. Depth 1 under `rime_min`/`rime_max`;
+    /// the top-k calls prefill deeper so one library call drains `k`
+    /// results (Fig. 14's buffer, generalized).
+    queues: HashMap<u32, VecDeque<(u64, u64)>>,
+}
+
+/// Region/format bookkeeping shared under one lock: a region's extent
+/// and its stored key format are always consulted together.
+#[derive(Debug, Default)]
+struct Tables {
+    regions: HashMap<u64, (u64, u64)>, // id → (start, len)
+    formats: HashMap<u64, KeyFormat>,  // id → stored key format
 }
 
 /// The functional RIME memory device plus API library state.
-#[derive(Debug, Clone)]
+///
+/// Every method takes `&self`: chips, allocator, and session state sit
+/// behind their own locks, so a shared `&RimeDevice` supports the
+/// concurrent multi-range operation §III-B.3 requires (e.g. the merge
+/// scenario of Fig. 14, one thread per input run). Lock order is
+/// tables → sessions map → one session → one chip at a time; no path
+/// holds two chips or two sessions simultaneously, so the hierarchy is
+/// deadlock-free.
+#[derive(Debug)]
 pub struct RimeDevice {
     config: RimeConfig,
-    chips: Vec<Chip>,
-    allocator: ContiguousAllocator,
-    regions: HashMap<u64, (u64, u64)>, // id → (start, len)
-    formats: HashMap<u64, KeyFormat>,  // id → stored key format
-    sessions: HashMap<u64, Session>,   // region id → active rime_init state
-    next_id: u64,
+    chips: Vec<Mutex<Chip>>,
+    allocator: Mutex<ContiguousAllocator>,
+    tables: RwLock<Tables>,
+    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>, // region id → rime_init state
+    next_id: AtomicU64,
     /// Values transferred over the DDR4 interface (for the perf model).
-    pub interface_transfers: u64,
+    interface_transfers: AtomicU64,
 }
 
 impl RimeDevice {
@@ -142,16 +162,22 @@ impl RimeDevice {
     pub fn new(config: RimeConfig) -> RimeDevice {
         RimeDevice {
             chips: (0..config.total_chips())
-                .map(|_| Chip::new(config.chip_geometry))
+                .map(|_| Mutex::new(Chip::new(config.chip_geometry)))
                 .collect(),
-            allocator: ContiguousAllocator::new(config.total_slots(), config.driver),
-            regions: HashMap::new(),
-            formats: HashMap::new(),
-            sessions: HashMap::new(),
-            next_id: 1,
-            interface_transfers: 0,
+            allocator: Mutex::new(ContiguousAllocator::new(
+                config.total_slots(),
+                config.driver,
+            )),
+            tables: RwLock::new(Tables::default()),
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            interface_transfers: AtomicU64::new(0),
             config,
         }
+    }
+
+    fn chip(&self, idx: u32) -> MutexGuard<'_, Chip> {
+        self.chips[idx as usize].lock().expect("chip lock poisoned")
     }
 
     /// The device configuration.
@@ -169,11 +195,18 @@ impl RimeDevice {
     /// # Errors
     ///
     /// [`RimeError::OutOfContiguousMemory`] under fragmentation/exhaustion.
-    pub fn alloc(&mut self, len: u64) -> Result<Region, RimeError> {
-        let start = self.allocator.alloc(len)?;
-        let id = self.next_id;
-        self.next_id += 1;
-        self.regions.insert(id, (start, len));
+    pub fn alloc(&self, len: u64) -> Result<Region, RimeError> {
+        let start = self
+            .allocator
+            .lock()
+            .expect("allocator lock poisoned")
+            .alloc(len)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.tables
+            .write()
+            .expect("tables lock poisoned")
+            .regions
+            .insert(id, (start, len));
         Ok(Region { id, start, len })
     }
 
@@ -182,18 +215,29 @@ impl RimeDevice {
     /// # Errors
     ///
     /// [`RimeError::InvalidRegion`] for stale handles.
-    pub fn free(&mut self, region: Region) -> Result<(), RimeError> {
-        let (start, _) = self
-            .regions
-            .remove(&region.id)
-            .ok_or(RimeError::InvalidRegion)?;
-        self.sessions.remove(&region.id);
-        self.formats.remove(&region.id);
-        self.allocator.free(start)
+    pub fn free(&self, region: Region) -> Result<(), RimeError> {
+        let (start, _) = {
+            let mut tables = self.tables.write().expect("tables lock poisoned");
+            let extent = tables
+                .regions
+                .remove(&region.id)
+                .ok_or(RimeError::InvalidRegion)?;
+            tables.formats.remove(&region.id);
+            extent
+        };
+        self.sessions
+            .write()
+            .expect("sessions lock poisoned")
+            .remove(&region.id);
+        self.allocator
+            .lock()
+            .expect("allocator lock poisoned")
+            .free(start)
     }
 
     fn check(&self, region: Region, offset: u64, n: u64) -> Result<u64, RimeError> {
-        let &(start, len) = self
+        let tables = self.tables.read().expect("tables lock poisoned");
+        let &(start, len) = tables
             .regions
             .get(&region.id)
             .ok_or(RimeError::InvalidRegion)?;
@@ -218,7 +262,7 @@ impl RimeDevice {
     /// [`RimeError::InvalidRegion`], [`RimeError::OutOfBounds`], or a chip
     /// fault for over-wide key formats.
     pub fn write<T: SortableBits>(
-        &mut self,
+        &self,
         region: Region,
         offset: u64,
         keys: &[T],
@@ -235,7 +279,7 @@ impl RimeDevice {
     ///
     /// As for [`RimeDevice::write`].
     pub fn write_raw(
-        &mut self,
+        &self,
         region: Region,
         offset: u64,
         raw_keys: &[u64],
@@ -243,18 +287,27 @@ impl RimeDevice {
     ) -> Result<(), RimeError> {
         let mut slot = self.check(region, offset, raw_keys.len() as u64)?;
         // Writing invalidates any buffered candidates for this region.
-        self.sessions.remove(&region.id);
+        self.sessions
+            .write()
+            .expect("sessions lock poisoned")
+            .remove(&region.id);
         let per_chip = self.config.chip_slots();
         let mut idx = 0usize;
         while idx < raw_keys.len() {
             let (chip, local) = self.chip_of(slot);
             let room = (per_chip - local).min((raw_keys.len() - idx) as u64) as usize;
-            self.chips[chip as usize].store_keys(local, &raw_keys[idx..idx + room], format)?;
+            self.chip(chip)
+                .store_keys(local, &raw_keys[idx..idx + room], format)?;
             idx += room;
             slot += room as u64;
         }
-        self.interface_transfers += raw_keys.len() as u64;
-        self.formats.insert(region.id, format);
+        self.interface_transfers
+            .fetch_add(raw_keys.len() as u64, Ordering::Relaxed);
+        self.tables
+            .write()
+            .expect("tables lock poisoned")
+            .formats
+            .insert(region.id, format);
         Ok(())
     }
 
@@ -264,7 +317,7 @@ impl RimeDevice {
     ///
     /// [`RimeError::InvalidRegion`] or [`RimeError::OutOfBounds`].
     pub fn read<T: SortableBits>(
-        &mut self,
+        &self,
         region: Region,
         offset: u64,
         n: u64,
@@ -281,14 +334,14 @@ impl RimeDevice {
     /// # Errors
     ///
     /// As for [`RimeDevice::read`].
-    pub fn read_raw(&mut self, region: Region, offset: u64, n: u64) -> Result<Vec<u64>, RimeError> {
+    pub fn read_raw(&self, region: Region, offset: u64, n: u64) -> Result<Vec<u64>, RimeError> {
         let start = self.check(region, offset, n)?;
         let mut out = Vec::with_capacity(n as usize);
         for slot in start..start + n {
             let (chip, local) = self.chip_of(slot);
-            out.push(self.chips[chip as usize].read_key(local)?);
+            out.push(self.chip(chip).read_key(local)?);
         }
-        self.interface_transfers += n;
+        self.interface_transfers.fetch_add(n, Ordering::Relaxed);
         Ok(out)
     }
 
@@ -300,7 +353,7 @@ impl RimeDevice {
     ///
     /// Region/bounds errors, or a chip-level format mismatch.
     pub fn init<T: SortableBits>(
-        &mut self,
+        &self,
         region: Region,
         offset: u64,
         len: u64,
@@ -314,7 +367,7 @@ impl RimeDevice {
     ///
     /// As for [`RimeDevice::init`].
     pub fn init_raw(
-        &mut self,
+        &self,
         region: Region,
         offset: u64,
         len: u64,
@@ -327,7 +380,13 @@ impl RimeDevice {
                 len: region.len,
             });
         }
-        if let Some(&stored) = self.formats.get(&region.id) {
+        if let Some(&stored) = self
+            .tables
+            .read()
+            .expect("tables lock poisoned")
+            .formats
+            .get(&region.id)
+        {
             if stored != format {
                 return Err(RimeError::TypeMismatch {
                     stored: stored.name(),
@@ -336,7 +395,7 @@ impl RimeDevice {
             }
         }
         let end = begin + len;
-        let mut candidates = HashMap::new();
+        let mut queues = HashMap::new();
         let per_chip = self.config.chip_slots();
         let first_chip = (begin / per_chip) as u32;
         let last_chip = ((end - 1) / per_chip) as u32;
@@ -344,19 +403,23 @@ impl RimeDevice {
             let chip_base = chip_idx as u64 * per_chip;
             let local_begin = begin.saturating_sub(chip_base);
             let local_end = (end - chip_base).min(per_chip);
-            self.chips[chip_idx as usize].init_range(local_begin, local_end, format)?;
-            candidates.insert(chip_idx, None);
+            self.chip(chip_idx)
+                .init_range(local_begin, local_end, format)?;
+            queues.insert(chip_idx, VecDeque::new());
         }
-        self.sessions.insert(
-            region.id,
-            Session {
-                direction: None,
-                begin,
-                end,
-                format,
-                candidates,
-            },
-        );
+        self.sessions
+            .write()
+            .expect("sessions lock poisoned")
+            .insert(
+                region.id,
+                Arc::new(Mutex::new(Session {
+                    direction: None,
+                    begin,
+                    end,
+                    format,
+                    queues,
+                })),
+            );
         Ok(())
     }
 
@@ -365,12 +428,12 @@ impl RimeDevice {
     /// # Errors
     ///
     /// As for [`RimeDevice::init`].
-    pub fn init_all<T: SortableBits>(&mut self, region: Region) -> Result<(), RimeError> {
+    pub fn init_all<T: SortableBits>(&self, region: Region) -> Result<(), RimeError> {
         self.init::<T>(region, 0, region.len)
     }
 
     fn next_extreme<T: SortableBits>(
-        &mut self,
+        &self,
         region: Region,
         direction: Direction,
     ) -> Result<Option<(u64, T)>, RimeError> {
@@ -379,95 +442,99 @@ impl RimeDevice {
             .map(|(slot, raw)| (slot, T::from_raw_bits(raw))))
     }
 
-    /// Format-explicit extraction core shared by the typed API and the
-    /// memory-mapped interface: returns the next extreme's (global slot,
-    /// raw bits).
-    ///
-    /// # Errors
-    ///
-    /// As for [`RimeDevice::rime_min`].
-    pub fn next_extreme_raw(
-        &mut self,
-        region: Region,
-        want_format: KeyFormat,
-        direction: Direction,
-    ) -> Result<Option<(u64, u64)>, RimeError> {
-        if !self.regions.contains_key(&region.id) {
+    /// Looks up the live session for `region`, validating the region
+    /// handle first. The returned `Arc` lets the caller lock the session
+    /// without holding the sessions-map lock.
+    fn session(&self, region: Region) -> Result<Arc<Mutex<Session>>, RimeError> {
+        if !self
+            .tables
+            .read()
+            .expect("tables lock poisoned")
+            .regions
+            .contains_key(&region.id)
+        {
             return Err(RimeError::InvalidRegion);
         }
-        let (format, begin, end, active, mut chip_ids) = {
-            let session = self
-                .sessions
-                .get(&region.id)
-                .ok_or(RimeError::NotInitialized)?;
-            let ids: Vec<u32> = session.candidates.keys().copied().collect();
-            (
-                session.format,
-                session.begin,
-                session.end,
-                session.direction,
-                ids,
-            )
-        };
-        chip_ids.sort_unstable();
-        if format != want_format {
-            return Err(RimeError::TypeMismatch {
-                stored: format.name(),
-                requested: want_format.name(),
-            });
-        }
+        self.sessions
+            .read()
+            .expect("sessions lock poisoned")
+            .get(&region.id)
+            .cloned()
+            .ok_or(RimeError::NotInitialized)
+    }
+
+    fn chip_local_range(&self, session: &Session, chip_idx: u32) -> (u64, u64, u64) {
         let per_chip = self.config.chip_slots();
-        // Direction changes mid-stream require a fresh init: the buffered
-        // candidates and exclusion flags encode the old direction.
-        match active {
-            Some(d) if d != direction => {
-                for &chip_idx in &chip_ids {
-                    let chip_base = chip_idx as u64 * per_chip;
-                    let local_begin = begin.saturating_sub(chip_base);
-                    let local_end = (end - chip_base).min(per_chip);
-                    self.chips[chip_idx as usize].init_range(local_begin, local_end, format)?;
+        let chip_base = chip_idx as u64 * per_chip;
+        let local_begin = session.begin.saturating_sub(chip_base);
+        let local_end = (session.end - chip_base).min(per_chip);
+        (chip_base, local_begin, local_end)
+    }
+
+    /// Applies the requested direction to the session, re-initializing
+    /// every spanned chip when it flips mid-stream: the buffered
+    /// candidates and exclusion flags encode the old direction.
+    fn apply_direction(
+        &self,
+        session: &mut Session,
+        direction: Direction,
+    ) -> Result<(), RimeError> {
+        if let Some(d) = session.direction {
+            if d != direction {
+                let mut chip_ids: Vec<u32> = session.queues.keys().copied().collect();
+                chip_ids.sort_unstable();
+                for chip_idx in chip_ids {
+                    let (_, local_begin, local_end) = self.chip_local_range(session, chip_idx);
+                    self.chip(chip_idx)
+                        .init_range(local_begin, local_end, session.format)?;
                 }
-                let session = self.sessions.get_mut(&region.id).expect("session exists");
-                for c in session.candidates.values_mut() {
-                    *c = None;
+                for queue in session.queues.values_mut() {
+                    queue.clear();
                 }
-                session.direction = Some(direction);
-            }
-            _ => {
-                self.sessions
-                    .get_mut(&region.id)
-                    .expect("session exists")
-                    .direction = Some(direction);
             }
         }
+        session.direction = Some(direction);
+        Ok(())
+    }
 
-        // Fig. 14: fill empty per-chip buffers, then reduce on the CPU.
-        for &chip_idx in &chip_ids {
-            let needs_fill = self.sessions[&region.id].candidates[&chip_idx].is_none();
-            if needs_fill {
-                let chip_base = chip_idx as u64 * per_chip;
-                let local_begin = begin.saturating_sub(chip_base);
-                let local_end = (end - chip_base).min(per_chip);
-                let hit = self.chips[chip_idx as usize].extract_range(
-                    local_begin,
-                    local_end,
-                    format,
-                    direction,
-                )?;
-                let global = hit.map(|h| (chip_base + h.slot, h.raw_bits));
-                self.sessions
-                    .get_mut(&region.id)
-                    .expect("session exists")
-                    .candidates
-                    .insert(chip_idx, global);
+    /// Fig. 14: tops up each spanned chip's candidate buffer to `depth`
+    /// using the chip's batched extraction, so one library call can
+    /// drain several results without re-engaging every chip in between.
+    fn prefill_queues(
+        &self,
+        session: &mut Session,
+        direction: Direction,
+        depth: usize,
+    ) -> Result<(), RimeError> {
+        let mut chip_ids: Vec<u32> = session.queues.keys().copied().collect();
+        chip_ids.sort_unstable();
+        for chip_idx in chip_ids {
+            let have = session.queues[&chip_idx].len();
+            if have >= depth {
+                continue;
             }
+            let (chip_base, local_begin, local_end) = self.chip_local_range(session, chip_idx);
+            let hits = self.chip(chip_idx).extract_range_batch(
+                local_begin,
+                local_end,
+                session.format,
+                direction,
+                depth - have,
+            )?;
+            let queue = session.queues.get_mut(&chip_idx).expect("spanned chip");
+            queue.extend(hits.iter().map(|h| (chip_base + h.slot, h.raw_bits)));
         }
-        let session = self.sessions.get_mut(&region.id).expect("session exists");
+        Ok(())
+    }
 
-        // CPU-side comparison across the buffered per-chip values.
+    /// CPU-side reduction across the buffered per-chip queue fronts:
+    /// pops and returns the global winner, breaking value ties toward
+    /// the lower global slot (stable, like the H-tree's priority rule).
+    fn pop_winner(session: &mut Session, direction: Direction) -> Option<(u64, u64)> {
+        let format = session.format;
         let mut best: Option<(u32, u64, u64)> = None; // (chip, slot, raw)
-        for (&chip_idx, cand) in &session.candidates {
-            if let Some((slot, raw)) = *cand {
+        for (&chip_idx, queue) in &session.queues {
+            if let Some(&(slot, raw)) = queue.front() {
                 let better = match best {
                     None => true,
                     Some((_, bslot, braw)) => {
@@ -483,14 +550,129 @@ impl RimeDevice {
                 }
             }
         }
-        match best {
+        best.map(|(chip_idx, slot, raw)| {
+            session
+                .queues
+                .get_mut(&chip_idx)
+                .expect("winning chip is spanned")
+                .pop_front();
+            (slot, raw)
+        })
+    }
+
+    /// Format-explicit extraction core shared by the typed API and the
+    /// memory-mapped interface: returns the next extreme's (global slot,
+    /// raw bits).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::rime_min`].
+    pub fn next_extreme_raw(
+        &self,
+        region: Region,
+        want_format: KeyFormat,
+        direction: Direction,
+    ) -> Result<Option<(u64, u64)>, RimeError> {
+        let session = self.session(region)?;
+        let mut session = session.lock().expect("session lock poisoned");
+        if session.format != want_format {
+            return Err(RimeError::TypeMismatch {
+                stored: session.format.name(),
+                requested: want_format.name(),
+            });
+        }
+        self.apply_direction(&mut session, direction)?;
+        self.prefill_queues(&mut session, direction, 1)?;
+        match Self::pop_winner(&mut session, direction) {
             None => Ok(None),
-            Some((chip_idx, slot, raw)) => {
-                session.candidates.insert(chip_idx, None); // refilled next call
-                self.interface_transfers += 1;
-                Ok(Some((slot, raw)))
+            Some(hit) => {
+                self.interface_transfers.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(hit))
             }
         }
+    }
+
+    /// Format-explicit top-k extraction core: up to `k` consecutive
+    /// extremes in order, equivalent to calling
+    /// [`RimeDevice::next_extreme_raw`] until `k` results are collected
+    /// or the range is exhausted — but with the per-chip candidate
+    /// buffers of Fig. 14 prefilled to depth `k` via the chips' batched
+    /// extraction, so select-vector setup and H-tree index traversals
+    /// amortize across the whole batch. Unconsumed candidates stay
+    /// buffered for subsequent calls of either form.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::rime_min`].
+    pub fn next_extremes_raw(
+        &self,
+        region: Region,
+        want_format: KeyFormat,
+        direction: Direction,
+        k: usize,
+    ) -> Result<Vec<(u64, u64)>, RimeError> {
+        let session = self.session(region)?;
+        let mut session = session.lock().expect("session lock poisoned");
+        if session.format != want_format {
+            return Err(RimeError::TypeMismatch {
+                stored: session.format.name(),
+                requested: want_format.name(),
+            });
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        self.apply_direction(&mut session, direction)?;
+        self.prefill_queues(&mut session, direction, k)?;
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match Self::pop_winner(&mut session, direction) {
+                None => break,
+                Some(hit) => {
+                    self.interface_transfers.fetch_add(1, Ordering::Relaxed);
+                    out.push(hit);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `rime_min_k`: the next `k` smallest keys of the initialized range
+    /// in ascending order (with their global slot addresses). Returns
+    /// fewer when the range runs dry. Equivalent to — but cheaper than —
+    /// `k` successive [`RimeDevice::rime_min`] calls.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::rime_min`].
+    pub fn rime_min_k<T: SortableBits>(
+        &self,
+        region: Region,
+        k: usize,
+    ) -> Result<Vec<(u64, T)>, RimeError> {
+        Ok(self
+            .next_extremes_raw(region, T::FORMAT, Direction::Min, k)?
+            .into_iter()
+            .map(|(slot, raw)| (slot, T::from_raw_bits(raw)))
+            .collect())
+    }
+
+    /// `rime_max_k`: the next `k` largest keys in descending order. See
+    /// [`RimeDevice::rime_min_k`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`RimeDevice::rime_min`].
+    pub fn rime_max_k<T: SortableBits>(
+        &self,
+        region: Region,
+        k: usize,
+    ) -> Result<Vec<(u64, T)>, RimeError> {
+        Ok(self
+            .next_extremes_raw(region, T::FORMAT, Direction::Max, k)?
+            .into_iter()
+            .map(|(slot, raw)| (slot, T::from_raw_bits(raw)))
+            .collect())
     }
 
     /// `rime_min`: returns the next smallest key of the initialized range
@@ -500,10 +682,7 @@ impl RimeDevice {
     ///
     /// [`RimeError::NotInitialized`] without a prior [`RimeDevice::init`];
     /// [`RimeError::TypeMismatch`] if `T` differs from the stored format.
-    pub fn rime_min<T: SortableBits>(
-        &mut self,
-        region: Region,
-    ) -> Result<Option<(u64, T)>, RimeError> {
+    pub fn rime_min<T: SortableBits>(&self, region: Region) -> Result<Option<(u64, T)>, RimeError> {
         self.next_extreme(region, Direction::Min)
     }
 
@@ -512,10 +691,7 @@ impl RimeDevice {
     /// # Errors
     ///
     /// As for [`RimeDevice::rime_min`].
-    pub fn rime_max<T: SortableBits>(
-        &mut self,
-        region: Region,
-    ) -> Result<Option<(u64, T)>, RimeError> {
+    pub fn rime_max<T: SortableBits>(&self, region: Region) -> Result<Option<(u64, T)>, RimeError> {
         self.next_extreme(region, Direction::Max)
     }
 
@@ -523,25 +699,44 @@ impl RimeDevice {
     /// the performance model exploits).
     pub fn spanned_chips(&self, region: Region) -> u32 {
         self.sessions
+            .read()
+            .expect("sessions lock poisoned")
             .get(&region.id)
-            .map_or(0, |s| s.candidates.len() as u32)
+            .map_or(0, |s| {
+                s.lock().expect("session lock poisoned").queues.len() as u32
+            })
+    }
+
+    /// Values transferred over the DDR4 interface so far (perf model).
+    pub fn interface_transfers(&self) -> u64 {
+        self.interface_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Sets every chip's mat fan-out policy (model-execution knob; see
+    /// [`ParallelPolicy`] — results and counters are unaffected).
+    pub fn set_parallel_policy(&self, policy: ParallelPolicy) {
+        for chip in &self.chips {
+            chip.lock()
+                .expect("chip lock poisoned")
+                .set_parallel_policy(policy);
+        }
     }
 
     /// Aggregated operation counters across all chips.
     pub fn counters(&self) -> OpCounters {
         let mut total = OpCounters::new();
         for chip in &self.chips {
-            total += *chip.counters();
+            total += *chip.lock().expect("chip lock poisoned").counters();
         }
         total
     }
 
     /// Resets all chips' counters.
-    pub fn reset_counters(&mut self) {
-        for chip in &mut self.chips {
-            chip.reset_counters();
+    pub fn reset_counters(&self) {
+        for chip in &self.chips {
+            chip.lock().expect("chip lock poisoned").reset_counters();
         }
-        self.interface_transfers = 0;
+        self.interface_transfers.store(0, Ordering::Relaxed);
     }
 
     /// Modeled array energy of everything done so far (nJ): Table I
@@ -549,7 +744,11 @@ impl RimeDevice {
     pub fn modeled_energy_nj(&self) -> f64 {
         self.chips
             .iter()
-            .map(|c| self.config.timing.energy_nj(c.counters()))
+            .map(|c| {
+                self.config
+                    .timing
+                    .energy_nj(c.lock().expect("chip lock poisoned").counters())
+            })
             .sum()
     }
 
@@ -558,18 +757,29 @@ impl RimeDevice {
     pub fn modeled_busy_ns(&self) -> f64 {
         self.chips
             .iter()
-            .map(|c| self.config.timing.time_ns(c.counters()))
+            .map(|c| {
+                self.config
+                    .timing
+                    .time_ns(c.lock().expect("chip lock poisoned").counters())
+            })
             .fold(0.0, f64::max)
     }
 
     /// Hottest-block write count across all chips (endurance study).
     pub fn max_wear(&self) -> u32 {
-        self.chips.iter().map(Chip::max_wear).max().unwrap_or(0)
+        self.chips
+            .iter()
+            .map(|c| c.lock().expect("chip lock poisoned").max_wear())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest free contiguous extent (driver diagnostics).
     pub fn largest_free(&self) -> u64 {
-        self.allocator.largest_free()
+        self.allocator
+            .lock()
+            .expect("allocator lock poisoned")
+            .largest_free()
     }
 }
 
@@ -594,7 +804,7 @@ mod tests {
 
     #[test]
     fn alloc_write_read_roundtrip() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(100).unwrap();
         let keys: Vec<u32> = (0..100).map(|i| i * 3).collect();
         dev.write(region, 0, &keys).unwrap();
@@ -606,7 +816,7 @@ mod tests {
 
     #[test]
     fn rime_min_streams_sorted_values() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(8).unwrap();
         dev.write(region, 0, &[5u32, 1, 3, 7, 10, 4, 8, 5]).unwrap();
         dev.init_all::<u32>(region).unwrap();
@@ -619,7 +829,7 @@ mod tests {
 
     #[test]
     fn region_spanning_chips_sorts_globally() {
-        let mut dev = device();
+        let dev = device();
         let per_chip = dev.config().chip_slots();
         // Allocate more than one chip's worth.
         let n = per_chip + 10;
@@ -638,7 +848,7 @@ mod tests {
     #[test]
     fn rank_example_from_fig12() {
         // Fig. 12: find the 100 least values of a large range in order.
-        let mut dev = device();
+        let dev = device();
         let n = 1000u64;
         let region = dev.alloc(n).unwrap();
         let keys: Vec<u64> = (0..n).map(|i| (i * 7919) % 104729).collect();
@@ -655,7 +865,7 @@ mod tests {
 
     #[test]
     fn reinit_discards_buffered_values() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(4).unwrap();
         dev.write(region, 0, &[4u32, 3, 2, 1]).unwrap();
         dev.init_all::<u32>(region).unwrap();
@@ -666,7 +876,7 @@ mod tests {
 
     #[test]
     fn sub_range_init() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(10).unwrap();
         dev.write(region, 0, &[9u32, 8, 7, 6, 5, 4, 3, 2, 1, 0])
             .unwrap();
@@ -677,7 +887,7 @@ mod tests {
 
     #[test]
     fn direction_switch_rearms() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(4).unwrap();
         dev.write(region, 0, &[4i32, -3, 2, -1]).unwrap();
         dev.init_all::<i32>(region).unwrap();
@@ -689,7 +899,7 @@ mod tests {
 
     #[test]
     fn errors_on_misuse() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(4).unwrap();
         assert_eq!(dev.rime_min::<u32>(region), Err(RimeError::NotInitialized));
         dev.write(region, 0, &[1u32, 2, 3, 4]).unwrap();
@@ -709,7 +919,7 @@ mod tests {
 
     #[test]
     fn write_invalidates_session() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(4).unwrap();
         dev.write(region, 0, &[4u32, 3, 2, 1]).unwrap();
         dev.init_all::<u32>(region).unwrap();
@@ -720,7 +930,7 @@ mod tests {
 
     #[test]
     fn floats_sort_in_total_order() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(5).unwrap();
         dev.write(region, 0, &[18.0f32, -1.625, -0.75, 0.5, -2.5])
             .unwrap();
@@ -734,7 +944,7 @@ mod tests {
 
     #[test]
     fn modeled_time_and_energy_track_activity() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(64).unwrap();
         let keys: Vec<u32> = (0..64).rev().collect();
         dev.write(region, 0, &keys).unwrap();
@@ -754,7 +964,7 @@ mod tests {
 
     #[test]
     fn counters_and_transfers_accumulate() {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(4).unwrap();
         dev.write(region, 0, &[4u32, 3, 2, 1]).unwrap();
         dev.init_all::<u32>(region).unwrap();
@@ -762,8 +972,140 @@ mod tests {
         let c = dev.counters();
         assert_eq!(c.row_writes, 4);
         assert!(c.extractions >= 1);
-        assert!(dev.interface_transfers >= 5);
+        assert!(dev.interface_transfers() >= 5);
         dev.reset_counters();
         assert_eq!(dev.counters().row_writes, 0);
+    }
+
+    #[test]
+    fn rime_min_k_matches_repeated_rime_min() {
+        let seq = device();
+        let bat = device();
+        let keys: Vec<u32> = (0..200u32).map(|i| (i * 7919) % 541).collect();
+        let mut regions = Vec::new();
+        for dev in [&seq, &bat] {
+            let region = dev.alloc(keys.len() as u64).unwrap();
+            dev.write(region, 0, &keys).unwrap();
+            dev.init_all::<u32>(region).unwrap();
+            regions.push(region);
+        }
+        let mut want = Vec::new();
+        for _ in 0..50 {
+            match seq.rime_min::<u32>(regions[0]).unwrap() {
+                Some(hit) => want.push(hit),
+                None => break,
+            }
+        }
+        let got = bat.rime_min_k::<u32>(regions[1], 50).unwrap();
+        assert_eq!(got, want);
+        // Both streams continue identically after the batch.
+        assert_eq!(
+            bat.rime_min::<u32>(regions[1]).unwrap(),
+            seq.rime_min::<u32>(regions[0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn rime_max_k_spans_chips_and_exhausts() {
+        let dev = device();
+        let per_chip = dev.config().chip_slots();
+        let n = per_chip + 6;
+        let region = dev.alloc(n).unwrap();
+        let keys: Vec<u32> = (0..n as u32).collect();
+        dev.write(region, 0, &keys).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        assert!(dev.spanned_chips(region) >= 2);
+        // Ask for more than exist: get everything, in descending order.
+        let got = dev.rime_max_k::<u32>(region, n as usize + 10).unwrap();
+        assert_eq!(got.len(), n as usize);
+        let vals: Vec<u32> = got.iter().map(|&(_, v)| v).collect();
+        let mut want = keys.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(vals, want);
+        assert!(dev.rime_max::<u32>(region).unwrap().is_none());
+    }
+
+    #[test]
+    fn rime_min_k_direction_switch_rearms() {
+        let dev = device();
+        let region = dev.alloc(4).unwrap();
+        dev.write(region, 0, &[4i32, -3, 2, -1]).unwrap();
+        dev.init_all::<i32>(region).unwrap();
+        assert_eq!(
+            dev.rime_min_k::<i32>(region, 2)
+                .unwrap()
+                .iter()
+                .map(|&(_, v)| v)
+                .collect::<Vec<_>>(),
+            vec![-3, -1]
+        );
+        // Switching to max re-initializes: the full set is back.
+        assert_eq!(
+            dev.rime_max_k::<i32>(region, 4)
+                .unwrap()
+                .iter()
+                .map(|&(_, v)| v)
+                .collect::<Vec<_>>(),
+            vec![4, 2, -1, -3]
+        );
+    }
+
+    #[test]
+    fn rime_min_k_zero_and_errors() {
+        let dev = device();
+        let region = dev.alloc(4).unwrap();
+        dev.write(region, 0, &[1u32, 2, 3, 4]).unwrap();
+        assert_eq!(
+            dev.rime_min_k::<u32>(region, 3),
+            Err(RimeError::NotInitialized)
+        );
+        dev.init_all::<u32>(region).unwrap();
+        assert_eq!(dev.rime_min_k::<u32>(region, 0).unwrap(), vec![]);
+        assert!(matches!(
+            dev.rime_min_k::<f32>(region, 3),
+            Err(RimeError::TypeMismatch { .. })
+        ));
+        dev.free(region).unwrap();
+        assert_eq!(
+            dev.rime_min_k::<u32>(region, 3),
+            Err(RimeError::InvalidRegion)
+        );
+    }
+
+    #[test]
+    fn shared_reference_supports_concurrent_ranges() {
+        // Two disjoint regions driven from two threads through &RimeDevice.
+        let dev = device();
+        let a = dev.alloc(64).unwrap();
+        let b = dev.alloc(64).unwrap();
+        let ka: Vec<u32> = (0..64u32).rev().collect();
+        let kb: Vec<u32> = (0..64u32).map(|i| i * 3 % 101).collect();
+        dev.write(a, 0, &ka).unwrap();
+        dev.write(b, 0, &kb).unwrap();
+        dev.init_all::<u32>(a).unwrap();
+        dev.init_all::<u32>(b).unwrap();
+        let (got_a, got_b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| {
+                let mut out = Vec::new();
+                while let Some((_, v)) = dev.rime_min::<u32>(a).unwrap() {
+                    out.push(v);
+                }
+                out
+            });
+            let tb = s.spawn(|| {
+                let mut out = Vec::new();
+                while let Some((_, v)) = dev.rime_min::<u32>(b).unwrap() {
+                    out.push(v);
+                }
+                out
+            });
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        let mut want_a = ka.clone();
+        want_a.sort_unstable();
+        let mut want_b = kb.clone();
+        want_b.sort_unstable();
+        assert_eq!(got_a, want_a);
+        assert_eq!(got_b, want_b);
     }
 }

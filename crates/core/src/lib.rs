@@ -29,14 +29,14 @@
 //! use rime_core::{ops, RimeConfig, RimeDevice};
 //!
 //! # fn main() -> Result<(), rime_core::RimeError> {
-//! let mut dev = RimeDevice::new(RimeConfig::small());
+//! let dev = RimeDevice::new(RimeConfig::small());
 //!
 //! // rime_malloc + ordinary stores
 //! let region = dev.alloc(6)?;
 //! dev.write(region, 0, &[5.5f32, -1.0, 3.25, 0.0, -7.5, 2.0])?;
 //!
-//! // rime_init + repeated rime_min = an ordered stream
-//! let sorted = ops::sort_into_vec::<f32>(&mut dev, region)?;
+//! // rime_init + batched rime_min_k = an ordered stream
+//! let sorted = ops::sort_into_vec::<f32>(&dev, region)?;
 //! assert_eq!(sorted, vec![-7.5, -1.0, 0.0, 2.0, 3.25, 5.5]);
 //!
 //! dev.free(region)?;
@@ -62,4 +62,4 @@ pub use error::RimeError;
 pub use perf::{Placement, RimePerfConfig};
 
 // Re-export the substrate types callers need at the API boundary.
-pub use rime_memristive::{Direction, KeyFormat, SortableBits};
+pub use rime_memristive::{Direction, KeyFormat, ParallelPolicy, SortableBits};

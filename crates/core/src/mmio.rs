@@ -14,6 +14,8 @@
 //! to the DIMM. The data space (key slots) is mapped byte-addressably
 //! above [`DATA_BASE`].
 
+use std::collections::VecDeque;
+
 use rime_memristive::{Direction, KeyFormat};
 
 use crate::device::{Region, RimeDevice};
@@ -35,6 +37,13 @@ pub mod regs {
     pub const RESULT_VALUE: u64 = 0x28;
     /// Global key-slot address of the last extracted value.
     pub const RESULT_ADDR: u64 = 0x30;
+    /// Batch size for `MIN_K` / `MAX_K` commands.
+    pub const COUNT: u64 = 0x38;
+    /// Read-only: results still buffered in the FIFO (excluding the one
+    /// latched in the result registers).
+    pub const RESULT_COUNT: u64 = 0x40;
+    /// Read-only: typed code of the last fault (see [`super::errcode`]).
+    pub const ERROR: u64 = 0x48;
 }
 
 /// Command codes for [`regs::COMMAND`].
@@ -45,6 +54,14 @@ pub mod cmd {
     pub const MIN: u64 = 2;
     /// `rime_max`: extract the next maximum into the result registers.
     pub const MAX: u64 = 3;
+    /// Batched `rime_min`: extract the next `COUNT` minima into the
+    /// result FIFO, latching the first into the result registers.
+    pub const MIN_K: u64 = 4;
+    /// Batched `rime_max`, symmetric to [`MIN_K`].
+    pub const MAX_K: u64 = 5;
+    /// Latch the next buffered result from the FIFO into the result
+    /// registers; `EXHAUSTED` once the FIFO is drained.
+    pub const FIFO_NEXT: u64 = 6;
 }
 
 /// Status codes readable from [`regs::STATUS`].
@@ -53,8 +70,45 @@ pub mod status {
     pub const OK: u64 = 0;
     /// The initialized range is exhausted (MIN/MAX found nothing).
     pub const EXHAUSTED: u64 = 1;
-    /// The command faulted (bad range, bad format, missing INIT …).
+    /// The command faulted; [`super::regs::ERROR`] holds the typed
+    /// [`super::errcode`].
     pub const ERROR: u64 = 2;
+}
+
+/// Typed fault codes readable from [`regs::ERROR`] after a command sets
+/// [`status::ERROR`]. Malformed command sequences park a code here and
+/// leave the interface usable instead of aborting.
+pub mod errcode {
+    /// No fault since the last successful command.
+    pub const NONE: u64 = 0;
+    /// The addressed region is unknown or stale.
+    pub const INVALID_REGION: u64 = 1;
+    /// Range or slot address outside the window.
+    pub const OUT_OF_BOUNDS: u64 = 2;
+    /// Extraction without a prior `INIT`.
+    pub const NOT_INITIALIZED: u64 = 3;
+    /// Requested format disagrees with the stored one.
+    pub const TYPE_MISMATCH: u64 = 4;
+    /// Allocation failure inside the device.
+    pub const OUT_OF_MEMORY: u64 = 5;
+    /// A chip-level fault (bad range, key too wide, …).
+    pub const CHIP: u64 = 6;
+    /// [`super::regs::FORMAT`] holds an undecodable encoding.
+    pub const BAD_FORMAT: u64 = 7;
+    /// Unknown command code written to the doorbell.
+    pub const BAD_COMMAND: u64 = 8;
+}
+
+/// Maps a device error onto its [`errcode`] register value.
+fn errcode_of(error: &RimeError) -> u64 {
+    match error {
+        RimeError::InvalidRegion => errcode::INVALID_REGION,
+        RimeError::OutOfBounds { .. } => errcode::OUT_OF_BOUNDS,
+        RimeError::NotInitialized => errcode::NOT_INITIALIZED,
+        RimeError::TypeMismatch { .. } => errcode::TYPE_MISMATCH,
+        RimeError::OutOfContiguousMemory { .. } => errcode::OUT_OF_MEMORY,
+        RimeError::Chip(_) => errcode::CHIP,
+    }
 }
 
 /// First byte address of the data window; key slot `s` occupies bytes
@@ -124,6 +178,10 @@ pub struct MmioInterface {
     status: u64,
     result_value: u64,
     result_addr: u64,
+    count: u64,
+    error: u64,
+    /// Results buffered by `MIN_K`/`MAX_K`, drained by `FIFO_NEXT`.
+    fifo: VecDeque<(u64, u64)>,
     /// Uncacheable accesses performed (each read/write below is one).
     pub uc_accesses: u64,
 }
@@ -131,7 +189,7 @@ pub struct MmioInterface {
 impl MmioInterface {
     /// Brings up a device and maps its whole capacity into the window.
     pub fn new(config: crate::device::RimeConfig) -> MmioInterface {
-        let mut device = RimeDevice::new(config);
+        let device = RimeDevice::new(config);
         let capacity = device.capacity();
         let window = device.alloc(capacity).expect("fresh device has room");
         MmioInterface {
@@ -143,6 +201,9 @@ impl MmioInterface {
             status: status::OK,
             result_value: 0,
             result_addr: 0,
+            count: 1,
+            error: errcode::NONE,
+            fifo: VecDeque::new(),
             uc_accesses: 0,
         }
     }
@@ -172,6 +233,9 @@ impl MmioInterface {
             regs::STATUS => self.status,
             regs::RESULT_VALUE => self.result_value,
             regs::RESULT_ADDR => self.result_addr,
+            regs::COUNT => self.count,
+            regs::RESULT_COUNT => self.fifo.len() as u64,
+            regs::ERROR => self.error,
             _ => 0,
         }
     }
@@ -184,54 +248,99 @@ impl MmioInterface {
         if addr >= DATA_BASE {
             let slot = (addr - DATA_BASE) / 8;
             let format = decode_format(self.format_code).unwrap_or(KeyFormat::UNSIGNED64);
-            self.status = match self.device.write_raw(self.window, slot, &[value], format) {
-                Ok(()) => status::OK,
-                Err(_) => status::ERROR,
-            };
+            match self.device.write_raw(self.window, slot, &[value], format) {
+                Ok(()) => {
+                    self.status = status::OK;
+                    self.error = errcode::NONE;
+                }
+                Err(e) => self.fault(errcode_of(&e)),
+            }
             return;
         }
         match addr {
             regs::BEGIN => self.begin = value,
             regs::END => self.end = value,
             regs::FORMAT => self.format_code = value,
+            regs::COUNT => self.count = value,
             regs::COMMAND => self.execute(value),
             _ => {}
         }
     }
 
     fn execute(&mut self, command: u64) {
+        self.error = errcode::NONE;
+        if command == cmd::FIFO_NEXT {
+            self.advance_fifo();
+            return;
+        }
         let Some(format) = decode_format(self.format_code) else {
-            self.status = status::ERROR;
+            self.fault(errcode::BAD_FORMAT);
             return;
         };
-        let result: Result<Option<(u64, u64)>, RimeError> = match command {
+        match command {
             cmd::INIT => {
+                self.fifo.clear();
                 let len = self.end.saturating_sub(self.begin);
-                self.device
-                    .init_raw(self.window, self.begin, len, format)
-                    .map(|()| None)
+                match self.device.init_raw(self.window, self.begin, len, format) {
+                    Ok(()) => self.status = status::OK,
+                    Err(e) => self.fault(errcode_of(&e)),
+                }
             }
-            cmd::MIN => self
-                .device
-                .next_extreme_raw(self.window, format, Direction::Min),
-            cmd::MAX => self
-                .device
-                .next_extreme_raw(self.window, format, Direction::Max),
-            _ => {
-                self.status = status::ERROR;
-                return;
+            cmd::MIN | cmd::MAX => {
+                self.fifo.clear();
+                let direction = if command == cmd::MIN {
+                    Direction::Min
+                } else {
+                    Direction::Max
+                };
+                match self.device.next_extreme_raw(self.window, format, direction) {
+                    Ok(Some((slot, raw))) => {
+                        self.result_addr = slot;
+                        self.result_value = raw;
+                        self.status = status::OK;
+                    }
+                    Ok(None) => self.status = status::EXHAUSTED,
+                    Err(e) => self.fault(errcode_of(&e)),
+                }
             }
-        };
-        self.status = match result {
-            Ok(Some((slot, raw))) => {
+            cmd::MIN_K | cmd::MAX_K => {
+                self.fifo.clear();
+                let direction = if command == cmd::MIN_K {
+                    Direction::Min
+                } else {
+                    Direction::Max
+                };
+                let want = usize::try_from(self.count).unwrap_or(usize::MAX);
+                match self
+                    .device
+                    .next_extremes_raw(self.window, format, direction, want)
+                {
+                    Ok(results) => {
+                        self.fifo.extend(results);
+                        self.advance_fifo();
+                    }
+                    Err(e) => self.fault(errcode_of(&e)),
+                }
+            }
+            _ => self.fault(errcode::BAD_COMMAND),
+        }
+    }
+
+    /// Latches the next buffered result, or reports exhaustion.
+    fn advance_fifo(&mut self) {
+        match self.fifo.pop_front() {
+            Some((slot, raw)) => {
                 self.result_addr = slot;
                 self.result_value = raw;
-                status::OK
+                self.status = status::OK;
             }
-            Ok(None) if command == cmd::INIT => status::OK,
-            Ok(None) => status::EXHAUSTED,
-            Err(_) => status::ERROR,
-        };
+            None => self.status = status::EXHAUSTED,
+        }
+    }
+
+    fn fault(&mut self, code: u64) {
+        self.status = status::ERROR;
+        self.error = code;
     }
 }
 
@@ -251,28 +360,118 @@ mod tests {
         }
     }
 
-    fn run_sort(m: &mut MmioInterface, n: u64) -> Vec<u64> {
+    /// Drives a full ascending drain through the registers; a faulting
+    /// command surfaces as the typed [`errcode`] instead of a panic.
+    fn run_sort(m: &mut MmioInterface, n: u64) -> Result<Vec<u64>, u64> {
         m.write(regs::BEGIN, 0);
         m.write(regs::END, n);
         m.write(regs::COMMAND, cmd::INIT);
-        assert_eq!(m.read(regs::STATUS), status::OK);
+        if m.read(regs::STATUS) == status::ERROR {
+            return Err(m.read(regs::ERROR));
+        }
         let mut out = Vec::new();
         loop {
             m.write(regs::COMMAND, cmd::MIN);
             match m.read(regs::STATUS) {
                 status::OK => out.push(m.read(regs::RESULT_VALUE)),
                 status::EXHAUSTED => break,
-                other => panic!("unexpected status {other}"),
+                _ => return Err(m.read(regs::ERROR)),
             }
         }
-        out
+        Ok(out)
     }
 
     #[test]
     fn full_sort_through_registers() {
         let mut m = mmio();
         store(&mut m, &[9, 2, 7, 2, 5]);
-        assert_eq!(run_sort(&mut m, 5), vec![2, 2, 5, 7, 9]);
+        assert_eq!(run_sort(&mut m, 5).unwrap(), vec![2, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn run_sort_reports_faults_as_error_codes() {
+        let mut m = mmio();
+        m.write(regs::FORMAT, u64::MAX);
+        assert_eq!(run_sort(&mut m, 1), Err(errcode::BAD_FORMAT));
+    }
+
+    #[test]
+    fn batched_sort_through_fifo_matches_sequential() {
+        let keys = [9u64, 2, 7, 2, 5, 11, 3];
+        let mut m = mmio();
+        store(&mut m, &keys);
+        let want = run_sort(&mut m, keys.len() as u64).unwrap();
+
+        // Re-arm and drain again through MIN_K + FIFO_NEXT.
+        m.write(regs::BEGIN, 0);
+        m.write(regs::END, keys.len() as u64);
+        m.write(regs::COMMAND, cmd::INIT);
+        m.write(regs::COUNT, 3);
+        let mut got = Vec::new();
+        loop {
+            m.write(regs::COMMAND, cmd::MIN_K);
+            if m.read(regs::STATUS) == status::EXHAUSTED {
+                break;
+            }
+            assert_eq!(m.read(regs::STATUS), status::OK);
+            got.push(m.read(regs::RESULT_VALUE));
+            while m.read(regs::RESULT_COUNT) > 0 {
+                m.write(regs::COMMAND, cmd::FIFO_NEXT);
+                assert_eq!(m.read(regs::STATUS), status::OK);
+                got.push(m.read(regs::RESULT_VALUE));
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fifo_reports_result_count_and_addresses() {
+        let mut m = mmio();
+        store(&mut m, &[40u64, 10, 30, 20]);
+        m.write(regs::BEGIN, 0);
+        m.write(regs::END, 4);
+        m.write(regs::COMMAND, cmd::INIT);
+        m.write(regs::COUNT, 4);
+        m.write(regs::COMMAND, cmd::MIN_K);
+        assert_eq!(m.read(regs::STATUS), status::OK);
+        assert_eq!(m.read(regs::RESULT_VALUE), 10);
+        assert_eq!(m.read(regs::RESULT_ADDR), 1);
+        assert_eq!(m.read(regs::RESULT_COUNT), 3);
+        m.write(regs::COMMAND, cmd::FIFO_NEXT);
+        assert_eq!(m.read(regs::RESULT_VALUE), 20);
+        assert_eq!(m.read(regs::RESULT_ADDR), 3);
+        m.write(regs::COMMAND, cmd::FIFO_NEXT);
+        m.write(regs::COMMAND, cmd::FIFO_NEXT);
+        assert_eq!(m.read(regs::RESULT_VALUE), 40);
+        assert_eq!(m.read(regs::RESULT_COUNT), 0);
+        m.write(regs::COMMAND, cmd::FIFO_NEXT);
+        assert_eq!(m.read(regs::STATUS), status::EXHAUSTED);
+    }
+
+    #[test]
+    fn faults_park_typed_error_codes() {
+        let mut m = mmio();
+        // Extraction before INIT.
+        m.write(regs::COMMAND, cmd::MIN);
+        assert_eq!(m.read(regs::STATUS), status::ERROR);
+        assert_eq!(m.read(regs::ERROR), errcode::NOT_INITIALIZED);
+        // Unknown command.
+        m.write(regs::COMMAND, 99);
+        assert_eq!(m.read(regs::ERROR), errcode::BAD_COMMAND);
+        // Undecodable format.
+        m.write(regs::FORMAT, u64::MAX);
+        m.write(regs::COMMAND, cmd::INIT);
+        assert_eq!(m.read(regs::ERROR), errcode::BAD_FORMAT);
+        // A successful command clears the code.
+        m.write(regs::FORMAT, format_code(KeyFormat::UNSIGNED64));
+        m.write(regs::BEGIN, 0);
+        m.write(regs::END, 1);
+        m.write(regs::COMMAND, cmd::INIT);
+        assert_eq!(m.read(regs::STATUS), status::OK);
+        assert_eq!(m.read(regs::ERROR), errcode::NONE);
+        // The interface stays usable after every fault above.
+        m.write(regs::COMMAND, cmd::MIN);
+        assert_eq!(m.read(regs::STATUS), status::OK);
     }
 
     #[test]

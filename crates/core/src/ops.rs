@@ -6,22 +6,42 @@
 //! repeated accesses, ranking is `k`, and merging `m` ranges costs one
 //! candidate buffer per range plus CPU-side winner selection (Fig. 6,
 //! Fig. 14).
+//!
+//! Streaming operations fetch keys through the batched
+//! [`RimeDevice::rime_min_k`] / [`RimeDevice::rime_max_k`] primitives,
+//! which amortize select-vector setup and H-tree traversal across a whole
+//! batch of consecutive extractions. Every operation takes the device by
+//! shared reference, so disjoint regions can be driven from different
+//! threads concurrently (see [`merge_parallel`]).
+
+use std::collections::VecDeque;
 
 use rime_memristive::{Direction, SortableBits};
 
 use crate::device::{Region, RimeDevice};
 use crate::error::RimeError;
 
+/// How many keys a [`SortedStream`] requests from the device per refill.
+///
+/// Large enough to amortize select-vector setup across the batch, small
+/// enough that over-asking near exhaustion stays cheap.
+const STREAM_BATCH: usize = 32;
+
 /// Streaming handle over one initialized region, yielding keys in order.
 ///
 /// Created by [`sorted`] / [`sorted_desc`]; call
 /// [`SortedStream::try_next`] until it returns `Ok(None)`.
+///
+/// The stream pulls keys from the device in batches of [`STREAM_BATCH`]
+/// and buffers them host-side, so device errors (stale region, format
+/// mismatch, …) surface at refill boundaries rather than on every call.
 #[derive(Debug)]
 pub struct SortedStream<'d, T> {
-    device: &'d mut RimeDevice,
+    device: &'d RimeDevice,
     region: Region,
     direction: Direction,
-    _marker: std::marker::PhantomData<T>,
+    buffer: VecDeque<T>,
+    exhausted: bool,
 }
 
 impl<T: SortableBits> SortedStream<'_, T> {
@@ -31,11 +51,17 @@ impl<T: SortableBits> SortedStream<'_, T> {
     ///
     /// Propagates device errors (stale region, format mismatch, …).
     pub fn try_next(&mut self) -> Result<Option<T>, RimeError> {
-        Ok(match self.direction {
-            Direction::Min => self.device.rime_min::<T>(self.region)?,
-            Direction::Max => self.device.rime_max::<T>(self.region)?,
+        if self.buffer.is_empty() && !self.exhausted {
+            let batch = match self.direction {
+                Direction::Min => self.device.rime_min_k::<T>(self.region, STREAM_BATCH)?,
+                Direction::Max => self.device.rime_max_k::<T>(self.region, STREAM_BATCH)?,
+            };
+            if batch.len() < STREAM_BATCH {
+                self.exhausted = true;
+            }
+            self.buffer.extend(batch.into_iter().map(|(_, v)| v));
         }
-        .map(|(_, v)| v))
+        Ok(self.buffer.pop_front())
     }
 
     /// Drains the remaining keys into a vector.
@@ -109,16 +135,16 @@ impl<T: SortableBits> Iterator for IterSorted<'_, '_, T> {
 /// use rime_core::{ops, RimeConfig, RimeDevice};
 ///
 /// # fn main() -> Result<(), rime_core::RimeError> {
-/// let mut dev = RimeDevice::new(RimeConfig::small());
+/// let dev = RimeDevice::new(RimeConfig::small());
 /// let region = dev.alloc(4)?;
 /// dev.write(region, 0, &[3u32, 1, 4, 1])?;
-/// let mut stream = ops::sorted::<u32>(&mut dev, region)?;
+/// let mut stream = ops::sorted::<u32>(&dev, region)?;
 /// assert_eq!(stream.collect_remaining()?, vec![1, 1, 3, 4]);
 /// # Ok(())
 /// # }
 /// ```
 pub fn sorted<T: SortableBits>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     region: Region,
 ) -> Result<SortedStream<'_, T>, RimeError> {
     device.init_all::<T>(region)?;
@@ -126,7 +152,8 @@ pub fn sorted<T: SortableBits>(
         device,
         region,
         direction: Direction::Min,
-        _marker: std::marker::PhantomData,
+        buffer: VecDeque::new(),
+        exhausted: false,
     })
 }
 
@@ -136,7 +163,7 @@ pub fn sorted<T: SortableBits>(
 ///
 /// Propagates [`RimeDevice::init`] errors.
 pub fn sorted_desc<T: SortableBits>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     region: Region,
 ) -> Result<SortedStream<'_, T>, RimeError> {
     device.init_all::<T>(region)?;
@@ -144,7 +171,8 @@ pub fn sorted_desc<T: SortableBits>(
         device,
         region,
         direction: Direction::Max,
-        _marker: std::marker::PhantomData,
+        buffer: VecDeque::new(),
+        exhausted: false,
     })
 }
 
@@ -154,14 +182,53 @@ pub fn sorted_desc<T: SortableBits>(
 ///
 /// Propagates device errors.
 pub fn sort_into_vec<T: SortableBits>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     region: Region,
 ) -> Result<Vec<T>, RimeError> {
     sorted::<T>(device, region)?.collect_remaining()
 }
 
+/// The `k` smallest keys of the region, ascending — one batched
+/// top-k extraction (§III-B.2).
+///
+/// Returns fewer than `k` keys when the region holds fewer.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn smallest_k<T: SortableBits>(
+    device: &RimeDevice,
+    region: Region,
+    k: u64,
+) -> Result<Vec<T>, RimeError> {
+    device.init_all::<T>(region)?;
+    Ok(device
+        .rime_min_k::<T>(region, usize::try_from(k).unwrap_or(usize::MAX))?
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect())
+}
+
+/// The `k` largest keys of the region, descending.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn largest_k<T: SortableBits>(
+    device: &RimeDevice,
+    region: Region,
+    k: u64,
+) -> Result<Vec<T>, RimeError> {
+    device.init_all::<T>(region)?;
+    Ok(device
+        .rime_max_k::<T>(region, usize::try_from(k).unwrap_or(usize::MAX))?
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect())
+}
+
 /// The `k`-th smallest key (0-based) of the region — §III-B.2's O(k)
-/// ranking operation.
+/// ranking operation, served by a single batched extraction.
 ///
 /// Returns `None` when `k` is at least the region's key count.
 ///
@@ -169,19 +236,17 @@ pub fn sort_into_vec<T: SortableBits>(
 ///
 /// Propagates device errors.
 pub fn kth_smallest<T: SortableBits>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     region: Region,
     k: u64,
 ) -> Result<Option<T>, RimeError> {
     device.init_all::<T>(region)?;
-    let mut last = None;
-    for _ in 0..=k {
-        last = device.rime_min::<T>(region)?;
-        if last.is_none() {
-            return Ok(None);
-        }
+    let want = k.saturating_add(1);
+    let batch = device.rime_min_k::<T>(region, usize::try_from(want).unwrap_or(usize::MAX))?;
+    if (batch.len() as u64) < want {
+        return Ok(None);
     }
-    Ok(last.map(|(_, v)| v))
+    Ok(batch.last().map(|&(_, v)| v))
 }
 
 /// The `k`-th largest key (0-based) of the region.
@@ -190,19 +255,17 @@ pub fn kth_smallest<T: SortableBits>(
 ///
 /// Propagates device errors.
 pub fn kth_largest<T: SortableBits>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     region: Region,
     k: u64,
 ) -> Result<Option<T>, RimeError> {
     device.init_all::<T>(region)?;
-    let mut last = None;
-    for _ in 0..=k {
-        last = device.rime_max::<T>(region)?;
-        if last.is_none() {
-            return Ok(None);
-        }
+    let want = k.saturating_add(1);
+    let batch = device.rime_max_k::<T>(region, usize::try_from(want).unwrap_or(usize::MAX))?;
+    if (batch.len() as u64) < want {
+        return Ok(None);
     }
-    Ok(last.map(|(_, v)| v))
+    Ok(batch.last().map(|&(_, v)| v))
 }
 
 /// Merges any number of regions into one ascending stream (Fig. 6):
@@ -213,7 +276,7 @@ pub fn kth_largest<T: SortableBits>(
 ///
 /// Propagates device errors.
 pub fn merge<T: SortableBits + PartialOrd>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     regions: &[Region],
 ) -> Result<Vec<T>, RimeError> {
     for &r in regions {
@@ -251,6 +314,82 @@ pub fn merge<T: SortableBits + PartialOrd>(
     Ok(out)
 }
 
+/// Merges regions like [`merge`], but drains every region on its own
+/// thread through the shared device before a CPU-side k-way merge of the
+/// sorted runs.
+///
+/// This is the Fig. 14 merge scenario with the ranges actually running
+/// concurrently: each worker streams its region through the batched
+/// extraction path while the others do the same. The output is identical
+/// to [`merge`] — ties between runs resolve toward the earlier region in
+/// `regions`, matching the sequential candidate-buffer walk.
+///
+/// # Errors
+///
+/// Propagates device errors from any worker.
+pub fn merge_parallel<T: SortableBits + Send>(
+    device: &RimeDevice,
+    regions: &[Region],
+) -> Result<Vec<T>, RimeError> {
+    for &r in regions {
+        device.init_all::<T>(r)?;
+    }
+    let results: Vec<Result<Vec<T>, RimeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = regions
+            .iter()
+            .map(|&region| {
+                scope.spawn(move || {
+                    let mut stream = SortedStream::<T> {
+                        device,
+                        region,
+                        direction: Direction::Min,
+                        buffer: VecDeque::new(),
+                        exhausted: false,
+                    };
+                    stream.collect_remaining()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge worker panicked"))
+            .collect()
+    });
+    let mut runs = Vec::with_capacity(results.len());
+    for res in results {
+        runs.push(res?);
+    }
+    // CPU-side k-way merge of the already-sorted runs.
+    let format = T::FORMAT;
+    let mut cursors = vec![0usize; runs.len()];
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<usize> = None;
+        for (idx, run) in runs.iter().enumerate() {
+            let Some(v) = run.get(cursors[idx]) else {
+                continue;
+            };
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let cur = &runs[b][cursors[b]];
+                    format
+                        .compare_bits(v.to_raw_bits(), cur.to_raw_bits())
+                        .is_lt()
+                }
+            };
+            if better {
+                best = Some(idx);
+            }
+        }
+        let winner = best.expect("out.len() < total implies a live run");
+        out.push(runs[winner][cursors[winner]]);
+        cursors[winner] += 1;
+    }
+    Ok(out)
+}
+
 /// Merge-join (Fig. 6's `join` output): the ascending stream of keys
 /// present in *both* regions; duplicate keys match pairwise, so a key
 /// appearing `a` times in one region and `b` times in the other is
@@ -260,7 +399,7 @@ pub fn merge<T: SortableBits + PartialOrd>(
 ///
 /// Propagates device errors.
 pub fn merge_join<T: SortableBits>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     left: Region,
     right: Region,
 ) -> Result<Vec<T>, RimeError> {
@@ -293,7 +432,7 @@ pub fn merge_join<T: SortableBits>(
 ///
 /// Propagates device errors.
 pub fn merge_join_all<T: SortableBits>(
-    device: &mut RimeDevice,
+    device: &RimeDevice,
     regions: &[Region],
 ) -> Result<Vec<T>, RimeError> {
     if regions.is_empty() {
@@ -362,7 +501,7 @@ mod tests {
     use crate::device::RimeConfig;
 
     fn dev_with<T: SortableBits>(sets: &[&[T]]) -> (RimeDevice, Vec<Region>) {
-        let mut dev = RimeDevice::new(RimeConfig::small());
+        let dev = RimeDevice::new(RimeConfig::small());
         let mut regions = Vec::new();
         for set in sets {
             let r = dev.alloc(set.len() as u64).unwrap();
@@ -374,17 +513,27 @@ mod tests {
 
     #[test]
     fn sort_into_vec_ascending() {
-        let (mut dev, rs) = dev_with(&[&[5u32, 1, 4, 1, 3][..]]);
+        let (dev, rs) = dev_with(&[&[5u32, 1, 4, 1, 3][..]]);
         assert_eq!(
-            sort_into_vec::<u32>(&mut dev, rs[0]).unwrap(),
+            sort_into_vec::<u32>(&dev, rs[0]).unwrap(),
             vec![1, 1, 3, 4, 5]
         );
     }
 
     #[test]
+    fn sort_spanning_multiple_stream_batches() {
+        // More keys than STREAM_BATCH so the stream refills mid-sort.
+        let keys: Vec<u64> = (0..100).map(|i| (i * 7919) % 541).collect();
+        let (dev, rs) = dev_with(&[&keys[..]]);
+        let mut want = keys;
+        want.sort_unstable();
+        assert_eq!(sort_into_vec::<u64>(&dev, rs[0]).unwrap(), want);
+    }
+
+    #[test]
     fn iterator_adapter_streams_and_composes() {
-        let (mut dev, rs) = dev_with(&[&[5u32, 1, 4, 1, 3][..]]);
-        let mut stream = sorted::<u32>(&mut dev, rs[0]).unwrap();
+        let (dev, rs) = dev_with(&[&[5u32, 1, 4, 1, 3][..]]);
+        let mut stream = sorted::<u32>(&dev, rs[0]).unwrap();
         let mut iter = stream.by_ref_iter();
         let first_two: Vec<u32> = iter.by_ref().take(2).collect();
         assert_eq!(first_two, vec![1, 1]);
@@ -395,14 +544,10 @@ mod tests {
 
     #[test]
     fn iterator_adapter_latches_errors() {
-        let mut dev = RimeDevice::new(RimeConfig::small());
+        let dev = RimeDevice::new(RimeConfig::small());
         let region = dev.alloc(2).unwrap();
         dev.write(region, 0, &[2u32, 1]).unwrap();
-        let mut stream = sorted::<u32>(&mut dev, region).unwrap();
-        // Free the region out from under the stream.
-        // (Streams borrow the device mutably, so emulate via a second
-        // device handle is impossible — instead drive the error through a
-        // type confusion at the session level.)
+        let mut stream = sorted::<u32>(&dev, region).unwrap();
         let _ = stream.try_next().unwrap();
         let mut iter = stream.by_ref_iter();
         assert_eq!(iter.next(), Some(2));
@@ -412,100 +557,133 @@ mod tests {
 
     #[test]
     fn sorted_desc_descends() {
-        let (mut dev, rs) = dev_with(&[&[5i32, -1, 4][..]]);
-        let mut s = sorted_desc::<i32>(&mut dev, rs[0]).unwrap();
+        let (dev, rs) = dev_with(&[&[5i32, -1, 4][..]]);
+        let mut s = sorted_desc::<i32>(&dev, rs[0]).unwrap();
         assert_eq!(s.collect_remaining().unwrap(), vec![5, 4, -1]);
     }
 
     #[test]
     fn kth_statistics() {
-        let (mut dev, rs) = dev_with(&[&[9u64, 2, 7, 4, 4][..]]);
-        assert_eq!(kth_smallest::<u64>(&mut dev, rs[0], 0).unwrap(), Some(2));
-        assert_eq!(kth_smallest::<u64>(&mut dev, rs[0], 2).unwrap(), Some(4));
-        assert_eq!(kth_smallest::<u64>(&mut dev, rs[0], 4).unwrap(), Some(9));
-        assert_eq!(kth_smallest::<u64>(&mut dev, rs[0], 5).unwrap(), None);
-        assert_eq!(kth_largest::<u64>(&mut dev, rs[0], 0).unwrap(), Some(9));
-        assert_eq!(kth_largest::<u64>(&mut dev, rs[0], 1).unwrap(), Some(7));
+        let (dev, rs) = dev_with(&[&[9u64, 2, 7, 4, 4][..]]);
+        assert_eq!(kth_smallest::<u64>(&dev, rs[0], 0).unwrap(), Some(2));
+        assert_eq!(kth_smallest::<u64>(&dev, rs[0], 2).unwrap(), Some(4));
+        assert_eq!(kth_smallest::<u64>(&dev, rs[0], 4).unwrap(), Some(9));
+        assert_eq!(kth_smallest::<u64>(&dev, rs[0], 5).unwrap(), None);
+        assert_eq!(kth_largest::<u64>(&dev, rs[0], 0).unwrap(), Some(9));
+        assert_eq!(kth_largest::<u64>(&dev, rs[0], 1).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn top_k_helpers() {
+        let (dev, rs) = dev_with(&[&[9u64, 2, 7, 4, 4][..]]);
+        assert_eq!(smallest_k::<u64>(&dev, rs[0], 3).unwrap(), vec![2, 4, 4]);
+        assert_eq!(largest_k::<u64>(&dev, rs[0], 2).unwrap(), vec![9, 7]);
+        // Over-asking returns everything.
+        assert_eq!(
+            smallest_k::<u64>(&dev, rs[0], 99).unwrap(),
+            vec![2, 4, 4, 7, 9]
+        );
+        assert!(smallest_k::<u64>(&dev, rs[0], 0).unwrap().is_empty());
     }
 
     #[test]
     fn fig6_merge_example() {
         // A = {5,1,3,7,10}, B = {4,8,5} → merge = 1,3,4,5,5,7,8,10
-        let (mut dev, rs) = dev_with(&[&[5u32, 1, 3, 7, 10][..], &[4, 8, 5][..]]);
-        let merged = merge::<u32>(&mut dev, &rs).unwrap();
+        let (dev, rs) = dev_with(&[&[5u32, 1, 3, 7, 10][..], &[4, 8, 5][..]]);
+        let merged = merge::<u32>(&dev, &rs).unwrap();
         assert_eq!(merged, vec![1, 3, 4, 5, 5, 7, 8, 10]);
     }
 
     #[test]
     fn fig6_join_example() {
         // join = {5}: the only key in both sets.
-        let (mut dev, rs) = dev_with(&[&[5u32, 1, 3, 7, 10][..], &[4, 8, 5][..]]);
-        let joined = merge_join::<u32>(&mut dev, rs[0], rs[1]).unwrap();
+        let (dev, rs) = dev_with(&[&[5u32, 1, 3, 7, 10][..], &[4, 8, 5][..]]);
+        let joined = merge_join::<u32>(&dev, rs[0], rs[1]).unwrap();
         assert_eq!(joined, vec![5]);
     }
 
     #[test]
     fn join_duplicates_match_pairwise() {
-        let (mut dev, rs) = dev_with(&[&[2u32, 2, 2, 5][..], &[2, 2, 7][..]]);
-        let joined = merge_join::<u32>(&mut dev, rs[0], rs[1]).unwrap();
+        let (dev, rs) = dev_with(&[&[2u32, 2, 2, 5][..], &[2, 2, 7][..]]);
+        let joined = merge_join::<u32>(&dev, rs[0], rs[1]).unwrap();
         assert_eq!(joined, vec![2, 2]);
     }
 
     #[test]
     fn three_way_merge() {
-        let (mut dev, rs) = dev_with(&[&[3u32, 9][..], &[1, 7][..], &[5, 2][..]]);
-        let merged = merge::<u32>(&mut dev, &rs).unwrap();
+        let (dev, rs) = dev_with(&[&[3u32, 9][..], &[1, 7][..], &[5, 2][..]]);
+        let merged = merge::<u32>(&dev, &rs).unwrap();
         assert_eq!(merged, vec![1, 2, 3, 5, 7, 9]);
     }
 
     #[test]
     fn merge_of_floats_uses_total_order() {
-        let (mut dev, rs) = dev_with(&[&[-1.5f32, 2.0][..], &[0.0, -3.25][..]]);
-        let merged = merge::<f32>(&mut dev, &rs).unwrap();
+        let (dev, rs) = dev_with(&[&[-1.5f32, 2.0][..], &[0.0, -3.25][..]]);
+        let merged = merge::<f32>(&dev, &rs).unwrap();
         assert_eq!(merged, vec![-3.25, -1.5, 0.0, 2.0]);
     }
 
     #[test]
     fn merge_empty_region_list() {
-        let mut dev = RimeDevice::new(RimeConfig::small());
-        assert_eq!(merge::<u32>(&mut dev, &[]).unwrap(), Vec::<u32>::new());
+        let dev = RimeDevice::new(RimeConfig::small());
+        assert_eq!(merge::<u32>(&dev, &[]).unwrap(), Vec::<u32>::new());
+        assert_eq!(merge_parallel::<u32>(&dev, &[]).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential_merge() {
+        let sets: Vec<Vec<u64>> = (0..4)
+            .map(|s| {
+                (0..40)
+                    .map(|i| (i * 2654435761u64 + s * 97) % 733)
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[u64]> = sets.iter().map(Vec::as_slice).collect();
+        let (dev, rs) = dev_with(&slices);
+        let par = merge_parallel::<u64>(&dev, &rs).unwrap();
+        let seq = merge::<u64>(&dev, &rs).unwrap();
+        assert_eq!(par, seq);
+        let mut want: Vec<u64> = sets.into_iter().flatten().collect();
+        want.sort_unstable();
+        assert_eq!(par, want);
     }
 
     #[test]
     fn multiway_join_intersects_all_sets() {
-        let (mut dev, rs) = dev_with(&[&[5u32, 1, 3, 7][..], &[4, 5, 3][..], &[3, 9, 5, 5][..]]);
-        let joined = merge_join_all::<u32>(&mut dev, &rs).unwrap();
+        let (dev, rs) = dev_with(&[&[5u32, 1, 3, 7][..], &[4, 5, 3][..], &[3, 9, 5, 5][..]]);
+        let joined = merge_join_all::<u32>(&dev, &rs).unwrap();
         assert_eq!(joined, vec![3, 5]);
     }
 
     #[test]
     fn multiway_join_duplicates_take_minimum_count() {
-        let (mut dev, rs) = dev_with(&[&[2u32, 2, 2][..], &[2, 2][..], &[2, 2, 2, 2][..]]);
-        let joined = merge_join_all::<u32>(&mut dev, &rs).unwrap();
+        let (dev, rs) = dev_with(&[&[2u32, 2, 2][..], &[2, 2][..], &[2, 2, 2, 2][..]]);
+        let joined = merge_join_all::<u32>(&dev, &rs).unwrap();
         assert_eq!(joined, vec![2, 2]);
     }
 
     #[test]
     fn multiway_join_matches_pairwise_for_two_sets() {
-        let (mut dev, rs) = dev_with(&[&[5u32, 1, 3, 7, 10][..], &[4, 8, 5][..]]);
-        let multi = merge_join_all::<u32>(&mut dev, &rs).unwrap();
-        let pair = merge_join::<u32>(&mut dev, rs[0], rs[1]).unwrap();
+        let (dev, rs) = dev_with(&[&[5u32, 1, 3, 7, 10][..], &[4, 8, 5][..]]);
+        let multi = merge_join_all::<u32>(&dev, &rs).unwrap();
+        let pair = merge_join::<u32>(&dev, rs[0], rs[1]).unwrap();
         assert_eq!(multi, pair);
     }
 
     #[test]
     fn multiway_join_empty_inputs() {
-        let mut dev = RimeDevice::new(RimeConfig::small());
-        assert!(merge_join_all::<u32>(&mut dev, &[]).unwrap().is_empty());
-        let (mut dev, rs) = dev_with(&[&[1u32][..], &[2][..]]);
-        assert!(merge_join_all::<u32>(&mut dev, &rs).unwrap().is_empty());
+        let dev = RimeDevice::new(RimeConfig::small());
+        assert!(merge_join_all::<u32>(&dev, &[]).unwrap().is_empty());
+        let (dev, rs) = dev_with(&[&[1u32][..], &[2][..]]);
+        assert!(merge_join_all::<u32>(&dev, &rs).unwrap().is_empty());
     }
 
     #[test]
     fn streams_over_disjoint_regions_interleave() {
         // Two regions on the same device, consumed alternately — the
         // concurrent-range support in the chips makes this legal.
-        let (mut dev, rs) = dev_with(&[&[4u32, 2][..], &[3, 1][..]]);
+        let (dev, rs) = dev_with(&[&[4u32, 2][..], &[3, 1][..]]);
         dev.init_all::<u32>(rs[0]).unwrap();
         dev.init_all::<u32>(rs[1]).unwrap();
         assert_eq!(dev.rime_min::<u32>(rs[0]).unwrap().unwrap().1, 2);

@@ -198,7 +198,7 @@ impl TracedDevice {
 ///
 /// Propagates any device error the replayed operations hit.
 pub fn replay(trace: &[TraceOp], config: RimeConfig) -> Result<Vec<Option<u64>>, RimeError> {
-    let mut device = RimeDevice::new(config);
+    let device = RimeDevice::new(config);
     let mut regions: Vec<Region> = Vec::new();
     let mut extracted = Vec::new();
     for op in trace {

@@ -73,7 +73,7 @@ proptest! {
         sets in prop::collection::vec(prop::collection::vec(any::<u32>(), 1..24), 2..5),
         schedule in prop::collection::vec(0usize..5, 8..80),
     ) {
-        let mut dev = RimeDevice::new(RimeConfig::small());
+        let dev = RimeDevice::new(RimeConfig::small());
         let mut regions = Vec::new();
         let mut expected: Vec<std::collections::VecDeque<u32>> = Vec::new();
         for set in &sets {
@@ -99,7 +99,7 @@ proptest! {
         keys in prop::collection::vec(any::<i32>(), 1..32),
         drains in 0usize..10,
     ) {
-        let mut dev = RimeDevice::new(RimeConfig::small());
+        let dev = RimeDevice::new(RimeConfig::small());
         let r = dev.alloc(keys.len() as u64).unwrap();
         dev.write(r, 0, &keys).unwrap();
         dev.init_all::<i32>(r).unwrap();
@@ -120,7 +120,7 @@ proptest! {
         let lo = a.min(b) % keys.len();
         let hi = (a.max(b) % keys.len()).max(lo + 1).min(keys.len());
         prop_assume!(lo < hi);
-        let mut dev = RimeDevice::new(RimeConfig::small());
+        let dev = RimeDevice::new(RimeConfig::small());
         let r = dev.alloc(keys.len() as u64).unwrap();
         dev.write(r, 0, &keys).unwrap();
         dev.init::<u64>(r, lo as u64, (hi - lo) as u64).unwrap();

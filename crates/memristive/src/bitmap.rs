@@ -172,6 +172,37 @@ impl Bitmap {
         }
     }
 
+    /// Extracts the `len`-bit subrange starting at `start` as a new bitmap.
+    ///
+    /// Works a `u64` word at a time (two shifts per output word), which is
+    /// what lets the chip's batched extraction rearm select vectors from a
+    /// membership bitmap without walking individual bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()`.
+    pub fn slice(&self, start: usize, len: usize) -> Bitmap {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice [{start}, {start}+{len}) out of range {}",
+            self.len
+        );
+        let mut out = Bitmap::zeros(len);
+        let shift = start % 64;
+        for wi in 0..out.words.len() {
+            let src = start / 64 + wi;
+            let lo = self.words[src] >> shift;
+            let hi = if shift != 0 && src + 1 < self.words.len() {
+                self.words[src + 1] << (64 - shift)
+            } else {
+                0
+            };
+            out.words[wi] = lo | hi;
+        }
+        out.mask_tail();
+        out
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes {
@@ -315,6 +346,33 @@ mod tests {
             bm.iter_ones().collect::<Vec<_>>(),
             vec![0, 63, 64, 127, 128, 255]
         );
+    }
+
+    #[test]
+    fn slice_matches_per_bit_extraction() {
+        let mut bm = Bitmap::zeros(300);
+        for idx in [0, 1, 63, 64, 65, 100, 190, 191, 192, 299] {
+            bm.set(idx, true);
+        }
+        for (start, len) in [
+            (0, 300),
+            (0, 64),
+            (1, 64),
+            (63, 130),
+            (190, 3),
+            (300, 0),
+            (37, 0),
+        ] {
+            let got = bm.slice(start, len);
+            let want: Bitmap = (start..start + len).map(|idx| bm.get(idx)).collect();
+            assert_eq!(got, want, "slice({start}, {len})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_past_end_panics() {
+        Bitmap::zeros(10).slice(8, 3);
     }
 
     #[test]

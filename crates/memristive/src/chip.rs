@@ -11,6 +11,18 @@
 //!
 //! Mats materialize lazily: a full Table I chip models 2 M key slots, but
 //! storage is only allocated for mats that actually hold data.
+//!
+//! # Parallel mat fan-out
+//!
+//! In hardware every mat senses its column simultaneously and the
+//! signals meet at wire-OR nodes on the way up the H-tree (Fig. 9/10).
+//! The model mirrors that: each column-search step can fan out across
+//! OS threads ([`ParallelPolicy`]), with per-chunk `ColumnSignals` and
+//! deselection counts accumulated privately and merged in chunk order
+//! afterwards. Because the wire-OR and the removed-row sum are both
+//! commutative and the chip loop never short-circuits across mats, the
+//! merged result — and therefore every [`OpCounters`] field — is
+//! bit-identical whatever the thread count.
 
 use crate::array::ColumnSignals;
 use crate::bitmap::Bitmap;
@@ -34,6 +46,27 @@ pub struct ExtractHit {
     pub steps: u16,
 }
 
+/// How the chip controller fans each column-search step out across mats.
+///
+/// Hardware mats always operate simultaneously; this knob only controls
+/// how the *model* schedules them onto OS threads. Results and
+/// [`OpCounters`] are identical under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelPolicy {
+    /// Walk the mats on the calling thread.
+    Sequential,
+    /// Fan out when enough mats participate to amortize thread spawns
+    /// (the default).
+    #[default]
+    Auto,
+    /// Use exactly this many worker threads (clamped to the mat count).
+    Threads(usize),
+}
+
+/// Under [`ParallelPolicy::Auto`], ranges spanning fewer mats than this
+/// stay on the calling thread — spawn overhead would dominate.
+const AUTO_PARALLEL_MIN_MATS: usize = 16;
+
 /// One RIME memristive chip.
 ///
 /// See the [crate-level example](crate) for end-to-end usage.
@@ -47,6 +80,7 @@ pub struct Chip {
     format: Option<KeyFormat>,
     range: Option<(u64, u64)>,
     counters: OpCounters,
+    parallel: ParallelPolicy,
 }
 
 impl Chip {
@@ -61,12 +95,41 @@ impl Chip {
             format: None,
             range: None,
             counters: OpCounters::new(),
+            parallel: ParallelPolicy::Auto,
         }
     }
 
     /// The chip's geometry.
     pub fn geometry(&self) -> &ChipGeometry {
         &self.geometry
+    }
+
+    /// The active mat fan-out policy.
+    pub fn parallel_policy(&self) -> ParallelPolicy {
+        self.parallel
+    }
+
+    /// Sets how column-search steps are scheduled across mats. Purely a
+    /// model-execution knob: extraction results and counters do not
+    /// depend on it.
+    pub fn set_parallel_policy(&mut self, policy: ParallelPolicy) {
+        self.parallel = policy;
+    }
+
+    fn worker_threads(&self, mats_in_range: usize) -> usize {
+        match self.parallel {
+            ParallelPolicy::Sequential => 1,
+            ParallelPolicy::Threads(n) => n.clamp(1, mats_in_range.max(1)),
+            ParallelPolicy::Auto => {
+                if mats_in_range < AUTO_PARALLEL_MIN_MATS {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map_or(1, |n| n.get())
+                        .clamp(1, mats_in_range)
+                }
+            }
+        }
     }
 
     /// Key-slot capacity.
@@ -270,9 +333,7 @@ impl Chip {
         self.load_selection(begin, end);
 
         // Determine the mats participating in this range.
-        let per_mat = self.geometry.slots_per_mat();
-        let first_mat = (begin / per_mat) as usize;
-        let last_mat = ((end - 1) / per_mat) as usize;
+        let (first_mat, last_mat) = self.mat_span(begin, end);
 
         let mut selected: u64 = 0;
         for mat in self.mats[first_mat..=last_mat].iter().flatten() {
@@ -282,6 +343,119 @@ impl Chip {
             return Ok(None);
         }
 
+        Ok(Some(self.converge(first_mat, last_mat, &plan, selected)))
+    }
+
+    /// Extracts up to `k` consecutive extremes from the active range — the
+    /// top-k form of [`Chip::extract`]. Stops early (with a short vector)
+    /// once the range is exhausted.
+    ///
+    /// Equivalent to calling `extract` until `k` hits are collected or it
+    /// returns `None`: same slots, same raw bits, same stable lowest-
+    /// address tie-breaking, identical [`OpCounters`]. What the batch form
+    /// amortizes is host-side work: the select-vector rearm between
+    /// consecutive extractions latches a word-level membership vector
+    /// (one [`Bitmap::slice`] per mat) instead of re-walking the H-tree
+    /// slot by slot, and range decoding/planning happen once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInitialized`] if no `init_range` is active.
+    pub fn extract_batch(
+        &mut self,
+        direction: Direction,
+        k: usize,
+    ) -> Result<Vec<ExtractHit>, Error> {
+        let (begin, end) = self.range.ok_or(Error::NotInitialized)?;
+        let format = self.format.ok_or(Error::NotInitialized)?;
+        self.extract_range_batch(begin, end, format, direction, k)
+    }
+
+    /// Batched form of [`Chip::extract_range`]: up to `k` consecutive
+    /// extremes from an explicit `[begin, end)` range. See
+    /// [`Chip::extract_batch`] for the equivalence and amortization
+    /// guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyRange`]/[`Error::AddressOutOfRange`] for bad
+    /// ranges.
+    pub fn extract_range_batch(
+        &mut self,
+        begin: u64,
+        end: u64,
+        format: KeyFormat,
+        direction: Direction,
+        k: usize,
+    ) -> Result<Vec<ExtractHit>, Error> {
+        if begin >= end {
+            return Err(Error::EmptyRange { begin, end });
+        }
+        self.check_slot(end - 1)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let plan = SearchPlan::new(format, direction);
+        let (first_mat, last_mat) = self.mat_span(begin, end);
+
+        // Host-side membership vector: the range minus its exclusion
+        // flags, kept in sync as winners are extracted so each rearm is a
+        // word-parallel latch instead of a per-slot H-tree walk.
+        let mut membership = Bitmap::zeros(self.capacity() as usize);
+        membership.set_range(begin as usize, end as usize);
+        membership.and_not_assign(&self.excluded);
+
+        // Mats outside the span only need their stale selects cleared
+        // once; in-span mats are fully overwritten by every rearm.
+        for (idx, mat) in self.mats.iter_mut().enumerate() {
+            if !(first_mat..=last_mat).contains(&idx) {
+                if let Some(mat) = mat {
+                    mat.clear_select();
+                }
+            }
+        }
+
+        let mut hits = Vec::with_capacity(k);
+        for _ in 0..k {
+            // Rearm: one select-vector load through the H-tree, exactly
+            // as the sequential path counts it.
+            let per_mat = self.geometry.slots_per_mat() as usize;
+            for idx in first_mat..=last_mat {
+                let bits = membership.slice(idx * per_mat, per_mat);
+                self.mat_mut(idx as u32).load_select_bits(&bits);
+            }
+            self.counters.select_loads += 1;
+            self.counters.htree_traversals += 1;
+
+            let selected = membership.count_ones() as u64;
+            if selected == 0 {
+                break;
+            }
+            let hit = self.converge(first_mat, last_mat, &plan, selected);
+            membership.set(hit.slot as usize, false);
+            hits.push(hit);
+        }
+        Ok(hits)
+    }
+
+    /// Indices of the first and last mats a `[begin, end)` range touches.
+    fn mat_span(&self, begin: u64, end: u64) -> (usize, usize) {
+        let per_mat = self.geometry.slots_per_mat();
+        ((begin / per_mat) as usize, ((end - 1) / per_mat) as usize)
+    }
+
+    /// Runs the bit-serial search to convergence over `selected` armed
+    /// rows in `mats[first_mat..=last_mat]`, priority-encodes the winner,
+    /// reads it out, and flags it excluded. The caller has already armed
+    /// the select vectors and counted `selected > 0`.
+    fn converge(
+        &mut self,
+        first_mat: usize,
+        last_mat: usize,
+        plan: &SearchPlan,
+        mut selected: u64,
+    ) -> ExtractHit {
+        let threads = self.worker_threads(last_mat - first_mat + 1);
         let mut survivors_negative = false;
         let mut steps_executed = 0u16;
         for step in 0..plan.steps() {
@@ -291,16 +465,9 @@ impl Chip {
             steps_executed += 1;
             let pos = plan.position(step);
 
-            // Column search on every active mat; wire-OR the signals.
-            let mut global = ColumnSignals::default();
-            let mut active_mats = 0u64;
-            for mat in self.mats[first_mat..=last_mat].iter().flatten() {
-                if mat.selected_count() == 0 {
-                    continue;
-                }
-                active_mats += 1;
-                global.merge(mat.sense_column(pos));
-            }
+            // Column search on every active mat; wire-OR the signals
+            // (fanned out across threads per the chip's policy).
+            let (global, active_mats) = sense_step(&self.mats[first_mat..=last_mat], pos, threads);
             self.counters.column_search_steps += 1;
             self.counters.mat_column_searches += active_mats;
 
@@ -312,13 +479,8 @@ impl Chip {
             // non-uniform across the whole selected set.
             if !global.all_same() {
                 let keep = plan.keep_bit(step, survivors_negative);
-                let mut removed = 0u64;
-                for mat in self.mats[first_mat..=last_mat].iter_mut().flatten() {
-                    if mat.selected_count() == 0 {
-                        continue;
-                    }
-                    removed += mat.apply_exclusion(pos, keep) as u64;
-                }
+                let removed =
+                    exclude_step(&mut self.mats[first_mat..=last_mat], pos, keep, threads);
                 self.counters.select_loads += 1;
                 selected -= removed;
             }
@@ -346,11 +508,11 @@ impl Chip {
         self.excluded.set(slot as usize, true);
         self.counters.extractions += 1;
 
-        Ok(Some(ExtractHit {
+        ExtractHit {
             slot,
             raw_bits,
             steps: steps_executed,
-        }))
+        }
     }
 
     /// Injects a stuck-at fault into the cell holding bit `bit` of the
@@ -381,6 +543,82 @@ impl Chip {
     pub fn total_writes(&self) -> u64 {
         self.mats.iter().flatten().map(Mat::total_writes).sum()
     }
+}
+
+/// One column-search step across a mat span: every active mat senses bit
+/// `pos` and the signals wire-OR upstream (Fig. 9). With `threads > 1`
+/// the span splits into contiguous chunks, each worker accumulating its
+/// own `ColumnSignals` and active-mat count; the partials merge in chunk
+/// order, mirroring the H-tree's reduction nodes. Both the OR and the
+/// count are commutative, so the result is independent of scheduling.
+fn sense_step(mats: &[Option<Mat>], pos: u16, threads: usize) -> (ColumnSignals, u64) {
+    fn walk(mats: &[Option<Mat>], pos: u16) -> (ColumnSignals, u64) {
+        let mut signals = ColumnSignals::default();
+        let mut active = 0u64;
+        for mat in mats.iter().flatten() {
+            if mat.selected_count() == 0 {
+                continue;
+            }
+            active += 1;
+            signals.merge(mat.sense_column(pos));
+        }
+        (signals, active)
+    }
+
+    if threads <= 1 || mats.len() <= 1 {
+        return walk(mats, pos);
+    }
+    let chunk = mats.len().div_ceil(threads);
+    let partials: Vec<(ColumnSignals, u64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = mats
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || walk(part, pos)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("sense worker panicked"))
+            .collect()
+    });
+    let mut global = ColumnSignals::default();
+    let mut active = 0u64;
+    for (signals, count) in partials {
+        global.merge(signals);
+        active += count;
+    }
+    (global, active)
+}
+
+/// One global exclusion across a mat span: every active mat latches its
+/// match vector for (`pos`, `keep`). Returns total rows deselected,
+/// accumulated per chunk and summed in chunk order (commutative, so
+/// deterministic under any thread count).
+fn exclude_step(mats: &mut [Option<Mat>], pos: u16, keep: bool, threads: usize) -> u64 {
+    fn walk(mats: &mut [Option<Mat>], pos: u16, keep: bool) -> u64 {
+        let mut removed = 0u64;
+        for mat in mats.iter_mut().flatten() {
+            if mat.selected_count() == 0 {
+                continue;
+            }
+            removed += mat.apply_exclusion(pos, keep) as u64;
+        }
+        removed
+    }
+
+    if threads <= 1 || mats.len() <= 1 {
+        return walk(mats, pos, keep);
+    }
+    let chunk = mats.len().div_ceil(threads);
+    let partials: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = mats
+            .chunks_mut(chunk)
+            .map(|part| scope.spawn(move || walk(part, pos, keep)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("exclusion worker panicked"))
+            .collect()
+    });
+    partials.into_iter().sum()
 }
 
 #[cfg(test)]
@@ -574,6 +812,105 @@ mod tests {
         assert_eq!(c.row_reads, 1);
         assert_eq!(chip.total_writes(), 4);
         assert_eq!(chip.max_wear(), 1);
+    }
+
+    #[test]
+    fn extract_batch_matches_sequential_loop() {
+        let keys = [43u32, 7, 99, 0, 255, 7, 128, 1];
+        let mut seq = chip_with(&keys);
+        let mut bat = chip_with(&keys);
+        let mut want = Vec::new();
+        for _ in 0..5 {
+            match seq.extract(Direction::Min).unwrap() {
+                Some(hit) => want.push(hit),
+                None => break,
+            }
+        }
+        let got = bat.extract_batch(Direction::Min, 5).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(bat.counters(), seq.counters());
+        // The two chips stay interchangeable afterwards.
+        assert_eq!(
+            bat.extract(Direction::Min).unwrap(),
+            seq.extract(Direction::Min).unwrap()
+        );
+    }
+
+    #[test]
+    fn extract_batch_overasking_stops_at_exhaustion() {
+        let keys = [5u32, 2, 9];
+        let mut seq = chip_with(&keys);
+        let mut bat = chip_with(&keys);
+        let got = bat.extract_batch(Direction::Max, 10).unwrap();
+        assert_eq!(
+            got.iter().map(|h| h.raw_bits).collect::<Vec<_>>(),
+            vec![9, 5, 2]
+        );
+        // Sequential equivalent: three hits then one exhausted probe.
+        let mut want = Vec::new();
+        while let Some(hit) = seq.extract(Direction::Max).unwrap() {
+            want.push(hit);
+        }
+        assert_eq!(got, want);
+        assert_eq!(bat.counters(), seq.counters());
+    }
+
+    #[test]
+    fn extract_batch_zero_is_a_noop() {
+        let mut chip = chip_with(&[3u32, 1]);
+        let before = *chip.counters();
+        assert_eq!(chip.extract_batch(Direction::Min, 0).unwrap(), vec![]);
+        assert_eq!(*chip.counters(), before);
+    }
+
+    #[test]
+    fn extract_batch_without_init_errors() {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        assert_eq!(
+            chip.extract_batch(Direction::Min, 3),
+            Err(Error::NotInitialized)
+        );
+    }
+
+    #[test]
+    fn parallel_policy_is_observationally_invisible() {
+        // Same keys, three scheduling policies: identical hit streams and
+        // identical counters (the wire-OR merge is order-independent).
+        let keys: Vec<u32> = (0..64).map(|i| (i * 2654435761u64 % 997) as u32).collect();
+        let mut reference: Option<(Vec<ExtractHit>, OpCounters)> = None;
+        for policy in [
+            ParallelPolicy::Sequential,
+            ParallelPolicy::Threads(3),
+            ParallelPolicy::Auto,
+        ] {
+            let mut chip = chip_with(&keys);
+            chip.set_parallel_policy(policy);
+            let hits = chip.extract_batch(Direction::Min, keys.len() + 1).unwrap();
+            match &reference {
+                None => reference = Some((hits, *chip.counters())),
+                Some((want_hits, want_counters)) => {
+                    assert_eq!(&hits, want_hits, "{policy:?}");
+                    assert_eq!(chip.counters(), want_counters, "{policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_spans_mats_with_stable_ties() {
+        // tiny geometry: 2 mats × 32 slots; duplicate keys across mats.
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        chip.store_keys(30, &[7, 3], KeyFormat::UNSIGNED32).unwrap();
+        chip.store_keys(33, &[3, 9], KeyFormat::UNSIGNED32).unwrap();
+        chip.init_range(30, 35, KeyFormat::UNSIGNED32).unwrap();
+        chip.set_parallel_policy(ParallelPolicy::Threads(2));
+        let hits = chip.extract_batch(Direction::Min, 5).unwrap();
+        // Slot 32 is an in-range empty slot holding 0 — it ranks first;
+        // the tied 3s resolve to the lower address (31 before 33).
+        assert_eq!(
+            hits.iter().map(|h| h.slot).collect::<Vec<_>>(),
+            vec![32, 31, 33, 30, 34]
+        );
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub mod verify;
 
 pub use array::Array;
 pub use bitmap::Bitmap;
-pub use chip::{Chip, ExtractHit};
+pub use chip::{Chip, ExtractHit, ParallelPolicy};
 pub use counters::OpCounters;
 pub use encoding::{KeyFormat, SortableBits};
 pub use error::Error;

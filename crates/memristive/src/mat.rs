@@ -10,6 +10,8 @@
 //! Key slots within a mat are numbered `array * rows + row`.
 
 use crate::array::{Array, ColumnSignals};
+use crate::bitmap::Bitmap;
+use crate::error::Error;
 
 /// A command the chip controller sends to a mat (Fig. 8's three access
 /// types plus the RIME-mode select-vector operations).
@@ -133,6 +135,26 @@ impl Mat {
         }
     }
 
+    /// Replaces the mat's entire select vector with `bits` (one bit per
+    /// slot, in mat slot order). This is the word-parallel rearm path the
+    /// chip's batched extraction uses: the periphery latches a whole
+    /// membership vector at once instead of walking slots individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the mat's slot capacity.
+    pub fn load_select_bits(&mut self, bits: &Bitmap) {
+        assert_eq!(
+            bits.len(),
+            self.slots() as usize,
+            "select vector length mismatch"
+        );
+        let rows = self.rows_per_array as usize;
+        for (ai, array) in self.arrays.iter_mut().enumerate() {
+            array.set_select(bits.slice(ai * rows, rows));
+        }
+    }
+
     /// Number of selected slots across the mat's arrays.
     pub fn selected_count(&self) -> usize {
         self.arrays.iter().map(Array::selected_count).sum()
@@ -176,26 +198,54 @@ impl Mat {
     /// Executes one controller command — the explicit protocol form of
     /// the typed methods, useful for command-level tests and traces.
     ///
-    /// # Panics
+    /// Unlike the typed methods (which document their panics and are only
+    /// reachable through the chip controller's validated paths), the
+    /// command protocol faces arbitrary traffic, so a malformed command
+    /// degrades into a typed [`Error`] instead of aborting the model.
     ///
-    /// Panics if a slot is out of range (as the typed methods do).
-    pub fn execute(&mut self, command: MatCommand) -> MatResponse {
+    /// # Errors
+    ///
+    /// Returns [`Error::AddressOutOfRange`] when a `RowRead`/`RowWrite`
+    /// slot exceeds the mat capacity, and [`Error::EmptyRange`] when a
+    /// `SetSelectRange` is inverted (`start > end`).
+    pub fn execute(&mut self, command: MatCommand) -> Result<MatResponse, Error> {
         match command {
-            MatCommand::RowRead { slot } => MatResponse::Data(self.read_slot(slot)),
+            MatCommand::RowRead { slot } => {
+                self.check_slot(slot)?;
+                Ok(MatResponse::Data(self.read_slot(slot)))
+            }
             MatCommand::RowWrite { slot, raw } => {
+                self.check_slot(slot)?;
                 self.write_slot(slot, raw);
-                MatResponse::Ack
+                Ok(MatResponse::Ack)
             }
-            MatCommand::ColumnSearch { pos } => MatResponse::Signals(self.sense_column(pos)),
-            MatCommand::LoadSelect { pos, keep } => {
-                MatResponse::Deselected(self.apply_exclusion(pos, keep) as u32)
-            }
+            MatCommand::ColumnSearch { pos } => Ok(MatResponse::Signals(self.sense_column(pos))),
+            MatCommand::LoadSelect { pos, keep } => Ok(MatResponse::Deselected(
+                self.apply_exclusion(pos, keep) as u32,
+            )),
             MatCommand::SetSelectRange { start, end, value } => {
+                if start > end {
+                    return Err(Error::EmptyRange {
+                        begin: u64::from(start),
+                        end: u64::from(end),
+                    });
+                }
                 for slot in start..end.min(self.slots()) {
                     self.set_select_bit(slot, value);
                 }
-                MatResponse::Ack
+                Ok(MatResponse::Ack)
             }
+        }
+    }
+
+    fn check_slot(&self, slot: u32) -> Result<(), Error> {
+        if slot < self.slots() {
+            Ok(())
+        } else {
+            Err(Error::AddressOutOfRange {
+                addr: u64::from(slot),
+                capacity: u64::from(self.slots()),
+            })
         }
     }
 
@@ -284,35 +334,96 @@ mod tests {
         for (slot, raw) in [(0u32, 0b10u64), (1, 0b01), (2, 0b11)] {
             assert_eq!(
                 mat.execute(MatCommand::RowWrite { slot, raw }),
-                MatResponse::Ack
+                Ok(MatResponse::Ack)
             );
         }
         assert_eq!(
-            mat.execute(MatCommand::SetSelectRange { start: 0, end: 3, value: true }),
-            MatResponse::Ack
+            mat.execute(MatCommand::SetSelectRange {
+                start: 0,
+                end: 3,
+                value: true
+            }),
+            Ok(MatResponse::Ack)
         );
-        let MatResponse::Signals(signals) = mat.execute(MatCommand::ColumnSearch { pos: 1 })
+        let Ok(MatResponse::Signals(signals)) = mat.execute(MatCommand::ColumnSearch { pos: 1 })
         else {
             panic!("column search returns signals");
         };
         assert!(signals.any_one && signals.any_zero);
         // Controller decides: keep rows with 0 at bit 1 (min search).
         assert_eq!(
-            mat.execute(MatCommand::LoadSelect { pos: 1, keep: false }),
-            MatResponse::Deselected(2)
+            mat.execute(MatCommand::LoadSelect {
+                pos: 1,
+                keep: false
+            }),
+            Ok(MatResponse::Deselected(2))
         );
         assert_eq!(mat.first_selected(), Some(1));
         assert_eq!(
             mat.execute(MatCommand::RowRead { slot: 1 }),
-            MatResponse::Data(0b01)
+            Ok(MatResponse::Data(0b01))
         );
     }
 
     #[test]
     fn set_select_range_clamps_to_capacity() {
         let mut mat = Mat::new(2, 2);
-        mat.execute(MatCommand::SetSelectRange { start: 0, end: 99, value: true });
+        mat.execute(MatCommand::SetSelectRange {
+            start: 0,
+            end: 99,
+            value: true,
+        })
+        .unwrap();
         assert_eq!(mat.selected_count(), 4);
+    }
+
+    #[test]
+    fn malformed_commands_degrade_to_errors() {
+        let mut mat = Mat::new(2, 2); // 4 slots
+        mat.write_slot(1, 42);
+        assert_eq!(
+            mat.execute(MatCommand::RowRead { slot: 4 }),
+            Err(Error::AddressOutOfRange {
+                addr: 4,
+                capacity: 4
+            })
+        );
+        assert_eq!(
+            mat.execute(MatCommand::RowWrite { slot: 9, raw: 1 }),
+            Err(Error::AddressOutOfRange {
+                addr: 9,
+                capacity: 4
+            })
+        );
+        assert_eq!(
+            mat.execute(MatCommand::SetSelectRange {
+                start: 3,
+                end: 1,
+                value: true
+            }),
+            Err(Error::EmptyRange { begin: 3, end: 1 })
+        );
+        // The mat stays usable after rejecting malformed traffic.
+        assert_eq!(
+            mat.execute(MatCommand::RowRead { slot: 1 }),
+            Ok(MatResponse::Data(42))
+        );
+    }
+
+    #[test]
+    fn load_select_bits_matches_per_bit_latching() {
+        let mut word = Mat::new(4, 4);
+        let mut bits = Mat::new(4, 4);
+        let pattern: Bitmap = (0..16).map(|slot| slot % 3 == 0 || slot == 13).collect();
+        for slot in 0..16 {
+            word.set_select_bit(slot, slot % 2 == 0); // stale state to overwrite
+            bits.set_select_bit(slot, pattern.get(slot as usize));
+        }
+        word.load_select_bits(&pattern);
+        for slot in 0..16 {
+            assert_eq!(word.select_bit(slot), bits.select_bit(slot), "slot {slot}");
+        }
+        assert_eq!(word.selected_count(), bits.selected_count());
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate provides a small wall-clock benchmark harness with criterion's
+//! API shape: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`/`iter_batched`, and
+//! `black_box`. It does real timing — warmup, then adaptively-sized
+//! measurement batches — and prints mean/min per benchmark, so relative
+//! comparisons (e.g. batch vs sequential extraction) are meaningful. It
+//! performs no statistics, plotting, or result persistence.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value laundering to keep the optimizer honest.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically
+/// in this shim (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Timing budget shared by every benchmark in a run.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        // Keep `cargo bench` minutes-fast across the whole suite while
+        // still averaging enough iterations for stable comparisons.
+        Budget {
+            warmup: Duration::from_millis(60),
+            measure: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Per-iteration timing callback handed to benchmark closures.
+pub struct Bencher {
+    budget: Budget,
+    /// (iterations, total elapsed) accumulated by the routine.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(budget: Budget) -> Bencher {
+        Bencher {
+            budget,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        let start = Instant::now();
+        while start.elapsed() < self.budget.warmup {
+            black_box(routine());
+        }
+        // Measurement: individual samples until the budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.budget.measure {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.budget.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.budget.measure {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<56} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label:<56} mean {:>12?}  min {:>12?}  ({} iters)",
+            mean,
+            min,
+            self.samples.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    budget: Budget,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        bencher.report(&id.to_string());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named group of benchmarks; prints under a shared heading.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Criterion API parity: sample count hints are ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion API parity: throughput annotations are ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, not rendered).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            budget: Budget {
+                warmup: Duration::from_millis(1),
+                measure: Duration::from_millis(5),
+            },
+        }
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = tiny();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_roundtrip() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::from_parameter(3), |b| {
+            b.iter_batched(|| vec![3u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("t", |b| b.iter(|| black_box(2) * 2));
+        }
+        criterion_group!(benches, target);
+        // Do not run `benches()` here (it would use the default budget);
+        // compiling the expansion is the point.
+        let _ = benches;
+        let _ = target;
+    }
+}

@@ -12,12 +12,12 @@ use rime_memsim::SystemConfig;
 use rime_workloads::PacketStream;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
 
     // --- Functional run: RIME queue vs binary heap ---------------------
     let stream = PacketStream::generate(512, 200, 2, 1234);
     let base = spq::spq_baseline(&stream);
-    let rime = spq::spq_rime(&mut dev, &stream)?;
+    let rime = spq::spq_rime(&dev, &stream)?;
     assert_eq!(base, rime);
     println!(
         "processed {} adds / {} removes (R = {}): schedulers agree",

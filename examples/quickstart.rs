@@ -10,7 +10,7 @@ use rime_core::{ops, RimeConfig, RimeDevice, RimeError};
 
 fn main() -> Result<(), RimeError> {
     // A functional device: 2 channels × 2 chips of small memristive arrays.
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
     println!("RIME device: {} key slots\n", dev.capacity());
 
     // --- rime_malloc + ordinary stores -------------------------------
@@ -31,15 +31,15 @@ fn main() -> Result<(), RimeError> {
     assert_eq!(sorted_list, vec![5, 16, 49]);
 
     // --- full sort as an ordered stream ------------------------------
-    let sorted = ops::sort_into_vec::<u64>(&mut dev, region)?;
+    let sorted = ops::sort_into_vec::<u64>(&dev, region)?;
     println!("\nfull sort: {sorted:?}");
 
     // --- ranking: the k-th order statistic costs k accesses ----------
-    let median = ops::kth_smallest::<u64>(&mut dev, region, data.len() as u64 / 2)?;
+    let median = ops::kth_smallest::<u64>(&dev, region, data.len() as u64 / 2)?;
     println!("median   : {:?}", median);
 
     // --- descending order with rime_max ------------------------------
-    let mut top = ops::sorted_desc::<u64>(&mut dev, region)?;
+    let mut top = ops::sorted_desc::<u64>(&dev, region)?;
     println!("top-2    : {:?} {:?}", top.try_next()?, top.try_next()?);
 
     // --- merging two sets (the paper's Fig. 6 example) ----------------
@@ -47,8 +47,8 @@ fn main() -> Result<(), RimeError> {
     dev.write(a, 0, &[5u32, 1, 3, 7, 10])?;
     let b = dev.alloc(3)?;
     dev.write(b, 0, &[4u32, 8, 5])?;
-    let merged = ops::merge::<u32>(&mut dev, &[a, b])?;
-    let joined = ops::merge_join::<u32>(&mut dev, a, b)?;
+    let merged = ops::merge::<u32>(&dev, &[a, b])?;
+    let joined = ops::merge_join::<u32>(&dev, a, b)?;
     println!("\nmerge    : {merged:?}");
     println!("mergejoin: {joined:?}");
     assert_eq!(merged, vec![1, 3, 4, 5, 5, 7, 8, 10]);
@@ -57,7 +57,7 @@ fn main() -> Result<(), RimeError> {
     // --- floats rank natively (no conversion, §VI-C) ------------------
     let f = dev.alloc(3)?;
     dev.write(f, 0, &[18.0f32, -1.625, -0.75])?; // Fig. 5's values
-    let fs = ops::sort_into_vec::<f32>(&mut dev, f)?;
+    let fs = ops::sort_into_vec::<f32>(&dev, f)?;
     println!("floats   : {fs:?}");
     assert_eq!(fs, vec![-1.625, -0.75, 18.0]);
 

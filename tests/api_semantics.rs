@@ -11,7 +11,7 @@ fn device() -> RimeDevice {
 fn malloc_fails_cleanly_then_recovers_after_free() {
     // §V: rime_malloc returns null under fragmentation; the user frees
     // and retries.
-    let mut dev = device();
+    let dev = device();
     let total = dev.capacity();
     let half = dev.alloc(total / 2).unwrap();
     let _quarter = dev.alloc(total / 4).unwrap();
@@ -23,7 +23,7 @@ fn malloc_fails_cleanly_then_recovers_after_free() {
 
 #[test]
 fn regions_are_isolated() {
-    let mut dev = device();
+    let dev = device();
     let a = dev.alloc(8).unwrap();
     let b = dev.alloc(8).unwrap();
     dev.write(a, 0, &[1u32; 8]).unwrap();
@@ -35,7 +35,7 @@ fn regions_are_isolated() {
 #[test]
 fn init_defines_the_operating_subrange() {
     // Fig. 12: rime_init may select a sub-region of a malloc'd region.
-    let mut dev = device();
+    let dev = device();
     let region = dev.alloc(8).unwrap();
     dev.write(region, 0, &[80u32, 70, 60, 50, 40, 30, 20, 10])
         .unwrap();
@@ -49,7 +49,7 @@ fn init_defines_the_operating_subrange() {
 
 #[test]
 fn reinit_restarts_the_stream_and_discards_buffers() {
-    let mut dev = device();
+    let dev = device();
     let region = dev.alloc(4).unwrap();
     dev.write(region, 0, &[9u32, 5, 7, 1]).unwrap();
     dev.init_all::<u32>(region).unwrap();
@@ -66,7 +66,7 @@ fn reinit_restarts_the_stream_and_discards_buffers() {
 #[test]
 fn normal_loads_coexist_with_ranking() {
     // §V: allocated memory is usable with ordinary loads/stores.
-    let mut dev = device();
+    let dev = device();
     let region = dev.alloc(6).unwrap();
     dev.write(region, 0, &[6u64, 4, 2, 8, 12, 10]).unwrap();
     dev.init_all::<u64>(region).unwrap();
@@ -78,7 +78,7 @@ fn normal_loads_coexist_with_ranking() {
 
 #[test]
 fn type_checking_is_enforced_per_region() {
-    let mut dev = device();
+    let dev = device();
     let region = dev.alloc(4).unwrap();
     dev.write(region, 0, &[1.5f32, -2.5, 0.0, 3.5]).unwrap();
     assert!(matches!(
@@ -91,13 +91,13 @@ fn type_checking_is_enforced_per_region() {
 
 #[test]
 fn min_and_max_are_duals() {
-    let mut dev = device();
+    let dev = device();
     let region = dev.alloc(16).unwrap();
     let keys: Vec<i32> = (0..16).map(|i| (i * 37 % 23) - 11).collect();
     dev.write(region, 0, &keys).unwrap();
 
-    let asc = ops::sort_into_vec::<i32>(&mut dev, region).unwrap();
-    let mut desc = ops::sorted_desc::<i32>(&mut dev, region)
+    let asc = ops::sort_into_vec::<i32>(&dev, region).unwrap();
+    let mut desc = ops::sorted_desc::<i32>(&dev, region)
         .unwrap()
         .collect_remaining()
         .unwrap();
@@ -107,7 +107,7 @@ fn min_and_max_are_duals() {
 
 #[test]
 fn freeing_under_active_session_invalidates_it() {
-    let mut dev = device();
+    let dev = device();
     let region = dev.alloc(4).unwrap();
     dev.write(region, 0, &[3u32, 1, 4, 1]).unwrap();
     dev.init_all::<u32>(region).unwrap();
@@ -117,7 +117,7 @@ fn freeing_under_active_session_invalidates_it() {
 
 #[test]
 fn many_small_regions_roundtrip() {
-    let mut dev = device();
+    let dev = device();
     let mut regions = Vec::new();
     for i in 0..32u64 {
         let r = dev.alloc(16).unwrap();
@@ -126,7 +126,7 @@ fn many_small_regions_roundtrip() {
         regions.push((r, keys));
     }
     for (r, keys) in regions {
-        let got = ops::sort_into_vec::<u64>(&mut dev, r).unwrap();
+        let got = ops::sort_into_vec::<u64>(&dev, r).unwrap();
         let mut want = keys;
         want.sort_unstable();
         assert_eq!(got, want);

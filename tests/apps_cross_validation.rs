@@ -86,10 +86,10 @@ fn astar_agrees_across_densities() {
 fn spq_agrees_across_ratios() {
     for ratio in 1..=5u32 {
         let stream = PacketStream::generate(128, 64, ratio, 50 + ratio as u64);
-        let mut dev = device();
+        let dev = device();
         assert_eq!(
             spq::spq_baseline(&stream),
-            spq::spq_rime(&mut dev, &stream).unwrap(),
+            spq::spq_rime(&dev, &stream).unwrap(),
             "R = {ratio}"
         );
     }
@@ -118,7 +118,7 @@ fn apps_share_one_device_sequentially() {
         astar::astar_baseline(&grid)
     );
     assert_eq!(
-        spq::spq_rime(&mut dev, &stream).unwrap(),
+        spq::spq_rime(&dev, &stream).unwrap(),
         spq::spq_baseline(&stream)
     );
     // Everything was freed: the full capacity is available again.

@@ -1,0 +1,114 @@
+//! Concurrency stress: many ranges driven through one shared
+//! [`RimeDevice`] from different threads (the Fig. 14 merge scenario)
+//! must produce exactly what a single-threaded walk over the same
+//! regions produces.
+
+use rime_core::{ops, RimeConfig, RimeDevice};
+use rime_workloads::keys::{generate_u64, KeyDistribution};
+
+/// Loads `n_sets` disjoint regions and returns (device, regions, key sets).
+fn setup(
+    n_sets: usize,
+    per_set: usize,
+    seed: u64,
+) -> (RimeDevice, Vec<rime_core::Region>, Vec<Vec<u64>>) {
+    let dev = RimeDevice::new(RimeConfig::small());
+    let mut regions = Vec::new();
+    let mut sets = Vec::new();
+    for s in 0..n_sets {
+        let keys = generate_u64(per_set, KeyDistribution::Uniform, seed + s as u64);
+        let region = dev.alloc(keys.len() as u64).unwrap();
+        dev.write(region, 0, &keys).unwrap();
+        regions.push(region);
+        sets.push(keys);
+    }
+    (dev, regions, sets)
+}
+
+#[test]
+fn four_concurrent_ranges_match_single_threaded_reference() {
+    let (dev, regions, sets) = setup(4, 300, 9001);
+
+    // Single-threaded reference: drain each region in isolation.
+    let mut want: Vec<Vec<u64>> = Vec::new();
+    for (idx, &r) in regions.iter().enumerate() {
+        let got = ops::sort_into_vec::<u64>(&dev, r).unwrap();
+        let mut sorted = sets[idx].clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted, "region {idx} sequential reference");
+        want.push(got);
+    }
+
+    // Concurrent pass: one thread per range, sharing `&dev`.
+    let dev = &dev;
+    let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = regions
+            .iter()
+            .map(|&r| scope.spawn(move || ops::sort_into_vec::<u64>(dev, r).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(results, want);
+}
+
+#[test]
+fn eight_threads_interleave_streams_over_shared_device() {
+    let (dev, regions, sets) = setup(8, 150, 9100);
+    let dev = &dev;
+    let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = regions
+            .iter()
+            .map(|&r| {
+                scope.spawn(move || {
+                    // Alternate batch sizes by interleaving stream pulls so
+                    // threads hit the device mid-range, not in lockstep.
+                    let mut stream = ops::sorted::<u64>(dev, r).unwrap();
+                    let mut out = Vec::new();
+                    while let Some(v) = stream.try_next().unwrap() {
+                        out.push(v);
+                        std::thread::yield_now();
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (idx, got) in results.iter().enumerate() {
+        let mut want = sets[idx].clone();
+        want.sort_unstable();
+        assert_eq!(got, &want, "region {idx}");
+    }
+}
+
+#[test]
+fn parallel_merge_scenario_matches_sequential_merge() {
+    // Fig. 14: merging m ranges; the parallel path runs every range on
+    // its own thread through the shared device.
+    let (dev, regions, sets) = setup(5, 200, 9200);
+    let par = ops::merge_parallel::<u64>(&dev, &regions).unwrap();
+    let seq = ops::merge::<u64>(&dev, &regions).unwrap();
+    assert_eq!(par, seq);
+    let mut want: Vec<u64> = sets.into_iter().flatten().collect();
+    want.sort_unstable();
+    assert_eq!(par, want);
+}
+
+#[test]
+fn concurrent_batched_top_k_over_disjoint_regions() {
+    let (dev, regions, sets) = setup(6, 120, 9300);
+    let dev = &dev;
+    let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = regions
+            .iter()
+            .map(|&r| scope.spawn(move || ops::smallest_k::<u64>(dev, r, 25).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (idx, got) in results.iter().enumerate() {
+        let mut want = sets[idx].clone();
+        want.sort_unstable();
+        want.truncate(25);
+        assert_eq!(got, &want, "region {idx}");
+    }
+}

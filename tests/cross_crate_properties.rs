@@ -17,10 +17,10 @@ proptest! {
     fn device_sort_is_a_permutation_in_order(
         keys in prop::collection::vec(any::<u64>(), 1..200),
     ) {
-        let mut dev = device();
+        let dev = device();
         let region = dev.alloc(keys.len() as u64).unwrap();
         dev.write(region, 0, &keys).unwrap();
-        let got = ops::sort_into_vec::<u64>(&mut dev, region).unwrap();
+        let got = ops::sort_into_vec::<u64>(&dev, region).unwrap();
         let mut want = keys.clone();
         want.sort_unstable();
         prop_assert_eq!(got, want);
@@ -32,14 +32,14 @@ proptest! {
         b in prop::collection::vec(any::<u32>(), 1..80),
         c in prop::collection::vec(any::<u32>(), 1..80),
     ) {
-        let mut dev = device();
+        let dev = device();
         let mut regions = Vec::new();
         for set in [&a, &b, &c] {
             let r = dev.alloc(set.len() as u64).unwrap();
             dev.write(r, 0, set).unwrap();
             regions.push(r);
         }
-        let merged = ops::merge::<u32>(&mut dev, &regions).unwrap();
+        let merged = ops::merge::<u32>(&dev, &regions).unwrap();
         let mut want: Vec<u32> = a.iter().chain(&b).chain(&c).copied().collect();
         want.sort_unstable();
         prop_assert_eq!(merged, want);
@@ -50,12 +50,12 @@ proptest! {
         a in prop::collection::vec(0u64..32, 1..60),
         b in prop::collection::vec(0u64..32, 1..60),
     ) {
-        let mut dev = device();
+        let dev = device();
         let ra = dev.alloc(a.len() as u64).unwrap();
         dev.write(ra, 0, &a).unwrap();
         let rb = dev.alloc(b.len() as u64).unwrap();
         dev.write(rb, 0, &b).unwrap();
-        let joined = ops::merge_join::<u64>(&mut dev, ra, rb).unwrap();
+        let joined = ops::merge_join::<u64>(&dev, ra, rb).unwrap();
 
         // Reference multiset intersection.
         let mut want = Vec::new();
@@ -86,20 +86,20 @@ proptest! {
             1..120,
         ),
     ) {
-        let mut dev = device();
-        let mut pq = RimePriorityQueue::new(&mut dev, 128).unwrap();
+        let dev = device();
+        let mut pq = RimePriorityQueue::new(&dev, 128).unwrap();
         let mut heap = std::collections::BinaryHeap::new();
         for op in ops_list {
             match op {
                 Some(k) => {
                     if pq.spare() > 0 {
-                        pq.push(&mut dev, k).unwrap();
+                        pq.push(&dev, k).unwrap();
                         heap.push(std::cmp::Reverse(k));
                     }
                 }
                 None => {
                     let want = heap.pop().map(|std::cmp::Reverse(k)| k);
-                    let got = pq.pop_min(&mut dev).unwrap();
+                    let got = pq.pop_min(&dev).unwrap();
                     prop_assert_eq!(got, want);
                 }
             }
@@ -113,14 +113,14 @@ proptest! {
         b in prop::collection::vec(0u32..24, 1..40),
         c in prop::collection::vec(0u32..24, 1..40),
     ) {
-        let mut dev = device();
+        let dev = device();
         let mut regions = Vec::new();
         for set in [&a, &b, &c] {
             let r = dev.alloc(set.len() as u64).unwrap();
             dev.write(r, 0, set).unwrap();
             regions.push(r);
         }
-        let joined = ops::merge_join_all::<u32>(&mut dev, &regions).unwrap();
+        let joined = ops::merge_join_all::<u32>(&dev, &regions).unwrap();
 
         // Reference: per-key min count across the three multisets.
         let count = |v: &Vec<u32>, k: u32| v.iter().filter(|&&x| x == k).count();
@@ -157,8 +157,8 @@ proptest! {
     #[test]
     fn spq_total_order_of_removals(seed in 0u64..30, ratio in 1u32..5) {
         let stream = PacketStream::generate(40, 25, ratio, seed);
-        let mut dev = device();
-        let removed = spq::spq_rime(&mut dev, &stream).unwrap();
+        let dev = device();
+        let removed = spq::spq_rime(&dev, &stream).unwrap();
         prop_assert_eq!(removed.len(), stream.removes());
         // Every removed key was actually offered.
         let mut offered: Vec<u64> = stream.initial.clone();

@@ -41,10 +41,10 @@ fn rime_and_all_baseline_kernels_agree() {
 #[test]
 fn rime_sorts_signed_keys_across_chips() {
     let keys = generate_i64(6_000, 1002);
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
     let region = dev.alloc(keys.len() as u64).unwrap();
     dev.write(region, 0, &keys).unwrap();
-    let got = ops::sort_into_vec::<i64>(&mut dev, region).unwrap();
+    let got = ops::sort_into_vec::<i64>(&dev, region).unwrap();
     let mut want = keys;
     want.sort_unstable();
     assert_eq!(got, want);
@@ -66,7 +66,7 @@ fn rime_sorts_floats_in_total_order() {
 #[test]
 fn sorted_streams_resume_after_partial_consumption() {
     // Consume half the stream, write fresh data elsewhere, finish later.
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
     let region = dev.alloc(100).unwrap();
     let keys = generate_u64(100, KeyDistribution::Uniform, 1004);
     dev.write(region, 0, &keys).unwrap();
@@ -79,7 +79,7 @@ fn sorted_streams_resume_after_partial_consumption() {
     // Unrelated activity on another region must not disturb the stream.
     let other = dev.alloc(10).unwrap();
     dev.write(other, 0, &[1u64, 2, 3]).unwrap();
-    let _ = ops::sort_into_vec::<u64>(&mut dev, other).unwrap();
+    let _ = ops::sort_into_vec::<u64>(&dev, other).unwrap();
 
     while let Some((_, v)) = dev.rime_min::<u64>(region).unwrap() {
         got.push(v);
@@ -105,11 +105,11 @@ fn exhaustive_small_permutations() {
     }
     let mut perms = Vec::new();
     permutations(vec![3, 1, 4, 1, 5, 9], 0, &mut perms);
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
     let region = dev.alloc(6).unwrap();
     for perm in perms {
         dev.write(region, 0, &perm).unwrap();
-        let got = ops::sort_into_vec::<u64>(&mut dev, region).unwrap();
+        let got = ops::sort_into_vec::<u64>(&dev, region).unwrap();
         assert_eq!(got, vec![1, 1, 3, 4, 5, 9], "input {perm:?}");
     }
 }

@@ -16,10 +16,10 @@ fn mmio_and_typed_api_agree() {
     let keys = generate_u64(200, KeyDistribution::Uniform, 301);
 
     // Typed path.
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
     let region = dev.alloc(keys.len() as u64).unwrap();
     dev.write(region, 0, &keys).unwrap();
-    let typed = ops::sort_into_vec::<u64>(&mut dev, region).unwrap();
+    let typed = ops::sort_into_vec::<u64>(&dev, region).unwrap();
 
     // Register path.
     let mut m = MmioInterface::new(RimeConfig::small());
@@ -60,11 +60,11 @@ fn all_hybrid_kernels_agree_with_each_other() {
 #[test]
 fn external_sort_agrees_with_single_region_sort() {
     let keys = generate_u64(1_000, KeyDistribution::Uniform, 303);
-    let mut dev = RimeDevice::new(RimeConfig::small());
-    let chunked = external::external_sort(&mut dev, &keys, 37).unwrap();
+    let dev = RimeDevice::new(RimeConfig::small());
+    let chunked = external::external_sort(&dev, &keys, 37).unwrap();
     let region = dev.alloc(keys.len() as u64).unwrap();
     dev.write(region, 0, &keys).unwrap();
-    let single = ops::sort_into_vec::<u64>(&mut dev, region).unwrap();
+    let single = ops::sort_into_vec::<u64>(&dev, region).unwrap();
     assert_eq!(chunked, single);
 }
 

@@ -25,7 +25,7 @@ fn fig14_two_channel_walkthrough() {
         chip_geometry: ChipGeometry::tiny(),
         ..RimeConfig::small()
     };
-    let mut dev = RimeDevice::new(config);
+    let dev = RimeDevice::new(config);
     let per_chip = dev.config().chip_slots();
 
     // Fig. 14's initial per-chip minima and the refill values revealed in

@@ -148,7 +148,7 @@ fn fig19_energy_reduction_over_90_percent() {
 #[test]
 fn functional_counters_match_analytic_chip_rate() {
     use rime_core::{RimeConfig, RimeDevice};
-    let mut dev = RimeDevice::new(RimeConfig::small());
+    let dev = RimeDevice::new(RimeConfig::small());
     let n = 256u64;
     let region = dev.alloc(n).unwrap();
     let keys: Vec<u64> = (0..n).rev().collect();
