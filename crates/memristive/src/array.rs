@@ -39,15 +39,34 @@ impl ColumnSignals {
     }
 }
 
+/// Key bits per array row; the row-major store packs them in a `u64`.
+const KEY_BITS: usize = 64;
+
 /// One memristive array: `rows` key slots of up to 64 key bits each.
 ///
 /// The array stores each row's key bits packed in a `u64` — bit-identical
 /// to the cells the paper describes for key widths up to 64; columns past
 /// the key width would hold unrelated data in normal-storage mode and are
 /// not modelled.
+///
+/// # Bit-sliced column shadow
+///
+/// Alongside the row-major store the array maintains a transposed view:
+/// one [`Bitmap`] per bit position, holding that column's *effective*
+/// (post-fault) cell values with one bit per row. A column search in
+/// hardware senses every selected row in one analog step (Fig. 7); the
+/// shadow lets the software model match that parallelism with
+/// `rows/64` word operations (`select & column`, `select & !column`)
+/// instead of a row-at-a-time scalar walk. The shadow is kept coherent
+/// on every [`Array::write_row`] and fault change — see `sync_row` —
+/// and is a pure simulator optimization: it models no extra hardware
+/// and changes no operation counts.
 #[derive(Debug, Clone)]
 pub struct Array {
     rows: Vec<u64>,
+    /// Transposed shadow: `cols[b]` bit `r` == effective bit `b` of row
+    /// `r` (through any injected faults).
+    cols: Vec<Bitmap>,
     select: Bitmap,
     wear: Vec<u32>,
     /// Injected stuck-at cell faults: (row, bit, stuck value). Endurance
@@ -62,9 +81,20 @@ impl Array {
         let rows = rows as usize;
         Array {
             rows: vec![0; rows],
+            cols: (0..KEY_BITS).map(|_| Bitmap::zeros(rows)).collect(),
             select: Bitmap::zeros(rows),
             wear: vec![0; rows],
             faults: Vec::new(),
+        }
+    }
+
+    /// Re-transposes one row into the column shadow after its effective
+    /// value changed (write or fault edit). This is the single coherence
+    /// point of the dual representation.
+    fn sync_row(&mut self, row: usize) {
+        let eff = self.effective(row);
+        for (bit, col) in self.cols.iter_mut().enumerate() {
+            col.set(row, eff >> bit & 1 == 1);
         }
     }
 
@@ -73,14 +103,19 @@ impl Array {
     /// freeze in one resistance state, §VII-C).
     pub fn inject_stuck_cell(&mut self, row: usize, bit: u16, stuck: bool) {
         assert!(row < self.rows.len(), "row {row} out of range");
-        assert!(bit < 64, "bit {bit} out of range");
+        assert!(bit < KEY_BITS as u16, "bit {bit} out of range");
         self.faults.retain(|&(r, b, _)| (r, b) != (row, bit));
         self.faults.push((row, bit, stuck));
+        self.cols[bit as usize].set(row, stuck);
     }
 
     /// Removes all injected faults.
     pub fn clear_faults(&mut self) {
+        let dirty: Vec<usize> = self.faults.iter().map(|&(r, _, _)| r).collect();
         self.faults.clear();
+        for row in dirty {
+            self.sync_row(row);
+        }
     }
 
     /// Number of injected faults.
@@ -115,6 +150,7 @@ impl Array {
     pub fn write_row(&mut self, row: usize, raw: u64) {
         self.rows[row] = raw;
         self.wear[row] = self.wear[row].saturating_add(1);
+        self.sync_row(row);
     }
 
     /// Reads the raw key pattern stored in `row` (through any injected
@@ -146,6 +182,17 @@ impl Array {
         self.select = select;
     }
 
+    /// Replaces the select vector with the `rows()`-bit window of `bits`
+    /// starting at `start` — the zero-allocation whole-vector latch the
+    /// batched extraction engine rearms with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window runs past `bits.len()`.
+    pub fn load_select_window(&mut self, bits: &Bitmap, start: usize) {
+        self.select.assign_slice(bits, start);
+    }
+
     /// Sets or clears one select latch.
     pub fn set_select_bit(&mut self, row: usize, value: bool) {
         self.select.set(row, value);
@@ -164,7 +211,91 @@ impl Array {
     /// Senses column `pos` across the selected rows (Fig. 7): returns the
     /// per-array signals; the match vector itself is produced by
     /// [`Array::match_vector`] when the controller decides to load.
+    ///
+    /// Bit-sliced: one pass over the `rows/64` select words, ANDing each
+    /// against the column shadow (and its complement), with an early exit
+    /// once both signals are raised — mirroring the hardware, which
+    /// senses all selected rows in a single analog step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 64`.
     pub fn sense_column(&self, pos: u16) -> ColumnSignals {
+        let col = self.cols[pos as usize].words();
+        let mut signals = ColumnSignals::default();
+        for (&sel, &col) in self.select.words().iter().zip(col) {
+            if sel == 0 {
+                continue;
+            }
+            signals.any_one |= sel & col != 0;
+            signals.any_zero |= sel & !col != 0;
+            if signals.any_one && signals.any_zero {
+                break;
+            }
+        }
+        signals
+    }
+
+    /// The match vector for column `pos` against reference bit `keep`,
+    /// written into the caller-provided scratch bitmap — the
+    /// zero-allocation form: `out = select & column` (`keep`) or
+    /// `select & !column` (`!keep`), word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 64` or `out.len()` differs from the row count.
+    pub fn match_vector_into(&self, pos: u16, keep: bool, out: &mut Bitmap) {
+        let col = &self.cols[pos as usize];
+        if keep {
+            out.assign_and(&self.select, col);
+        } else {
+            out.assign_and_not(&self.select, col);
+        }
+    }
+
+    /// The match vector for column `pos` against reference bit `keep`:
+    /// selected rows whose cell XNORs true with the reference. Allocating
+    /// convenience form of [`Array::match_vector_into`].
+    pub fn match_vector(&self, pos: u16, keep: bool) -> Bitmap {
+        let mut matches = Bitmap::zeros(self.rows.len());
+        self.match_vector_into(pos, keep, &mut matches);
+        matches
+    }
+
+    /// Loads the match vector into the select latches (selective row
+    /// exclusion, §IV-A.2). Returns the number of rows deselected.
+    pub fn load_select(&mut self, matches: &Bitmap) -> usize {
+        let before = self.select.count_ones();
+        self.select.and_assign(matches);
+        before - self.select.count_ones()
+    }
+
+    /// Fused match-and-load (§IV-A.2): because `select &= select & col`
+    /// simplifies to `select &= col`, the global exclusion needs no match
+    /// vector at all — one in-place AND/ANDN over the select words.
+    /// Semantically identical to `load_select(&match_vector(pos, keep))`.
+    /// Returns the number of rows deselected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 64`.
+    pub fn apply_exclusion(&mut self, pos: u16, keep: bool) -> usize {
+        let before = self.select.count_ones();
+        let col = &self.cols[pos as usize];
+        if keep {
+            self.select.and_assign(col);
+        } else {
+            self.select.and_not_assign(col);
+        }
+        before - self.select.count_ones()
+    }
+
+    /// Scalar row-major `sense_column` — the differential oracle for the
+    /// bit-sliced path, kept alive under the `scalar-oracle` feature (and
+    /// in tests). Walks selected rows one at a time through
+    /// [`Array::read_row`], exactly the pre-shadow implementation.
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn sense_column_scalar(&self, pos: u16) -> ColumnSignals {
         let mut signals = ColumnSignals::default();
         for row in self.select.iter_ones() {
             if self.read_row(row) >> pos & 1 == 1 {
@@ -179,9 +310,10 @@ impl Array {
         signals
     }
 
-    /// The match vector for column `pos` against reference bit `keep`:
-    /// selected rows whose cell XNORs true with the reference.
-    pub fn match_vector(&self, pos: u16, keep: bool) -> Bitmap {
+    /// Scalar row-major `match_vector` — differential oracle counterpart
+    /// of [`Array::match_vector`] (see [`Array::sense_column_scalar`]).
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn match_vector_scalar(&self, pos: u16, keep: bool) -> Bitmap {
         let mut matches = Bitmap::zeros(self.rows.len());
         for row in self.select.iter_ones() {
             if (self.read_row(row) >> pos & 1 == 1) == keep {
@@ -189,14 +321,6 @@ impl Array {
             }
         }
         matches
-    }
-
-    /// Loads the match vector into the select latches (selective row
-    /// exclusion, §IV-A.2). Returns the number of rows deselected.
-    pub fn load_select(&mut self, matches: &Bitmap) -> usize {
-        let before = self.select.count_ones();
-        self.select.and_assign(matches);
-        before - self.select.count_ones()
     }
 
     /// Lowest selected row, if any (the array's contribution to the
@@ -333,6 +457,92 @@ mod tests {
         assert_eq!(a.fault_count(), 1);
         a.write_row(0, 1);
         assert_eq!(a.read_row(0), 0);
+    }
+
+    #[test]
+    fn bitsliced_matches_scalar_with_faults_and_partial_select() {
+        // 70 rows so the select/column bitmaps span a word boundary.
+        let mut a = Array::new(70);
+        for row in 0..70 {
+            a.write_row(row, (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            a.set_select_bit(row, row % 3 != 1);
+        }
+        a.inject_stuck_cell(0, 5, true);
+        a.inject_stuck_cell(64, 63, false);
+        a.inject_stuck_cell(69, 0, true);
+        for pos in 0..64u16 {
+            assert_eq!(
+                a.sense_column(pos),
+                a.sense_column_scalar(pos),
+                "sense at {pos}"
+            );
+            for keep in [false, true] {
+                assert_eq!(
+                    a.match_vector(pos, keep),
+                    a.match_vector_scalar(pos, keep),
+                    "match at {pos}/{keep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_stays_coherent_through_fault_edits() {
+        let mut a = Array::new(3);
+        a.write_row(1, 0b101);
+        a.inject_stuck_cell(1, 1, true); // effective 0b111
+        assert!(a.match_vector(1, true).none());
+        a.set_select_bit(1, true);
+        assert_eq!(
+            a.match_vector(1, true).iter_ones().collect::<Vec<_>>(),
+            vec![1]
+        );
+        // Overwriting the row keeps the stuck bit visible in the shadow.
+        a.write_row(1, 0);
+        assert!(a.sense_column(1).any_one);
+        // Clearing faults re-transposes the raw value.
+        a.clear_faults();
+        assert!(!a.sense_column(1).any_one);
+    }
+
+    #[test]
+    fn fused_exclusion_equals_match_then_load() {
+        let mut fused = Array::new(70);
+        for row in 0..70 {
+            fused.write_row(row, row as u64 ^ 0x55);
+            fused.set_select_bit(row, row % 2 == 0);
+        }
+        let mut two_step = fused.clone();
+        for (pos, keep) in [(0u16, false), (3, true), (6, false)] {
+            let removed_fused = fused.apply_exclusion(pos, keep);
+            let matches = two_step.match_vector(pos, keep);
+            let removed_two = two_step.load_select(&matches);
+            assert_eq!(removed_fused, removed_two, "removed at {pos}/{keep}");
+            assert_eq!(fused.select(), two_step.select(), "select at {pos}/{keep}");
+        }
+    }
+
+    #[test]
+    fn match_vector_into_reuses_scratch() {
+        let mut a = Array::new(5);
+        for row in 0..5 {
+            a.write_row(row, row as u64);
+            a.set_select_bit(row, true);
+        }
+        let mut scratch = Bitmap::ones(5); // stale contents must be overwritten
+        a.match_vector_into(0, true, &mut scratch);
+        assert_eq!(scratch.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+        a.match_vector_into(0, false, &mut scratch);
+        assert_eq!(scratch.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn load_select_window_latches_slice() {
+        let mut a = Array::new(8);
+        let bits: Bitmap = (0..20).map(|i| i % 2 == 0).collect();
+        a.load_select_window(&bits, 3);
+        // Window [3, 11): even global indices 4, 6, 8, 10 → local 1, 3, 5, 7.
+        assert_eq!(a.select().iter_ones().collect::<Vec<_>>(), vec![1, 3, 5, 7]);
     }
 
     #[test]

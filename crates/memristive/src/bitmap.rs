@@ -10,6 +10,10 @@ use std::fmt;
 
 /// A fixed-length vector of bits backed by `u64` words.
 ///
+/// Invariant: bits in the last word beyond `len` are always zero, so
+/// word-level kernels (`intersects_not`, `assign_and_not`, …) never see
+/// phantom tail bits even when they complement an operand.
+///
 /// # Example
 ///
 /// ```
@@ -90,15 +94,29 @@ impl Bitmap {
         }
     }
 
-    /// Sets every bit in `[start, end)` to one.
+    /// Sets every bit in `[start, end)` to one, a whole word at a time:
+    /// partial first/last words get masked ORs, fully covered words are
+    /// filled directly.
     ///
     /// # Panics
     ///
     /// Panics if `start > end` or `end > len`.
     pub fn set_range(&mut self, start: usize, end: usize) {
         assert!(start <= end && end <= self.len, "range out of bounds");
-        for idx in start..end {
-            self.set(idx, true);
+        if start == end {
+            return;
+        }
+        let (first, last) = (start / 64, (end - 1) / 64);
+        let head = u64::MAX << (start % 64);
+        let tail = u64::MAX >> (63 - (end - 1) % 64);
+        if first == last {
+            self.words[first] |= head & tail;
+        } else {
+            self.words[first] |= head;
+            for word in &mut self.words[first + 1..last] {
+                *word = u64::MAX;
+            }
+            self.words[last] |= tail;
         }
     }
 
@@ -172,34 +190,159 @@ impl Bitmap {
         }
     }
 
+    /// The backing `u64` words, least-significant bit first. Bits beyond
+    /// `len` in the last word are guaranteed zero (see the type-level
+    /// invariant), so word-level consumers need no tail handling of their
+    /// own.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of one bits in the intersection with `other`, without
+    /// materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether any bit is set in both `self` and `other` (early-exits on
+    /// the first overlapping word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn intersects(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Whether any bit is set in `self` but clear in `other` (early-exits
+    /// on the first such word). The complement's phantom tail bits are
+    /// harmless because `self`'s tail is guaranteed zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn intersects_not(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & !b != 0)
+    }
+
+    /// Overwrites `self` with `a & b` — the zero-allocation form the
+    /// match-vector scratch path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three lengths differ.
+    pub fn assign_and(&mut self, a: &Bitmap, b: &Bitmap) {
+        assert!(
+            self.len == a.len && self.len == b.len,
+            "bitmap length mismatch"
+        );
+        for ((dst, &wa), &wb) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *dst = wa & wb;
+        }
+    }
+
+    /// Overwrites `self` with `a & !b` (ANDN). `a`'s zero tail keeps the
+    /// result's tail zero despite the complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three lengths differ.
+    pub fn assign_and_not(&mut self, a: &Bitmap, b: &Bitmap) {
+        assert!(
+            self.len == a.len && self.len == b.len,
+            "bitmap length mismatch"
+        );
+        for ((dst, &wa), &wb) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *dst = wa & !wb;
+        }
+    }
+
+    /// Overwrites `self` with the `self.len()`-bit subrange of `src`
+    /// starting at `start` — [`Bitmap::slice`] without the allocation,
+    /// which is what lets the batched extraction engine rearm per-array
+    /// select vectors from the membership bitmap with zero per-iteration
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + self.len() > src.len()`.
+    pub fn assign_slice(&mut self, src: &Bitmap, start: usize) {
+        assert!(
+            start
+                .checked_add(self.len)
+                .is_some_and(|end| end <= src.len),
+            "slice [{start}, {start}+{}) out of range {}",
+            self.len,
+            src.len
+        );
+        let shift = start % 64;
+        for wi in 0..self.words.len() {
+            let idx = start / 64 + wi;
+            let lo = src.words[idx] >> shift;
+            let hi = if shift != 0 && idx + 1 < src.words.len() {
+                src.words[idx + 1] << (64 - shift)
+            } else {
+                0
+            };
+            self.words[wi] = lo | hi;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of one bits inside `[start, end)`, a word at a time (masked
+    /// popcounts on the partial boundary words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len`.
+    pub fn count_ones_in_range(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        if start == end {
+            return 0;
+        }
+        let (first, last) = (start / 64, (end - 1) / 64);
+        let head = u64::MAX << (start % 64);
+        let tail = u64::MAX >> (63 - (end - 1) % 64);
+        if first == last {
+            return (self.words[first] & head & tail).count_ones() as usize;
+        }
+        let mut count = (self.words[first] & head).count_ones() as usize;
+        for &word in &self.words[first + 1..last] {
+            count += word.count_ones() as usize;
+        }
+        count + (self.words[last] & tail).count_ones() as usize
+    }
+
     /// Extracts the `len`-bit subrange starting at `start` as a new bitmap.
     ///
     /// Works a `u64` word at a time (two shifts per output word), which is
     /// what lets the chip's batched extraction rearm select vectors from a
-    /// membership bitmap without walking individual bits.
+    /// membership bitmap without walking individual bits. See
+    /// [`Bitmap::assign_slice`] for the allocation-free form.
     ///
     /// # Panics
     ///
     /// Panics if `start + len > self.len()`.
     pub fn slice(&self, start: usize, len: usize) -> Bitmap {
-        assert!(
-            start.checked_add(len).is_some_and(|end| end <= self.len),
-            "slice [{start}, {start}+{len}) out of range {}",
-            self.len
-        );
         let mut out = Bitmap::zeros(len);
-        let shift = start % 64;
-        for wi in 0..out.words.len() {
-            let src = start / 64 + wi;
-            let lo = self.words[src] >> shift;
-            let hi = if shift != 0 && src + 1 < self.words.len() {
-                self.words[src + 1] << (64 - shift)
-            } else {
-                0
-            };
-            out.words[wi] = lo | hi;
-        }
-        out.mask_tail();
+        out.assign_slice(self, start);
         out
     }
 
@@ -373,6 +516,99 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn slice_past_end_panics() {
         Bitmap::zeros(10).slice(8, 3);
+    }
+
+    #[test]
+    fn set_range_word_boundaries_and_tail() {
+        // Every alignment of interest: inside one word, exactly a word,
+        // spanning several words, ending on the unaligned tail.
+        for (len, start, end) in [
+            (70, 0, 0),
+            (70, 3, 9),
+            (70, 0, 64),
+            (70, 63, 65),
+            (70, 1, 70),
+            (200, 60, 140),
+            (200, 64, 128),
+            (191, 120, 191),
+        ] {
+            let mut bm = Bitmap::zeros(len);
+            bm.set_range(start, end);
+            let mut want = Bitmap::zeros(len);
+            for idx in start..end {
+                want.set(idx, true);
+            }
+            assert_eq!(bm, want, "set_range({start}, {end}) on len {len}");
+            // Tail invariant: no phantom bits past len.
+            let rem = len % 64;
+            if rem != 0 {
+                assert_eq!(bm.words.last().unwrap() >> rem, 0, "tail must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn and_count_and_intersects() {
+        let mut a = Bitmap::zeros(130);
+        let mut b = Bitmap::zeros(130);
+        a.set_range(0, 70);
+        b.set_range(63, 129);
+        assert_eq!(a.and_count(&b), 7); // bits 63..70 overlap
+        assert!(a.intersects(&b));
+        assert!(a.intersects_not(&b)); // bits 0..63 are in a only
+        assert!(b.intersects_not(&a)); // bits 70..129 are in b only
+
+        let disjoint: Bitmap = Bitmap::zeros(130);
+        assert_eq!(a.and_count(&disjoint), 0);
+        assert!(!a.intersects(&disjoint));
+        assert!(!disjoint.intersects_not(&a));
+        // intersects_not must not be fooled by !other's phantom tail bits.
+        let full = Bitmap::ones(130);
+        assert!(!full.intersects_not(&full));
+    }
+
+    #[test]
+    fn assign_and_kernels_match_per_bit() {
+        let a: Bitmap = (0..150).map(|i| i % 3 == 0).collect();
+        let b: Bitmap = (0..150).map(|i| i % 5 != 0).collect();
+        let mut and = Bitmap::ones(150);
+        and.assign_and(&a, &b);
+        let mut andn = Bitmap::ones(150);
+        andn.assign_and_not(&a, &b);
+        for idx in 0..150 {
+            assert_eq!(and.get(idx), a.get(idx) && b.get(idx), "and bit {idx}");
+            assert_eq!(andn.get(idx), a.get(idx) && !b.get(idx), "andn bit {idx}");
+        }
+        assert_eq!(and.count_ones(), a.and_count(&b));
+        // Tail stays masked even though !b has phantom ones there.
+        assert_eq!(andn.words.last().unwrap() >> (150 % 64), 0);
+    }
+
+    #[test]
+    fn assign_slice_matches_slice_across_words() {
+        let src: Bitmap = (0..300).map(|i| i % 7 < 3).collect();
+        for (start, len) in [(0, 300), (1, 64), (63, 130), (190, 3), (299, 1), (37, 0)] {
+            let mut out = Bitmap::ones(len);
+            out.assign_slice(&src, start);
+            assert_eq!(out, src.slice(start, len), "assign_slice({start}, {len})");
+        }
+    }
+
+    #[test]
+    fn count_ones_in_range_matches_per_bit() {
+        let bm: Bitmap = (0..200).map(|i| i % 3 == 1).collect();
+        for (start, end) in [
+            (0, 0),
+            (0, 200),
+            (5, 60),
+            (60, 70),
+            (63, 65),
+            (64, 128),
+            (130, 199),
+        ] {
+            let want = (start..end).filter(|&i| bm.get(i)).count();
+            assert_eq!(bm.count_ones_in_range(start, end), want, "[{start}, {end})");
+        }
     }
 
     #[test]

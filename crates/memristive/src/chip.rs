@@ -81,6 +81,12 @@ pub struct Chip {
     range: Option<(u64, u64)>,
     counters: OpCounters,
     parallel: ParallelPolicy,
+    /// Route column searches through the row-major scalar oracle instead
+    /// of the bit-sliced column shadow. Only settable with the
+    /// `scalar-oracle` feature (or in tests); both paths are
+    /// observationally identical — hits and counters bit-equal — which
+    /// the differential suite proves.
+    scalar_oracle: bool,
 }
 
 impl Chip {
@@ -96,7 +102,18 @@ impl Chip {
             range: None,
             counters: OpCounters::new(),
             parallel: ParallelPolicy::Auto,
+            scalar_oracle: false,
         }
+    }
+
+    /// Routes every column search and exclusion through the row-major
+    /// scalar path instead of the bit-sliced column shadow — the
+    /// differential oracle. Available only with the `scalar-oracle`
+    /// feature (or in unit tests); production builds always run
+    /// bit-sliced.
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn set_scalar_oracle(&mut self, scalar: bool) {
+        self.scalar_oracle = scalar;
     }
 
     /// The chip's geometry.
@@ -244,27 +261,36 @@ impl Chip {
     /// Re-latches the select vectors for the active range, skipping
     /// excluded slots. This is what the controller performs between sort
     /// accesses to rearm the search.
+    ///
+    /// Word-level: the membership vector (range minus exclusion flags) is
+    /// assembled over the touched mat span with masked word operations,
+    /// then each touched mat latches its window of it in one pass —
+    /// no per-slot walks. Counter semantics are unchanged (one select
+    /// load, one H-tree traversal).
     fn load_selection(&mut self, begin: u64, end: u64) {
         // Clear selection on every materialized mat, then walk the tree.
         for mat in self.mats.iter_mut().flatten() {
             mat.clear_select();
         }
+        let per_mat = self.geometry.slots_per_mat();
+        let (first_mat, last_mat) = self.mat_span(begin, end);
+        let span_base = first_mat as u64 * per_mat;
+        let span_slots = (last_mat - first_mat + 1) * per_mat as usize;
+        let mut membership = Bitmap::zeros(span_slots);
+        membership.set_range((begin - span_base) as usize, (end - span_base) as usize);
+        let mut span_excluded = Bitmap::zeros(span_slots);
+        span_excluded.assign_slice(&self.excluded, span_base as usize);
+        membership.and_not_assign(&span_excluded);
+
+        // The downstream tree walk names the touched mats (and keeps the
+        // node-visit accounting identical); each one latches its window.
+        // Materializing via `mat_mut` keeps select latches available even
+        // before data was stored (normal for sparse test setups).
         let ranges = self.tree.init_range(begin, end);
         for range in ranges {
-            let base = range.mat as u64 * self.geometry.slots_per_mat();
-            // Materialize the mat so its select latches exist even before
-            // data was stored (normal for sparse test setups).
-            let excluded = &self.excluded;
-            let mut to_set = Vec::new();
-            for local in range.start..range.end {
-                if !excluded.get((base + local as u64) as usize) {
-                    to_set.push(local);
-                }
-            }
-            let mat = self.mat_mut(range.mat);
-            for local in to_set {
-                mat.set_select_bit(local, true);
-            }
+            let window = (range.mat as u64 * per_mat - span_base) as usize;
+            self.mat_mut(range.mat)
+                .load_select_window(&membership, window);
         }
         self.counters.select_loads += 1;
         self.counters.htree_traversals += 1;
@@ -275,12 +301,10 @@ impl Chip {
         match self.range {
             None => 0,
             Some((begin, end)) => {
-                let mut excluded = 0;
-                for slot in begin..end {
-                    if self.excluded.get(slot as usize) {
-                        excluded += 1;
-                    }
-                }
+                let excluded = self
+                    .excluded
+                    .count_ones_in_range(begin as usize, end as usize)
+                    as u64;
                 end - begin - excluded
             }
         }
@@ -416,23 +440,26 @@ impl Chip {
         }
 
         let mut hits = Vec::with_capacity(k);
+        let mut selected = membership.count_ones() as u64;
         for _ in 0..k {
             // Rearm: one select-vector load through the H-tree, exactly
-            // as the sequential path counts it.
+            // as the sequential path counts it. Each mat latches its
+            // window of the membership vector in place — zero
+            // allocations per iteration.
             let per_mat = self.geometry.slots_per_mat() as usize;
             for idx in first_mat..=last_mat {
-                let bits = membership.slice(idx * per_mat, per_mat);
-                self.mat_mut(idx as u32).load_select_bits(&bits);
+                self.mat_mut(idx as u32)
+                    .load_select_window(&membership, idx * per_mat);
             }
             self.counters.select_loads += 1;
             self.counters.htree_traversals += 1;
 
-            let selected = membership.count_ones() as u64;
             if selected == 0 {
                 break;
             }
             let hit = self.converge(first_mat, last_mat, &plan, selected);
             membership.set(hit.slot as usize, false);
+            selected -= 1;
             hits.push(hit);
         }
         Ok(hits)
@@ -467,7 +494,12 @@ impl Chip {
 
             // Column search on every active mat; wire-OR the signals
             // (fanned out across threads per the chip's policy).
-            let (global, active_mats) = sense_step(&self.mats[first_mat..=last_mat], pos, threads);
+            let (global, active_mats) = sense_step(
+                &self.mats[first_mat..=last_mat],
+                pos,
+                threads,
+                self.scalar_oracle,
+            );
             self.counters.column_search_steps += 1;
             self.counters.mat_column_searches += active_mats;
 
@@ -479,8 +511,13 @@ impl Chip {
             // non-uniform across the whole selected set.
             if !global.all_same() {
                 let keep = plan.keep_bit(step, survivors_negative);
-                let removed =
-                    exclude_step(&mut self.mats[first_mat..=last_mat], pos, keep, threads);
+                let removed = exclude_step(
+                    &mut self.mats[first_mat..=last_mat],
+                    pos,
+                    keep,
+                    threads,
+                    self.scalar_oracle,
+                );
                 self.counters.select_loads += 1;
                 selected -= removed;
             }
@@ -551,8 +588,22 @@ impl Chip {
 /// own `ColumnSignals` and active-mat count; the partials merge in chunk
 /// order, mirroring the H-tree's reduction nodes. Both the OR and the
 /// count are commutative, so the result is independent of scheduling.
-fn sense_step(mats: &[Option<Mat>], pos: u16, threads: usize) -> (ColumnSignals, u64) {
-    fn walk(mats: &[Option<Mat>], pos: u16) -> (ColumnSignals, u64) {
+fn sense_step(
+    mats: &[Option<Mat>],
+    pos: u16,
+    threads: usize,
+    scalar: bool,
+) -> (ColumnSignals, u64) {
+    fn sense_mat(mat: &Mat, pos: u16, scalar: bool) -> ColumnSignals {
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        if scalar {
+            return mat.sense_column_scalar(pos);
+        }
+        let _ = scalar;
+        mat.sense_column(pos)
+    }
+
+    fn walk(mats: &[Option<Mat>], pos: u16, scalar: bool) -> (ColumnSignals, u64) {
         let mut signals = ColumnSignals::default();
         let mut active = 0u64;
         for mat in mats.iter().flatten() {
@@ -560,19 +611,19 @@ fn sense_step(mats: &[Option<Mat>], pos: u16, threads: usize) -> (ColumnSignals,
                 continue;
             }
             active += 1;
-            signals.merge(mat.sense_column(pos));
+            signals.merge(sense_mat(mat, pos, scalar));
         }
         (signals, active)
     }
 
     if threads <= 1 || mats.len() <= 1 {
-        return walk(mats, pos);
+        return walk(mats, pos, scalar);
     }
     let chunk = mats.len().div_ceil(threads);
     let partials: Vec<(ColumnSignals, u64)> = std::thread::scope(|scope| {
         let workers: Vec<_> = mats
             .chunks(chunk)
-            .map(|part| scope.spawn(move || walk(part, pos)))
+            .map(|part| scope.spawn(move || walk(part, pos, scalar)))
             .collect();
         workers
             .into_iter()
@@ -592,26 +643,41 @@ fn sense_step(mats: &[Option<Mat>], pos: u16, threads: usize) -> (ColumnSignals,
 /// match vector for (`pos`, `keep`). Returns total rows deselected,
 /// accumulated per chunk and summed in chunk order (commutative, so
 /// deterministic under any thread count).
-fn exclude_step(mats: &mut [Option<Mat>], pos: u16, keep: bool, threads: usize) -> u64 {
-    fn walk(mats: &mut [Option<Mat>], pos: u16, keep: bool) -> u64 {
+fn exclude_step(
+    mats: &mut [Option<Mat>],
+    pos: u16,
+    keep: bool,
+    threads: usize,
+    scalar: bool,
+) -> u64 {
+    fn exclude_mat(mat: &mut Mat, pos: u16, keep: bool, scalar: bool) -> u64 {
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        if scalar {
+            return mat.apply_exclusion_scalar(pos, keep) as u64;
+        }
+        let _ = scalar;
+        mat.apply_exclusion(pos, keep) as u64
+    }
+
+    fn walk(mats: &mut [Option<Mat>], pos: u16, keep: bool, scalar: bool) -> u64 {
         let mut removed = 0u64;
         for mat in mats.iter_mut().flatten() {
             if mat.selected_count() == 0 {
                 continue;
             }
-            removed += mat.apply_exclusion(pos, keep) as u64;
+            removed += exclude_mat(mat, pos, keep, scalar);
         }
         removed
     }
 
     if threads <= 1 || mats.len() <= 1 {
-        return walk(mats, pos, keep);
+        return walk(mats, pos, keep, scalar);
     }
     let chunk = mats.len().div_ceil(threads);
     let partials: Vec<u64> = std::thread::scope(|scope| {
         let workers: Vec<_> = mats
             .chunks_mut(chunk)
-            .map(|part| scope.spawn(move || walk(part, pos, keep)))
+            .map(|part| scope.spawn(move || walk(part, pos, keep, scalar)))
             .collect();
         workers
             .into_iter()
@@ -911,6 +977,26 @@ mod tests {
             hits.iter().map(|h| h.slot).collect::<Vec<_>>(),
             vec![32, 31, 33, 30, 34]
         );
+    }
+
+    #[test]
+    fn scalar_oracle_is_observationally_invisible() {
+        // Bit-sliced vs row-major scalar engine: identical hit streams and
+        // identical counters, with a stuck-at fault visible through both.
+        let keys: Vec<u32> = (0..48).map(|i| (i * 2654435761u64 % 997) as u32).collect();
+        let mut bitsliced = chip_with(&keys);
+        let mut scalar = chip_with(&keys);
+        bitsliced.inject_stuck_cell(7, 2, true).unwrap();
+        scalar.inject_stuck_cell(7, 2, true).unwrap();
+        scalar.set_scalar_oracle(true);
+        let a = bitsliced
+            .extract_batch(Direction::Min, keys.len() + 1)
+            .unwrap();
+        let b = scalar
+            .extract_batch(Direction::Min, keys.len() + 1)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(bitsliced.counters(), scalar.counters());
     }
 
     #[test]

@@ -149,9 +149,21 @@ impl Mat {
             self.slots() as usize,
             "select vector length mismatch"
         );
+        self.load_select_window(bits, 0);
+    }
+
+    /// Latches the mat's select vector from the `slots()`-bit window of a
+    /// larger (e.g. chip-global membership) bitmap starting at `start`,
+    /// without allocating: each array's select vector is assigned its
+    /// slice of the window in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window runs past `bits.len()`.
+    pub fn load_select_window(&mut self, bits: &Bitmap, start: usize) {
         let rows = self.rows_per_array as usize;
         for (ai, array) in self.arrays.iter_mut().enumerate() {
-            array.set_select(bits.slice(ai * rows, rows));
+            array.load_select_window(bits, start + ai * rows);
         }
     }
 
@@ -175,10 +187,41 @@ impl Mat {
 
     /// Applies a global exclusion: every array latches its match vector for
     /// (`pos`, `keep`) into its select vector. Returns rows deselected.
+    ///
+    /// Uses the fused in-place AND/ANDN over the column shadow
+    /// ([`Array::apply_exclusion`]) — no match-vector allocation per array
+    /// per step.
     pub fn apply_exclusion(&mut self, pos: u16, keep: bool) -> usize {
         let mut removed = 0;
         for array in &mut self.arrays {
-            let matches = array.match_vector(pos, keep);
+            removed += array.apply_exclusion(pos, keep);
+        }
+        removed
+    }
+
+    /// Scalar-oracle column search: wire-ORs the arrays' row-major
+    /// [`Array::sense_column_scalar`] results. Differential-test
+    /// counterpart of [`Mat::sense_column`].
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn sense_column_scalar(&self, pos: u16) -> ColumnSignals {
+        let mut signals = ColumnSignals::default();
+        for array in &self.arrays {
+            signals.merge(array.sense_column_scalar(pos));
+            if signals.any_one && signals.any_zero {
+                break;
+            }
+        }
+        signals
+    }
+
+    /// Scalar-oracle exclusion: per-array row-major match vector, then a
+    /// select-latch load — the pre-shadow two-step path. Differential-test
+    /// counterpart of [`Mat::apply_exclusion`].
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn apply_exclusion_scalar(&mut self, pos: u16, keep: bool) -> usize {
+        let mut removed = 0;
+        for array in &mut self.arrays {
+            let matches = array.match_vector_scalar(pos, keep);
             removed += array.load_select(&matches);
         }
         removed
@@ -206,8 +249,10 @@ impl Mat {
     /// # Errors
     ///
     /// Returns [`Error::AddressOutOfRange`] when a `RowRead`/`RowWrite`
-    /// slot exceeds the mat capacity, and [`Error::EmptyRange`] when a
-    /// `SetSelectRange` is inverted (`start > end`).
+    /// slot exceeds the mat capacity, [`Error::KeyTooWide`] when a
+    /// `ColumnSearch`/`LoadSelect` bit position exceeds the modelled key
+    /// width, and [`Error::EmptyRange`] when a `SetSelectRange` is
+    /// inverted (`start > end`).
     pub fn execute(&mut self, command: MatCommand) -> Result<MatResponse, Error> {
         match command {
             MatCommand::RowRead { slot } => {
@@ -219,10 +264,16 @@ impl Mat {
                 self.write_slot(slot, raw);
                 Ok(MatResponse::Ack)
             }
-            MatCommand::ColumnSearch { pos } => Ok(MatResponse::Signals(self.sense_column(pos))),
-            MatCommand::LoadSelect { pos, keep } => Ok(MatResponse::Deselected(
-                self.apply_exclusion(pos, keep) as u32,
-            )),
+            MatCommand::ColumnSearch { pos } => {
+                Self::check_pos(pos)?;
+                Ok(MatResponse::Signals(self.sense_column(pos)))
+            }
+            MatCommand::LoadSelect { pos, keep } => {
+                Self::check_pos(pos)?;
+                Ok(MatResponse::Deselected(
+                    self.apply_exclusion(pos, keep) as u32
+                ))
+            }
             MatCommand::SetSelectRange { start, end, value } => {
                 if start > end {
                     return Err(Error::EmptyRange {
@@ -235,6 +286,17 @@ impl Mat {
                 }
                 Ok(MatResponse::Ack)
             }
+        }
+    }
+
+    fn check_pos(pos: u16) -> Result<(), Error> {
+        if pos < 64 {
+            Ok(())
+        } else {
+            Err(Error::KeyTooWide {
+                bits: pos.saturating_add(1),
+                max: 64,
+            })
         }
     }
 
@@ -403,11 +465,44 @@ mod tests {
             }),
             Err(Error::EmptyRange { begin: 3, end: 1 })
         );
+        // Column positions past the modelled key width degrade too
+        // (previously a debug-build shift panic).
+        assert_eq!(
+            mat.execute(MatCommand::ColumnSearch { pos: 64 }),
+            Err(Error::KeyTooWide { bits: 65, max: 64 })
+        );
+        assert_eq!(
+            mat.execute(MatCommand::LoadSelect {
+                pos: 200,
+                keep: true
+            }),
+            Err(Error::KeyTooWide { bits: 201, max: 64 })
+        );
         // The mat stays usable after rejecting malformed traffic.
         assert_eq!(
             mat.execute(MatCommand::RowRead { slot: 1 }),
             Ok(MatResponse::Data(42))
         );
+    }
+
+    #[test]
+    fn scalar_oracle_agrees_at_mat_level() {
+        let mut bitsliced = loaded_mat(&[0b1010, 0b0110, 0b1111, 0b0001, 0b1000]);
+        let mut scalar = bitsliced.clone();
+        bitsliced.inject_stuck_cell(2, 0, false);
+        scalar.inject_stuck_cell(2, 0, false);
+        for pos in 0..4u16 {
+            assert_eq!(
+                bitsliced.sense_column(pos),
+                scalar.sense_column_scalar(pos),
+                "sense at {pos}"
+            );
+        }
+        let a = bitsliced.apply_exclusion(1, true);
+        let b = scalar.apply_exclusion_scalar(1, true);
+        assert_eq!(a, b);
+        assert_eq!(bitsliced.selected_count(), scalar.selected_count());
+        assert_eq!(bitsliced.first_selected(), scalar.first_selected());
     }
 
     #[test]

@@ -35,7 +35,15 @@ impl<'c> NormalStorageView<'c> {
     }
 
     fn check(&self, addr: u64, len: usize) -> Result<(), Error> {
-        let end = addr + len as u64;
+        // `addr + len` can wrap for addresses near u64::MAX (silently, in
+        // release builds), which would defeat the bounds check entirely —
+        // treat arithmetic overflow as out of range.
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(Error::AddressOutOfRange {
+                addr,
+                capacity: self.capacity_bytes(),
+            })?;
         if end > self.capacity_bytes() {
             return Err(Error::AddressOutOfRange {
                 addr: end,
@@ -167,6 +175,27 @@ mod tests {
         assert!(view.write_bytes(cap - 1, &[1]).is_ok());
         assert!(view.write_bytes(cap, &[1]).is_err());
         assert!(view.read_bytes(cap - 2, 3).is_err());
+    }
+
+    #[test]
+    fn huge_address_overflow_is_out_of_range_not_wraparound() {
+        // Regression: `addr + len` used to wrap for addresses near
+        // u64::MAX, letting the access through the bounds check.
+        let mut c = chip();
+        let mut view = NormalStorageView::new(&mut c);
+        let addr = u64::MAX - 4;
+        assert!(matches!(
+            view.write_bytes(addr, &[1, 2, 3, 4, 5, 6, 7, 8]),
+            Err(Error::AddressOutOfRange { .. })
+        ));
+        assert!(matches!(
+            view.read_bytes(addr, 8),
+            Err(Error::AddressOutOfRange { .. })
+        ));
+        assert!(matches!(
+            view.read_bytes(u64::MAX, 1),
+            Err(Error::AddressOutOfRange { .. })
+        ));
     }
 
     #[test]
