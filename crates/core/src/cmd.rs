@@ -1,0 +1,993 @@
+//! The unified command plane: one typed command IR and one executor.
+//!
+//! The paper's §V defines a *single* hardware command interface — ranges
+//! and formats programmed into registers, a command doorbell, results
+//! read back over the DDR4 interface. This module is that interface in
+//! typed form: every mutation of a RIME device is a [`Command`], and one
+//! [`Executor`] owns validation, chip dispatch, and result marshalling
+//! into an [`Outcome`]. The three front-ends are encoders over it:
+//!
+//! * [`crate::device::RimeDevice`] — the Fig. 12 userspace API; each
+//!   method builds the corresponding `Command`;
+//! * [`crate::mmio::MmioInterface`] — decodes register writes into the
+//!   same `Command`s and translates errors to register codes;
+//! * [`crate::trace`] — records commands from the executor's telemetry
+//!   stream and replays them by feeding `Command`s back in.
+//!
+//! Because every path funnels through [`Executor::execute`], the
+//! [`crate::telemetry`] spine observes *all* device activity in one
+//! deterministic event stream, and future queueing/sharding/async work
+//! is an executor feature rather than a three-way rewrite.
+//!
+//! Internal locks use poison *recovery* (`PoisonError::into_inner`), not
+//! `expect`: a worker thread that panics mid-operation may leave its own
+//! range in an undefined state, but it cannot cascade into a panic for
+//! every other thread sharing the device.
+
+use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use rime_memristive::{Chip, Direction, KeyFormat, OpCounters, ParallelPolicy};
+
+use crate::device::{Region, RimeConfig};
+use crate::driver::ContiguousAllocator;
+use crate::error::RimeError;
+use crate::telemetry::{DeviceStats, Effects, SharedSink, Telemetry, TelemetryEvent};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks an `RwLock`, recovering from poison.
+fn read_recover<T: ?Sized>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks an `RwLock`, recovering from poison.
+fn write_recover<T: ?Sized>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One typed device command — the IR every front-end lowers into.
+///
+/// Commands borrow bulk payloads (`Cow`) so encoding a store does not
+/// copy the key buffer; an owning form (`Cow::Owned`) exists for feeders
+/// that build commands from recorded data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command<'a> {
+    /// `rime_malloc(len)`: allocate `len` contiguous key slots.
+    Alloc {
+        /// Requested length in key slots.
+        len: u64,
+    },
+    /// `rime_free`: release a region and drop any active session.
+    Free {
+        /// The region to release.
+        region: Region,
+    },
+    /// Ordinary DDR4 stores of raw key bits at `offset` in the region.
+    Write {
+        /// Target region.
+        region: Region,
+        /// Region-relative slot offset.
+        offset: u64,
+        /// Raw key patterns to store.
+        raw: Cow<'a, [u64]>,
+        /// Key format the bits are encoded in.
+        format: KeyFormat,
+    },
+    /// Ordinary DDR4 loads of `n` raw keys from `offset`.
+    Read {
+        /// Source region.
+        region: Region,
+        /// Region-relative slot offset.
+        offset: u64,
+        /// Number of keys to load.
+        n: u64,
+    },
+    /// `rime_init` over `[offset, offset + len)` of the region.
+    Init {
+        /// Target region.
+        region: Region,
+        /// Region-relative start.
+        offset: u64,
+        /// Length in slots.
+        len: u64,
+        /// Key format for the ranking session.
+        format: KeyFormat,
+    },
+    /// `rime_min`/`rime_max`: extract the next extreme of the session.
+    Extract {
+        /// Target region.
+        region: Region,
+        /// Format the caller requests (checked against the session).
+        format: KeyFormat,
+        /// Min or max.
+        direction: Direction,
+    },
+    /// `rime_min_k`/`rime_max_k`: extract up to `k` consecutive extremes
+    /// with the per-chip candidate buffers prefilled to depth `k`
+    /// (Fig. 14's buffer, generalized).
+    ExtractBatch {
+        /// Target region.
+        region: Region,
+        /// Format the caller requests.
+        format: KeyFormat,
+        /// Min or max.
+        direction: Direction,
+        /// Batch size.
+        k: usize,
+    },
+    /// Drains one already-buffered candidate from the session's per-chip
+    /// queues *without* re-engaging the chips. Returns `None` once the
+    /// buffers are dry — which is not the same as the range being
+    /// exhausted: an `Extract` may still find more.
+    FifoNext {
+        /// Target region.
+        region: Region,
+    },
+}
+
+impl Command<'_> {
+    /// The region this command addresses, if any.
+    pub fn region(&self) -> Option<Region> {
+        match self {
+            Command::Alloc { .. } => None,
+            Command::Free { region }
+            | Command::Write { region, .. }
+            | Command::Read { region, .. }
+            | Command::Init { region, .. }
+            | Command::Extract { region, .. }
+            | Command::ExtractBatch { region, .. }
+            | Command::FifoNext { region } => Some(*region),
+        }
+    }
+}
+
+/// The marshalled result of a successfully executed [`Command`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// `Alloc` → the new region handle.
+    Region(Region),
+    /// `Free` / `Write` / `Init` → completion without a payload.
+    Done,
+    /// `Read` → the loaded raw key bits.
+    Keys(Vec<u64>),
+    /// `Extract` / `FifoNext` → the next `(global slot, raw bits)`, or
+    /// `None` on exhaustion (empty buffers, for `FifoNext`).
+    Hit(Option<(u64, u64)>),
+    /// `ExtractBatch` → up to `k` `(global slot, raw bits)` in order.
+    Hits(Vec<(u64, u64)>),
+}
+
+/// An active ranking session (`rime_init` state) for one region.
+#[derive(Debug, Clone)]
+struct Session {
+    direction: Option<Direction>,
+    begin: u64,
+    end: u64,
+    format: KeyFormat,
+    /// Per spanned chip: FIFO of buffered candidates (global slot, raw
+    /// bits), in extraction order. Depth 1 under `Extract`; the batch
+    /// command prefills deeper so one call drains `k` results (Fig. 14's
+    /// buffer, generalized).
+    queues: HashMap<u32, VecDeque<(u64, u64)>>,
+}
+
+/// Region/format bookkeeping shared under one lock: a region's extent
+/// and its stored key format are always consulted together.
+#[derive(Debug, Default)]
+struct Tables {
+    regions: HashMap<u64, (u64, u64)>, // id → (start, len)
+    formats: HashMap<u64, KeyFormat>,  // id → stored key format
+}
+
+/// The telemetry hub: sequence counter, built-in stats, external sinks.
+/// One lock — every event is published to all sinks under it, so sinks
+/// observe a single deterministic stream.
+struct Hub {
+    seq: u64,
+    stats: DeviceStats,
+    sinks: Vec<SharedSink>,
+}
+
+impl fmt::Debug for Hub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hub")
+            .field("seq", &self.seq)
+            .field("stats", &self.stats)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+/// The single command executor behind every front-end.
+///
+/// Owns the chips, the driver allocator, region/format tables, and the
+/// active sessions; validates and dispatches every [`Command`] and
+/// publishes one [`TelemetryEvent`] per command to the telemetry hub.
+///
+/// Every method takes `&self`: chips, allocator, and session state sit
+/// behind their own locks, so a shared executor supports the concurrent
+/// multi-range operation §III-B.3 requires. Lock order is tables →
+/// sessions map → one session → one chip at a time → telemetry hub; no
+/// path holds two chips or two sessions simultaneously, so the
+/// hierarchy is deadlock-free.
+#[derive(Debug)]
+pub struct Executor {
+    config: RimeConfig,
+    chips: Vec<Mutex<Chip>>,
+    allocator: Mutex<ContiguousAllocator>,
+    tables: RwLock<Tables>,
+    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>, // region id → rime_init state
+    next_id: AtomicU64,
+    hub: Mutex<Hub>,
+}
+
+impl Executor {
+    /// Brings up an executor with fresh chips for `config`.
+    pub fn new(config: RimeConfig) -> Executor {
+        Executor {
+            chips: (0..config.total_chips())
+                .map(|_| Mutex::new(Chip::new(config.chip_geometry)))
+                .collect(),
+            allocator: Mutex::new(ContiguousAllocator::new(
+                config.total_slots(),
+                config.driver,
+            )),
+            tables: RwLock::new(Tables::default()),
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            hub: Mutex::new(Hub {
+                seq: 0,
+                stats: DeviceStats::new(config.total_chips() as usize),
+                sinks: Vec::new(),
+            }),
+            config,
+        }
+    }
+
+    /// Validates, dispatches, and marshals one command, publishing the
+    /// resulting event (success or failure) to every telemetry sink.
+    pub fn execute(&self, command: Command<'_>) -> Result<Outcome, RimeError> {
+        let mut effects = Effects::default();
+        let result = self.dispatch(&command, &mut effects);
+        self.publish(&command, &result, &effects);
+        result
+    }
+
+    /// Attaches an external telemetry sink. Events from this point on
+    /// are delivered to it in execution order.
+    pub fn attach_sink(&self, sink: SharedSink) {
+        lock_recover(&self.hub).sinks.push(sink);
+    }
+
+    fn publish(
+        &self,
+        command: &Command<'_>,
+        result: &Result<Outcome, RimeError>,
+        effects: &Effects,
+    ) {
+        let mut hub = lock_recover(&self.hub);
+        let event = TelemetryEvent {
+            seq: hub.seq,
+            command,
+            result: match result {
+                Ok(outcome) => Ok(outcome),
+                Err(error) => Err(error),
+            },
+            effects,
+        };
+        hub.seq += 1;
+        hub.stats.record(&event);
+        for sink in &hub.sinks {
+            lock_recover(sink).record(&event);
+        }
+    }
+
+    fn dispatch(&self, command: &Command<'_>, fx: &mut Effects) -> Result<Outcome, RimeError> {
+        match command {
+            Command::Alloc { len } => self.do_alloc(*len).map(Outcome::Region),
+            Command::Free { region } => self.do_free(*region).map(|()| Outcome::Done),
+            Command::Write {
+                region,
+                offset,
+                raw,
+                format,
+            } => self
+                .do_write(*region, *offset, raw, *format, fx)
+                .map(|()| Outcome::Done),
+            Command::Read { region, offset, n } => {
+                self.do_read(*region, *offset, *n, fx).map(Outcome::Keys)
+            }
+            Command::Init {
+                region,
+                offset,
+                len,
+                format,
+            } => self
+                .do_init(*region, *offset, *len, *format, fx)
+                .map(|()| Outcome::Done),
+            Command::Extract {
+                region,
+                format,
+                direction,
+            } => self
+                .do_extract(*region, *format, *direction, fx)
+                .map(Outcome::Hit),
+            Command::ExtractBatch {
+                region,
+                format,
+                direction,
+                k,
+            } => self
+                .do_extract_batch(*region, *format, *direction, *k, fx)
+                .map(Outcome::Hits),
+            Command::FifoNext { region } => self.do_fifo_next(*region, fx).map(Outcome::Hit),
+        }
+    }
+
+    /// Runs `f` under one chip's lock, publishing the chip's counter
+    /// delta into `fx` — the single point where chip work becomes
+    /// telemetry. Deltas are captured even when `f` fails, so partially
+    /// performed work is still accounted.
+    fn with_chip<R>(&self, idx: u32, fx: &mut Effects, f: impl FnOnce(&mut Chip) -> R) -> R {
+        let mut chip = lock_recover(&self.chips[idx as usize]);
+        let before = *chip.counters();
+        let out = f(&mut chip);
+        let delta = chip.counters().delta_since(&before);
+        drop(chip);
+        fx.record_chip(idx, delta);
+        out
+    }
+
+    fn do_alloc(&self, len: u64) -> Result<Region, RimeError> {
+        let start = lock_recover(&self.allocator).alloc(len)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        write_recover(&self.tables).regions.insert(id, (start, len));
+        Ok(Region { id, start, len })
+    }
+
+    fn do_free(&self, region: Region) -> Result<(), RimeError> {
+        let (start, _) = {
+            let mut tables = write_recover(&self.tables);
+            let extent = tables
+                .regions
+                .remove(&region.id)
+                .ok_or(RimeError::InvalidRegion)?;
+            tables.formats.remove(&region.id);
+            extent
+        };
+        write_recover(&self.sessions).remove(&region.id);
+        lock_recover(&self.allocator).free(start)
+    }
+
+    /// Validates region + bounds, returning the global start slot.
+    fn check(&self, region: Region, offset: u64, n: u64) -> Result<u64, RimeError> {
+        let tables = read_recover(&self.tables);
+        let &(start, len) = tables
+            .regions
+            .get(&region.id)
+            .ok_or(RimeError::InvalidRegion)?;
+        if offset + n > len {
+            return Err(RimeError::OutOfBounds {
+                offset: offset + n,
+                len,
+            });
+        }
+        Ok(start + offset)
+    }
+
+    fn chip_of(&self, slot: u64) -> (u32, u64) {
+        let per_chip = self.config.chip_slots();
+        ((slot / per_chip) as u32, slot % per_chip)
+    }
+
+    fn do_write(
+        &self,
+        region: Region,
+        offset: u64,
+        raw_keys: &[u64],
+        format: KeyFormat,
+        fx: &mut Effects,
+    ) -> Result<(), RimeError> {
+        let mut slot = self.check(region, offset, raw_keys.len() as u64)?;
+        // Writing invalidates any buffered candidates for this region.
+        write_recover(&self.sessions).remove(&region.id);
+        let per_chip = self.config.chip_slots();
+        let mut idx = 0usize;
+        while idx < raw_keys.len() {
+            let (chip, local) = self.chip_of(slot);
+            let room = (per_chip - local).min((raw_keys.len() - idx) as u64) as usize;
+            self.with_chip(chip, fx, |c| {
+                c.store_keys(local, &raw_keys[idx..idx + room], format)
+            })?;
+            idx += room;
+            slot += room as u64;
+        }
+        fx.add_transfers(raw_keys.len() as u64);
+        write_recover(&self.tables)
+            .formats
+            .insert(region.id, format);
+        Ok(())
+    }
+
+    fn do_read(
+        &self,
+        region: Region,
+        offset: u64,
+        n: u64,
+        fx: &mut Effects,
+    ) -> Result<Vec<u64>, RimeError> {
+        let start = self.check(region, offset, n)?;
+        let mut out = Vec::with_capacity(n as usize);
+        for slot in start..start + n {
+            let (chip, local) = self.chip_of(slot);
+            out.push(self.with_chip(chip, fx, |c| c.read_key(local))?);
+        }
+        fx.add_transfers(n);
+        Ok(out)
+    }
+
+    fn do_init(
+        &self,
+        region: Region,
+        offset: u64,
+        len: u64,
+        format: KeyFormat,
+        fx: &mut Effects,
+    ) -> Result<(), RimeError> {
+        let begin = self.check(region, offset, len)?;
+        if len == 0 {
+            return Err(RimeError::OutOfBounds {
+                offset,
+                len: region.len,
+            });
+        }
+        if let Some(&stored) = read_recover(&self.tables).formats.get(&region.id) {
+            if stored != format {
+                return Err(RimeError::TypeMismatch {
+                    stored: stored.name(),
+                    requested: format.name(),
+                });
+            }
+        }
+        let end = begin + len;
+        let mut queues = HashMap::new();
+        let per_chip = self.config.chip_slots();
+        let first_chip = (begin / per_chip) as u32;
+        let last_chip = ((end - 1) / per_chip) as u32;
+        for chip_idx in first_chip..=last_chip {
+            let chip_base = chip_idx as u64 * per_chip;
+            let local_begin = begin.saturating_sub(chip_base);
+            let local_end = (end - chip_base).min(per_chip);
+            self.with_chip(chip_idx, fx, |c| {
+                c.init_range(local_begin, local_end, format)
+            })?;
+            queues.insert(chip_idx, VecDeque::new());
+        }
+        write_recover(&self.sessions).insert(
+            region.id,
+            Arc::new(Mutex::new(Session {
+                direction: None,
+                begin,
+                end,
+                format,
+                queues,
+            })),
+        );
+        Ok(())
+    }
+
+    /// Looks up the live session for `region`, validating the region
+    /// handle first. The returned `Arc` lets the caller lock the session
+    /// without holding the sessions-map lock.
+    fn session(&self, region: Region) -> Result<Arc<Mutex<Session>>, RimeError> {
+        if !read_recover(&self.tables).regions.contains_key(&region.id) {
+            return Err(RimeError::InvalidRegion);
+        }
+        read_recover(&self.sessions)
+            .get(&region.id)
+            .cloned()
+            .ok_or(RimeError::NotInitialized)
+    }
+
+    fn chip_local_range(&self, session: &Session, chip_idx: u32) -> (u64, u64, u64) {
+        let per_chip = self.config.chip_slots();
+        let chip_base = chip_idx as u64 * per_chip;
+        let local_begin = session.begin.saturating_sub(chip_base);
+        let local_end = (session.end - chip_base).min(per_chip);
+        (chip_base, local_begin, local_end)
+    }
+
+    /// Applies the requested direction to the session, re-initializing
+    /// every spanned chip when it flips mid-stream: the buffered
+    /// candidates and exclusion flags encode the old direction.
+    fn apply_direction(
+        &self,
+        session: &mut Session,
+        direction: Direction,
+        fx: &mut Effects,
+    ) -> Result<(), RimeError> {
+        if let Some(d) = session.direction {
+            if d != direction {
+                let mut chip_ids: Vec<u32> = session.queues.keys().copied().collect();
+                chip_ids.sort_unstable();
+                for chip_idx in chip_ids {
+                    let (_, local_begin, local_end) = self.chip_local_range(session, chip_idx);
+                    self.with_chip(chip_idx, fx, |c| {
+                        c.init_range(local_begin, local_end, session.format)
+                    })?;
+                }
+                for queue in session.queues.values_mut() {
+                    queue.clear();
+                }
+            }
+        }
+        session.direction = Some(direction);
+        Ok(())
+    }
+
+    /// Fig. 14: tops up each spanned chip's candidate buffer to `depth`
+    /// using the chip's batched extraction, so one command can drain
+    /// several results without re-engaging every chip in between.
+    fn prefill_queues(
+        &self,
+        session: &mut Session,
+        direction: Direction,
+        depth: usize,
+        fx: &mut Effects,
+    ) -> Result<(), RimeError> {
+        let mut chip_ids: Vec<u32> = session.queues.keys().copied().collect();
+        chip_ids.sort_unstable();
+        for chip_idx in chip_ids {
+            let have = session.queues[&chip_idx].len();
+            if have >= depth {
+                continue;
+            }
+            let (chip_base, local_begin, local_end) = self.chip_local_range(session, chip_idx);
+            let hits = self.with_chip(chip_idx, fx, |c| {
+                c.extract_range_batch(
+                    local_begin,
+                    local_end,
+                    session.format,
+                    direction,
+                    depth - have,
+                )
+            })?;
+            let queue = session.queues.get_mut(&chip_idx).expect("spanned chip");
+            queue.extend(hits.iter().map(|h| (chip_base + h.slot, h.raw_bits)));
+        }
+        Ok(())
+    }
+
+    /// CPU-side reduction across the buffered per-chip queue fronts:
+    /// pops and returns the global winner, breaking value ties toward
+    /// the lower global slot (stable, like the H-tree's priority rule).
+    fn pop_winner(session: &mut Session, direction: Direction) -> Option<(u64, u64)> {
+        let format = session.format;
+        let mut best: Option<(u32, u64, u64)> = None; // (chip, slot, raw)
+        for (&chip_idx, queue) in &session.queues {
+            if let Some(&(slot, raw)) = queue.front() {
+                let better = match best {
+                    None => true,
+                    Some((_, bslot, braw)) => {
+                        let ord = format.compare_bits(raw, braw);
+                        match direction {
+                            Direction::Min => ord.is_lt() || (ord.is_eq() && slot < bslot),
+                            Direction::Max => ord.is_gt() || (ord.is_eq() && slot < bslot),
+                        }
+                    }
+                };
+                if better {
+                    best = Some((chip_idx, slot, raw));
+                }
+            }
+        }
+        best.map(|(chip_idx, slot, raw)| {
+            session
+                .queues
+                .get_mut(&chip_idx)
+                .expect("winning chip is spanned")
+                .pop_front();
+            (slot, raw)
+        })
+    }
+
+    /// Checks an extraction-family command's requested format against
+    /// the session's stored one.
+    fn check_format(session: &Session, want_format: KeyFormat) -> Result<(), RimeError> {
+        if session.format != want_format {
+            return Err(RimeError::TypeMismatch {
+                stored: session.format.name(),
+                requested: want_format.name(),
+            });
+        }
+        Ok(())
+    }
+
+    fn do_extract(
+        &self,
+        region: Region,
+        want_format: KeyFormat,
+        direction: Direction,
+        fx: &mut Effects,
+    ) -> Result<Option<(u64, u64)>, RimeError> {
+        let session = self.session(region)?;
+        let mut session = lock_recover(&session);
+        Self::check_format(&session, want_format)?;
+        self.apply_direction(&mut session, direction, fx)?;
+        self.prefill_queues(&mut session, direction, 1, fx)?;
+        match Self::pop_winner(&mut session, direction) {
+            None => Ok(None),
+            Some(hit) => {
+                fx.add_transfers(1);
+                Ok(Some(hit))
+            }
+        }
+    }
+
+    fn do_extract_batch(
+        &self,
+        region: Region,
+        want_format: KeyFormat,
+        direction: Direction,
+        k: usize,
+        fx: &mut Effects,
+    ) -> Result<Vec<(u64, u64)>, RimeError> {
+        let session = self.session(region)?;
+        let mut session = lock_recover(&session);
+        Self::check_format(&session, want_format)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        self.apply_direction(&mut session, direction, fx)?;
+        self.prefill_queues(&mut session, direction, k, fx)?;
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match Self::pop_winner(&mut session, direction) {
+                None => break,
+                Some(hit) => {
+                    fx.add_transfers(1);
+                    out.push(hit);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn do_fifo_next(
+        &self,
+        region: Region,
+        fx: &mut Effects,
+    ) -> Result<Option<(u64, u64)>, RimeError> {
+        let session = self.session(region)?;
+        let mut session = lock_recover(&session);
+        let Some(direction) = session.direction else {
+            // Nothing has been extracted yet, so nothing is buffered.
+            return Ok(None);
+        };
+        match Self::pop_winner(&mut session, direction) {
+            None => Ok(None),
+            Some(hit) => {
+                fx.add_transfers(1);
+                Ok(Some(hit))
+            }
+        }
+    }
+
+    // ---- Queries (reads of executor/telemetry state, not commands) ----
+
+    /// The device configuration.
+    pub fn config(&self) -> &RimeConfig {
+        &self.config
+    }
+
+    /// Total key-slot capacity.
+    pub fn capacity(&self) -> u64 {
+        self.config.total_slots()
+    }
+
+    /// Aggregated operation counters across all chips, read from the
+    /// built-in telemetry stats.
+    pub fn counters(&self) -> OpCounters {
+        lock_recover(&self.hub).stats.counters()
+    }
+
+    /// Per-chip accumulated counters (indexed by chip), read from the
+    /// built-in telemetry stats.
+    pub fn per_chip_counters(&self) -> Vec<OpCounters> {
+        lock_recover(&self.hub).stats.per_chip().to_vec()
+    }
+
+    /// Values transferred over the DDR4 interface so far (perf model).
+    pub fn interface_transfers(&self) -> u64 {
+        lock_recover(&self.hub).stats.interface_transfers()
+    }
+
+    /// Resets all chips' counters and the telemetry stats.
+    pub fn reset_counters(&self) {
+        for chip in &self.chips {
+            lock_recover(chip).reset_counters();
+        }
+        lock_recover(&self.hub).stats.reset();
+    }
+
+    /// Modeled array energy of everything done so far (nJ).
+    pub fn modeled_energy_nj(&self) -> f64 {
+        crate::perf::modeled_energy_nj(
+            &self.config.timing,
+            lock_recover(&self.hub).stats.per_chip(),
+        )
+    }
+
+    /// Modeled busy time of the *busiest* chip (ns) — the device-side
+    /// critical path when chips operate concurrently (Fig. 14).
+    pub fn modeled_busy_ns(&self) -> f64 {
+        crate::perf::modeled_busy_ns(
+            &self.config.timing,
+            lock_recover(&self.hub).stats.per_chip(),
+        )
+    }
+
+    /// Hottest-block write count across all chips (endurance study).
+    pub fn max_wear(&self) -> u32 {
+        self.chips
+            .iter()
+            .map(|c| lock_recover(c).max_wear())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest free contiguous extent (driver diagnostics).
+    pub fn largest_free(&self) -> u64 {
+        lock_recover(&self.allocator).largest_free()
+    }
+
+    /// Number of chips a region's initialized range spans (the
+    /// concurrency the performance model exploits).
+    pub fn spanned_chips(&self, region: Region) -> u32 {
+        read_recover(&self.sessions)
+            .get(&region.id)
+            .map_or(0, |s| lock_recover(s).queues.len() as u32)
+    }
+
+    /// Sets every chip's mat fan-out policy (model-execution knob; see
+    /// [`ParallelPolicy`] — results and counters are unaffected).
+    pub fn set_parallel_policy(&self, policy: ParallelPolicy) {
+        for chip in &self.chips {
+            lock_recover(chip).set_parallel_policy(policy);
+        }
+    }
+
+    #[cfg(test)]
+    fn poison_chip(&self, idx: usize) {
+        let chips = &self.chips;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = chips[idx].lock().unwrap();
+            panic!("poison chip {idx} for test");
+        }));
+        assert!(result.is_err());
+        assert!(chips[idx].is_poisoned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec() -> Executor {
+        Executor::new(RimeConfig::small())
+    }
+
+    fn region_of(outcome: Outcome) -> Region {
+        match outcome {
+            Outcome::Region(r) => r,
+            other => panic!("expected Region, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_roundtrip_through_executor() {
+        let exec = exec();
+        let r = region_of(exec.execute(Command::Alloc { len: 4 }).unwrap());
+        assert_eq!(
+            exec.execute(Command::Write {
+                region: r,
+                offset: 0,
+                raw: Cow::Borrowed(&[9, 2, 7, 5]),
+                format: KeyFormat::UNSIGNED64,
+            })
+            .unwrap(),
+            Outcome::Done
+        );
+        assert_eq!(
+            exec.execute(Command::Read {
+                region: r,
+                offset: 1,
+                n: 2
+            })
+            .unwrap(),
+            Outcome::Keys(vec![2, 7])
+        );
+        exec.execute(Command::Init {
+            region: r,
+            offset: 0,
+            len: 4,
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        assert_eq!(
+            exec.execute(Command::Extract {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+            })
+            .unwrap(),
+            Outcome::Hit(Some((1, 2)))
+        );
+        assert_eq!(
+            exec.execute(Command::ExtractBatch {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+                k: 8,
+            })
+            .unwrap(),
+            Outcome::Hits(vec![(3, 5), (2, 7), (0, 9)])
+        );
+        assert_eq!(
+            exec.execute(Command::Free { region: r }).unwrap(),
+            Outcome::Done
+        );
+        assert_eq!(
+            exec.execute(Command::FifoNext { region: r }),
+            Err(RimeError::InvalidRegion)
+        );
+    }
+
+    #[test]
+    fn fifo_next_drains_buffers_without_prefill() {
+        let exec = exec();
+        // Span two chips: chip 0 holds values n-1..=4, chip 1 holds 3..=0.
+        let per_chip = exec.config().chip_slots();
+        let n = per_chip + 4;
+        let r = region_of(exec.execute(Command::Alloc { len: n }).unwrap());
+        let keys: Vec<u64> = (0..n).rev().collect();
+        exec.execute(Command::Write {
+            region: r,
+            offset: 0,
+            raw: Cow::Borrowed(&keys),
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        exec.execute(Command::Init {
+            region: r,
+            offset: 0,
+            len: n,
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        // Before any extraction, the buffers are empty: FifoNext is a
+        // miss, not an error — and not a chip engagement.
+        let before = exec.counters();
+        assert_eq!(
+            exec.execute(Command::FifoNext { region: r }).unwrap(),
+            Outcome::Hit(None)
+        );
+        assert_eq!(exec.counters(), before, "no chip work on a dry drain");
+        // A batch of 3 prefills each spanned chip's queue to depth 3 and
+        // pops the 3 global winners (0, 1, 2 — all on chip 1); chip 0's
+        // three candidates (4, 5, 6) stay buffered and drain via
+        // FifoNext in order, without re-engaging any chip.
+        let hits = match exec
+            .execute(Command::ExtractBatch {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+                k: 3,
+            })
+            .unwrap()
+        {
+            Outcome::Hits(h) => h,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(hits.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [0, 1, 2]);
+        let mut drained = Vec::new();
+        while let Outcome::Hit(Some((_, v))) =
+            exec.execute(Command::FifoNext { region: r }).unwrap()
+        {
+            drained.push(v);
+        }
+        assert_eq!(drained, [4, 5, 6], "leftover candidates stay buffered");
+        // The drain consumed buffers only — it is *not* exhaustion:
+        // Extract re-engages the chips and finds value 3 on chip 1.
+        let next = exec
+            .execute(Command::Extract {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+            })
+            .unwrap();
+        assert_eq!(next, Outcome::Hit(Some((n - 4, 3))));
+    }
+
+    #[test]
+    fn poisoned_chip_lock_recovers_instead_of_cascading() {
+        let exec = exec();
+        let r = region_of(exec.execute(Command::Alloc { len: 4 }).unwrap());
+        exec.execute(Command::Write {
+            region: r,
+            offset: 0,
+            raw: Cow::Borrowed(&[4, 3, 2, 1]),
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        // Poison the chip that holds the region, then keep using it.
+        exec.poison_chip(0);
+        assert_eq!(exec.counters().row_writes, 4, "counters() recovers");
+        exec.execute(Command::Init {
+            region: r,
+            offset: 0,
+            len: 4,
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        assert_eq!(
+            exec.execute(Command::Extract {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+            })
+            .unwrap(),
+            Outcome::Hit(Some((3, 1)))
+        );
+        exec.reset_counters();
+        assert_eq!(exec.counters(), OpCounters::default());
+    }
+
+    #[test]
+    fn stats_match_chip_counters_exactly() {
+        // The telemetry stats are fed from per-command deltas; they must
+        // agree bit-for-bit with summing the chips directly.
+        let exec = exec();
+        let r = region_of(exec.execute(Command::Alloc { len: 100 }).unwrap());
+        let keys: Vec<u64> = (0..100).map(|i| (i * 37) % 251).collect();
+        exec.execute(Command::Write {
+            region: r,
+            offset: 0,
+            raw: Cow::Borrowed(&keys),
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        exec.execute(Command::Init {
+            region: r,
+            offset: 0,
+            len: 100,
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        for _ in 0..5 {
+            exec.execute(Command::ExtractBatch {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+                k: 7,
+            })
+            .unwrap();
+        }
+        let mut direct = OpCounters::new();
+        for chip in &exec.chips {
+            direct += *lock_recover(chip).counters();
+        }
+        assert_eq!(exec.counters(), direct);
+        let per_chip = exec.per_chip_counters();
+        for (idx, chip) in exec.chips.iter().enumerate() {
+            assert_eq!(per_chip[idx], *lock_recover(chip).counters(), "chip {idx}");
+        }
+    }
+}

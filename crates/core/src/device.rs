@@ -13,6 +13,13 @@
 //! | `rime_min`     | [`RimeDevice::rime_min`]               |
 //! | `rime_max`     | [`RimeDevice::rime_max`]               |
 //!
+//! Every public method is a thin *encoder*: it builds the corresponding
+//! typed [`Command`] and hands it to the device's single
+//! [`crate::cmd::Executor`], which owns validation, chip dispatch, and
+//! result marshalling. The MMIO register file ([`crate::mmio`]) and
+//! trace replay ([`crate::trace`]) lower into the same executor, so all
+//! three front-ends share one semantics and one telemetry stream.
+//!
 //! A RIME DIMM forbids fine-grained channel interleaving (§V): contiguous
 //! key ranges map contiguously onto chips, so one region spans as few
 //! chips as possible and each spanned chip can rank its local sub-range
@@ -21,16 +28,16 @@
 //! library; the CPU picks the global winner and only the winning chip
 //! recomputes.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::borrow::Cow;
 
 use rime_memristive::{
-    ArrayTiming, Chip, ChipGeometry, Direction, KeyFormat, OpCounters, ParallelPolicy, SortableBits,
+    ArrayTiming, ChipGeometry, Direction, KeyFormat, OpCounters, ParallelPolicy, SortableBits,
 };
 
-use crate::driver::{ContiguousAllocator, DriverConfig};
+use crate::cmd::{Command, Executor, Outcome};
+use crate::driver::DriverConfig;
 use crate::error::RimeError;
+use crate::telemetry::SharedSink;
 
 /// System-level RIME configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,9 +100,9 @@ impl RimeConfig {
 /// every use, and invalidated by [`RimeDevice::free`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Region {
-    id: u64,
-    start: u64,
-    len: u64,
+    pub(crate) id: u64,
+    pub(crate) start: u64,
+    pub(crate) len: u64,
 }
 
 impl Region {
@@ -115,79 +122,52 @@ impl Region {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Session {
-    direction: Option<Direction>,
-    begin: u64,
-    end: u64,
-    format: KeyFormat,
-    /// Per spanned chip: FIFO of buffered candidates (global slot, raw
-    /// bits), in extraction order. Depth 1 under `rime_min`/`rime_max`;
-    /// the top-k calls prefill deeper so one library call drains `k`
-    /// results (Fig. 14's buffer, generalized).
-    queues: HashMap<u32, VecDeque<(u64, u64)>>,
-}
-
-/// Region/format bookkeeping shared under one lock: a region's extent
-/// and its stored key format are always consulted together.
-#[derive(Debug, Default)]
-struct Tables {
-    regions: HashMap<u64, (u64, u64)>, // id → (start, len)
-    formats: HashMap<u64, KeyFormat>,  // id → stored key format
-}
-
 /// The functional RIME memory device plus API library state.
 ///
-/// Every method takes `&self`: chips, allocator, and session state sit
-/// behind their own locks, so a shared `&RimeDevice` supports the
-/// concurrent multi-range operation §III-B.3 requires (e.g. the merge
-/// scenario of Fig. 14, one thread per input run). Lock order is
-/// tables → sessions map → one session → one chip at a time; no path
-/// holds two chips or two sessions simultaneously, so the hierarchy is
-/// deadlock-free.
+/// A thin encoder over the unified command executor: every method takes
+/// `&self` and lowers into [`RimeDevice::execute`], so a shared
+/// `&RimeDevice` supports the concurrent multi-range operation §III-B.3
+/// requires (e.g. the merge scenario of Fig. 14, one thread per input
+/// run). See [`crate::cmd`] for the locking discipline.
 #[derive(Debug)]
 pub struct RimeDevice {
-    config: RimeConfig,
-    chips: Vec<Mutex<Chip>>,
-    allocator: Mutex<ContiguousAllocator>,
-    tables: RwLock<Tables>,
-    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>, // region id → rime_init state
-    next_id: AtomicU64,
-    /// Values transferred over the DDR4 interface (for the perf model).
-    interface_transfers: AtomicU64,
+    exec: Executor,
 }
 
 impl RimeDevice {
     /// Creates a device with the given configuration.
     pub fn new(config: RimeConfig) -> RimeDevice {
         RimeDevice {
-            chips: (0..config.total_chips())
-                .map(|_| Mutex::new(Chip::new(config.chip_geometry)))
-                .collect(),
-            allocator: Mutex::new(ContiguousAllocator::new(
-                config.total_slots(),
-                config.driver,
-            )),
-            tables: RwLock::new(Tables::default()),
-            sessions: RwLock::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
-            interface_transfers: AtomicU64::new(0),
-            config,
+            exec: Executor::new(config),
         }
     }
 
-    fn chip(&self, idx: u32) -> MutexGuard<'_, Chip> {
-        self.chips[idx as usize].lock().expect("chip lock poisoned")
+    /// Executes one typed command — the general entry point all the
+    /// convenience methods below encode into. Useful directly when
+    /// commands are built programmatically (e.g. trace replay).
+    ///
+    /// # Errors
+    ///
+    /// The command's validation or dispatch error.
+    pub fn execute(&self, command: Command<'_>) -> Result<Outcome, RimeError> {
+        self.exec.execute(command)
+    }
+
+    /// Attaches a telemetry sink to the device's event stream (see
+    /// [`crate::telemetry`]). Events from every front-end sharing this
+    /// device are delivered to it in execution order.
+    pub fn attach_telemetry(&self, sink: SharedSink) {
+        self.exec.attach_sink(sink);
     }
 
     /// The device configuration.
     pub fn config(&self) -> &RimeConfig {
-        &self.config
+        self.exec.config()
     }
 
     /// Total key-slot capacity.
     pub fn capacity(&self) -> u64 {
-        self.config.total_slots()
+        self.exec.capacity()
     }
 
     /// `rime_malloc`: allocates `len` physically contiguous key slots.
@@ -196,18 +176,10 @@ impl RimeDevice {
     ///
     /// [`RimeError::OutOfContiguousMemory`] under fragmentation/exhaustion.
     pub fn alloc(&self, len: u64) -> Result<Region, RimeError> {
-        let start = self
-            .allocator
-            .lock()
-            .expect("allocator lock poisoned")
-            .alloc(len)?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.tables
-            .write()
-            .expect("tables lock poisoned")
-            .regions
-            .insert(id, (start, len));
-        Ok(Region { id, start, len })
+        match self.execute(Command::Alloc { len })? {
+            Outcome::Region(region) => Ok(region),
+            other => unreachable!("Alloc produced {other:?}"),
+        }
     }
 
     /// `rime_free`: releases a region and drops any active session.
@@ -216,43 +188,7 @@ impl RimeDevice {
     ///
     /// [`RimeError::InvalidRegion`] for stale handles.
     pub fn free(&self, region: Region) -> Result<(), RimeError> {
-        let (start, _) = {
-            let mut tables = self.tables.write().expect("tables lock poisoned");
-            let extent = tables
-                .regions
-                .remove(&region.id)
-                .ok_or(RimeError::InvalidRegion)?;
-            tables.formats.remove(&region.id);
-            extent
-        };
-        self.sessions
-            .write()
-            .expect("sessions lock poisoned")
-            .remove(&region.id);
-        self.allocator
-            .lock()
-            .expect("allocator lock poisoned")
-            .free(start)
-    }
-
-    fn check(&self, region: Region, offset: u64, n: u64) -> Result<u64, RimeError> {
-        let tables = self.tables.read().expect("tables lock poisoned");
-        let &(start, len) = tables
-            .regions
-            .get(&region.id)
-            .ok_or(RimeError::InvalidRegion)?;
-        if offset + n > len {
-            return Err(RimeError::OutOfBounds {
-                offset: offset + n,
-                len,
-            });
-        }
-        Ok(start + offset)
-    }
-
-    fn chip_of(&self, slot: u64) -> (u32, u64) {
-        let per_chip = self.config.chip_slots();
-        ((slot / per_chip) as u32, slot % per_chip)
+        self.execute(Command::Free { region }).map(|_| ())
     }
 
     /// Stores keys at `offset` within the region (ordinary DDR4 writes).
@@ -268,7 +204,13 @@ impl RimeDevice {
         keys: &[T],
     ) -> Result<(), RimeError> {
         let raw: Vec<u64> = keys.iter().map(|k| k.to_raw_bits()).collect();
-        self.write_raw(region, offset, &raw, T::FORMAT)
+        self.execute(Command::Write {
+            region,
+            offset,
+            raw: Cow::Owned(raw),
+            format: T::FORMAT,
+        })
+        .map(|_| ())
     }
 
     /// Format-explicit store of raw bit patterns — the form the
@@ -285,30 +227,13 @@ impl RimeDevice {
         raw_keys: &[u64],
         format: KeyFormat,
     ) -> Result<(), RimeError> {
-        let mut slot = self.check(region, offset, raw_keys.len() as u64)?;
-        // Writing invalidates any buffered candidates for this region.
-        self.sessions
-            .write()
-            .expect("sessions lock poisoned")
-            .remove(&region.id);
-        let per_chip = self.config.chip_slots();
-        let mut idx = 0usize;
-        while idx < raw_keys.len() {
-            let (chip, local) = self.chip_of(slot);
-            let room = (per_chip - local).min((raw_keys.len() - idx) as u64) as usize;
-            self.chip(chip)
-                .store_keys(local, &raw_keys[idx..idx + room], format)?;
-            idx += room;
-            slot += room as u64;
-        }
-        self.interface_transfers
-            .fetch_add(raw_keys.len() as u64, Ordering::Relaxed);
-        self.tables
-            .write()
-            .expect("tables lock poisoned")
-            .formats
-            .insert(region.id, format);
-        Ok(())
+        self.execute(Command::Write {
+            region,
+            offset,
+            raw: Cow::Borrowed(raw_keys),
+            format,
+        })
+        .map(|_| ())
     }
 
     /// Loads `n` keys from `offset` within the region (ordinary reads).
@@ -335,14 +260,10 @@ impl RimeDevice {
     ///
     /// As for [`RimeDevice::read`].
     pub fn read_raw(&self, region: Region, offset: u64, n: u64) -> Result<Vec<u64>, RimeError> {
-        let start = self.check(region, offset, n)?;
-        let mut out = Vec::with_capacity(n as usize);
-        for slot in start..start + n {
-            let (chip, local) = self.chip_of(slot);
-            out.push(self.chip(chip).read_key(local)?);
+        match self.execute(Command::Read { region, offset, n })? {
+            Outcome::Keys(keys) => Ok(keys),
+            other => unreachable!("Read produced {other:?}"),
         }
-        self.interface_transfers.fetch_add(n, Ordering::Relaxed);
-        Ok(out)
     }
 
     /// `rime_init`: prepares `[offset, offset+len)` of the region for a
@@ -373,54 +294,13 @@ impl RimeDevice {
         len: u64,
         format: KeyFormat,
     ) -> Result<(), RimeError> {
-        let begin = self.check(region, offset, len)?;
-        if len == 0 {
-            return Err(RimeError::OutOfBounds {
-                offset,
-                len: region.len,
-            });
-        }
-        if let Some(&stored) = self
-            .tables
-            .read()
-            .expect("tables lock poisoned")
-            .formats
-            .get(&region.id)
-        {
-            if stored != format {
-                return Err(RimeError::TypeMismatch {
-                    stored: stored.name(),
-                    requested: format.name(),
-                });
-            }
-        }
-        let end = begin + len;
-        let mut queues = HashMap::new();
-        let per_chip = self.config.chip_slots();
-        let first_chip = (begin / per_chip) as u32;
-        let last_chip = ((end - 1) / per_chip) as u32;
-        for chip_idx in first_chip..=last_chip {
-            let chip_base = chip_idx as u64 * per_chip;
-            let local_begin = begin.saturating_sub(chip_base);
-            let local_end = (end - chip_base).min(per_chip);
-            self.chip(chip_idx)
-                .init_range(local_begin, local_end, format)?;
-            queues.insert(chip_idx, VecDeque::new());
-        }
-        self.sessions
-            .write()
-            .expect("sessions lock poisoned")
-            .insert(
-                region.id,
-                Arc::new(Mutex::new(Session {
-                    direction: None,
-                    begin,
-                    end,
-                    format,
-                    queues,
-                })),
-            );
-        Ok(())
+        self.execute(Command::Init {
+            region,
+            offset,
+            len,
+            format,
+        })
+        .map(|_| ())
     }
 
     /// Convenience: `rime_init` over the whole region.
@@ -442,124 +322,6 @@ impl RimeDevice {
             .map(|(slot, raw)| (slot, T::from_raw_bits(raw))))
     }
 
-    /// Looks up the live session for `region`, validating the region
-    /// handle first. The returned `Arc` lets the caller lock the session
-    /// without holding the sessions-map lock.
-    fn session(&self, region: Region) -> Result<Arc<Mutex<Session>>, RimeError> {
-        if !self
-            .tables
-            .read()
-            .expect("tables lock poisoned")
-            .regions
-            .contains_key(&region.id)
-        {
-            return Err(RimeError::InvalidRegion);
-        }
-        self.sessions
-            .read()
-            .expect("sessions lock poisoned")
-            .get(&region.id)
-            .cloned()
-            .ok_or(RimeError::NotInitialized)
-    }
-
-    fn chip_local_range(&self, session: &Session, chip_idx: u32) -> (u64, u64, u64) {
-        let per_chip = self.config.chip_slots();
-        let chip_base = chip_idx as u64 * per_chip;
-        let local_begin = session.begin.saturating_sub(chip_base);
-        let local_end = (session.end - chip_base).min(per_chip);
-        (chip_base, local_begin, local_end)
-    }
-
-    /// Applies the requested direction to the session, re-initializing
-    /// every spanned chip when it flips mid-stream: the buffered
-    /// candidates and exclusion flags encode the old direction.
-    fn apply_direction(
-        &self,
-        session: &mut Session,
-        direction: Direction,
-    ) -> Result<(), RimeError> {
-        if let Some(d) = session.direction {
-            if d != direction {
-                let mut chip_ids: Vec<u32> = session.queues.keys().copied().collect();
-                chip_ids.sort_unstable();
-                for chip_idx in chip_ids {
-                    let (_, local_begin, local_end) = self.chip_local_range(session, chip_idx);
-                    self.chip(chip_idx)
-                        .init_range(local_begin, local_end, session.format)?;
-                }
-                for queue in session.queues.values_mut() {
-                    queue.clear();
-                }
-            }
-        }
-        session.direction = Some(direction);
-        Ok(())
-    }
-
-    /// Fig. 14: tops up each spanned chip's candidate buffer to `depth`
-    /// using the chip's batched extraction, so one library call can
-    /// drain several results without re-engaging every chip in between.
-    fn prefill_queues(
-        &self,
-        session: &mut Session,
-        direction: Direction,
-        depth: usize,
-    ) -> Result<(), RimeError> {
-        let mut chip_ids: Vec<u32> = session.queues.keys().copied().collect();
-        chip_ids.sort_unstable();
-        for chip_idx in chip_ids {
-            let have = session.queues[&chip_idx].len();
-            if have >= depth {
-                continue;
-            }
-            let (chip_base, local_begin, local_end) = self.chip_local_range(session, chip_idx);
-            let hits = self.chip(chip_idx).extract_range_batch(
-                local_begin,
-                local_end,
-                session.format,
-                direction,
-                depth - have,
-            )?;
-            let queue = session.queues.get_mut(&chip_idx).expect("spanned chip");
-            queue.extend(hits.iter().map(|h| (chip_base + h.slot, h.raw_bits)));
-        }
-        Ok(())
-    }
-
-    /// CPU-side reduction across the buffered per-chip queue fronts:
-    /// pops and returns the global winner, breaking value ties toward
-    /// the lower global slot (stable, like the H-tree's priority rule).
-    fn pop_winner(session: &mut Session, direction: Direction) -> Option<(u64, u64)> {
-        let format = session.format;
-        let mut best: Option<(u32, u64, u64)> = None; // (chip, slot, raw)
-        for (&chip_idx, queue) in &session.queues {
-            if let Some(&(slot, raw)) = queue.front() {
-                let better = match best {
-                    None => true,
-                    Some((_, bslot, braw)) => {
-                        let ord = format.compare_bits(raw, braw);
-                        match direction {
-                            Direction::Min => ord.is_lt() || (ord.is_eq() && slot < bslot),
-                            Direction::Max => ord.is_gt() || (ord.is_eq() && slot < bslot),
-                        }
-                    }
-                };
-                if better {
-                    best = Some((chip_idx, slot, raw));
-                }
-            }
-        }
-        best.map(|(chip_idx, slot, raw)| {
-            session
-                .queues
-                .get_mut(&chip_idx)
-                .expect("winning chip is spanned")
-                .pop_front();
-            (slot, raw)
-        })
-    }
-
     /// Format-explicit extraction core shared by the typed API and the
     /// memory-mapped interface: returns the next extreme's (global slot,
     /// raw bits).
@@ -573,22 +335,13 @@ impl RimeDevice {
         want_format: KeyFormat,
         direction: Direction,
     ) -> Result<Option<(u64, u64)>, RimeError> {
-        let session = self.session(region)?;
-        let mut session = session.lock().expect("session lock poisoned");
-        if session.format != want_format {
-            return Err(RimeError::TypeMismatch {
-                stored: session.format.name(),
-                requested: want_format.name(),
-            });
-        }
-        self.apply_direction(&mut session, direction)?;
-        self.prefill_queues(&mut session, direction, 1)?;
-        match Self::pop_winner(&mut session, direction) {
-            None => Ok(None),
-            Some(hit) => {
-                self.interface_transfers.fetch_add(1, Ordering::Relaxed);
-                Ok(Some(hit))
-            }
+        match self.execute(Command::Extract {
+            region,
+            format: want_format,
+            direction,
+        })? {
+            Outcome::Hit(hit) => Ok(hit),
+            other => unreachable!("Extract produced {other:?}"),
         }
     }
 
@@ -611,30 +364,32 @@ impl RimeDevice {
         direction: Direction,
         k: usize,
     ) -> Result<Vec<(u64, u64)>, RimeError> {
-        let session = self.session(region)?;
-        let mut session = session.lock().expect("session lock poisoned");
-        if session.format != want_format {
-            return Err(RimeError::TypeMismatch {
-                stored: session.format.name(),
-                requested: want_format.name(),
-            });
+        match self.execute(Command::ExtractBatch {
+            region,
+            format: want_format,
+            direction,
+            k,
+        })? {
+            Outcome::Hits(hits) => Ok(hits),
+            other => unreachable!("ExtractBatch produced {other:?}"),
         }
-        if k == 0 {
-            return Ok(Vec::new());
+    }
+
+    /// Drains one already-buffered candidate from the region's session
+    /// (Fig. 14's per-chip buffers) *without* re-engaging any chip.
+    /// `None` means the buffers are dry — not that the range is
+    /// exhausted; a subsequent extraction may still find more.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::NotInitialized`] without a prior
+    /// [`RimeDevice::init`]; [`RimeError::InvalidRegion`] for stale
+    /// handles.
+    pub fn fifo_next_raw(&self, region: Region) -> Result<Option<(u64, u64)>, RimeError> {
+        match self.execute(Command::FifoNext { region })? {
+            Outcome::Hit(hit) => Ok(hit),
+            other => unreachable!("FifoNext produced {other:?}"),
         }
-        self.apply_direction(&mut session, direction)?;
-        self.prefill_queues(&mut session, direction, k)?;
-        let mut out = Vec::with_capacity(k);
-        while out.len() < k {
-            match Self::pop_winner(&mut session, direction) {
-                None => break,
-                Some(hit) => {
-                    self.interface_transfers.fetch_add(1, Ordering::Relaxed);
-                    out.push(hit);
-                }
-            }
-        }
-        Ok(out)
     }
 
     /// `rime_min_k`: the next `k` smallest keys of the initialized range
@@ -698,94 +453,64 @@ impl RimeDevice {
     /// Number of chips a region's initialized range spans (the concurrency
     /// the performance model exploits).
     pub fn spanned_chips(&self, region: Region) -> u32 {
-        self.sessions
-            .read()
-            .expect("sessions lock poisoned")
-            .get(&region.id)
-            .map_or(0, |s| {
-                s.lock().expect("session lock poisoned").queues.len() as u32
-            })
+        self.exec.spanned_chips(region)
     }
 
     /// Values transferred over the DDR4 interface so far (perf model).
     pub fn interface_transfers(&self) -> u64 {
-        self.interface_transfers.load(Ordering::Relaxed)
+        self.exec.interface_transfers()
     }
 
     /// Sets every chip's mat fan-out policy (model-execution knob; see
     /// [`ParallelPolicy`] — results and counters are unaffected).
     pub fn set_parallel_policy(&self, policy: ParallelPolicy) {
-        for chip in &self.chips {
-            chip.lock()
-                .expect("chip lock poisoned")
-                .set_parallel_policy(policy);
-        }
+        self.exec.set_parallel_policy(policy);
     }
 
-    /// Aggregated operation counters across all chips.
+    /// Aggregated operation counters across all chips, read from the
+    /// telemetry spine's built-in stats sink.
     pub fn counters(&self) -> OpCounters {
-        let mut total = OpCounters::new();
-        for chip in &self.chips {
-            total += *chip.lock().expect("chip lock poisoned").counters();
-        }
-        total
+        self.exec.counters()
     }
 
-    /// Resets all chips' counters.
+    /// Per-chip accumulated counters, indexed by chip — the inputs to
+    /// the per-chip performance helpers in [`crate::perf`].
+    pub fn per_chip_counters(&self) -> Vec<OpCounters> {
+        self.exec.per_chip_counters()
+    }
+
+    /// Resets all chips' counters (and the telemetry stats they feed).
     pub fn reset_counters(&self) {
-        for chip in &self.chips {
-            chip.lock().expect("chip lock poisoned").reset_counters();
-        }
-        self.interface_transfers.store(0, Ordering::Relaxed);
+        self.exec.reset_counters();
     }
 
     /// Modeled array energy of everything done so far (nJ): Table I
     /// per-operation energies applied to the aggregated counters.
     pub fn modeled_energy_nj(&self) -> f64 {
-        self.chips
-            .iter()
-            .map(|c| {
-                self.config
-                    .timing
-                    .energy_nj(c.lock().expect("chip lock poisoned").counters())
-            })
-            .sum()
+        self.exec.modeled_energy_nj()
     }
 
     /// Modeled busy time of the *busiest* chip (ns) — the device-side
     /// critical path when chips operate concurrently (Fig. 14).
     pub fn modeled_busy_ns(&self) -> f64 {
-        self.chips
-            .iter()
-            .map(|c| {
-                self.config
-                    .timing
-                    .time_ns(c.lock().expect("chip lock poisoned").counters())
-            })
-            .fold(0.0, f64::max)
+        self.exec.modeled_busy_ns()
     }
 
     /// Hottest-block write count across all chips (endurance study).
     pub fn max_wear(&self) -> u32 {
-        self.chips
-            .iter()
-            .map(|c| c.lock().expect("chip lock poisoned").max_wear())
-            .max()
-            .unwrap_or(0)
+        self.exec.max_wear()
     }
 
     /// Largest free contiguous extent (driver diagnostics).
     pub fn largest_free(&self) -> u64 {
-        self.allocator
-            .lock()
-            .expect("allocator lock poisoned")
-            .largest_free()
+        self.exec.largest_free()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::RimeError;
 
     fn device() -> RimeDevice {
         RimeDevice::new(RimeConfig::small())
@@ -1070,6 +795,17 @@ mod tests {
             dev.rime_min_k::<u32>(region, 3),
             Err(RimeError::InvalidRegion)
         );
+    }
+
+    #[test]
+    fn fifo_next_raw_requires_a_session() {
+        let dev = device();
+        let region = dev.alloc(4).unwrap();
+        dev.write(region, 0, &[4u32, 3, 2, 1]).unwrap();
+        assert_eq!(dev.fifo_next_raw(region), Err(RimeError::NotInitialized));
+        dev.init_all::<u32>(region).unwrap();
+        // Dry buffers are a miss, not an error.
+        assert_eq!(dev.fifo_next_raw(region), Ok(None));
     }
 
     #[test]

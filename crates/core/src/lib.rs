@@ -7,10 +7,16 @@
 //!
 //! * [`driver`] — the kernel driver's contiguous physical allocator
 //!   (§V, Fig. 13), which makes the H-tree index reduction usable.
+//! * [`cmd`] — the unified command plane: the typed [`cmd::Command`] IR
+//!   and the single [`cmd::Executor`] that owns validation, chip
+//!   dispatch, and result marshalling for *every* front-end.
+//! * [`telemetry`] — the observer spine over the executor: one ordered
+//!   event stream feeding counters, energy, wear, and trace sinks.
 //! * [`device`] — the full device (channels × DIMMs × chips) plus the
 //!   userspace API library of Fig. 12: `rime_malloc`, `rime_init`,
 //!   `rime_min`, `rime_max`, `rime_free`, and ordinary loads/stores, with
-//!   Fig. 14's multi-chip buffered coordination.
+//!   Fig. 14's multi-chip buffered coordination — thin encoders over
+//!   [`cmd`].
 //! * [`dimm`] — boot-time DIMM mode configuration and the §V multi-DIMM
 //!   address mapping (bit 2³⁰ selects the DIMM).
 //! * [`mmio`] — the §V memory-mapped register interface: the same
@@ -47,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cmd;
 pub mod device;
 pub mod dimm;
 pub mod driver;
@@ -54,12 +61,15 @@ pub mod error;
 pub mod mmio;
 pub mod ops;
 pub mod perf;
+pub mod telemetry;
 pub mod trace;
 
+pub use cmd::{Command, Executor, Outcome};
 pub use device::{Region, RimeConfig, RimeDevice};
 pub use driver::{ContiguousAllocator, DriverConfig};
 pub use error::RimeError;
 pub use perf::{Placement, RimePerfConfig};
+pub use telemetry::{SharedSink, Telemetry, TelemetryEvent};
 
 // Re-export the substrate types callers need at the API boundary.
-pub use rime_memristive::{Direction, KeyFormat, ParallelPolicy, SortableBits};
+pub use rime_memristive::{Direction, KeyFormat, OpCounters, ParallelPolicy, SortableBits};

@@ -13,11 +13,19 @@
 //! reads/writes at fixed offsets, exactly how a kernel driver would talk
 //! to the DIMM. The data space (key slots) is mapped byte-addressably
 //! above [`DATA_BASE`].
+//!
+//! The interface is a pure *translation layer*: a doorbell write decodes
+//! the staged registers into one typed [`Command`], hands it to the same
+//! [`crate::cmd::Executor`] the Rust API uses, and marshals the
+//! [`Outcome`] (or typed error) back into the status/result/error
+//! registers. No validation or extraction logic lives here.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
 
 use rime_memristive::{Direction, KeyFormat};
 
+use crate::cmd::{Command, Outcome};
 use crate::device::{Region, RimeDevice};
 use crate::error::RimeError;
 
@@ -248,8 +256,15 @@ impl MmioInterface {
         if addr >= DATA_BASE {
             let slot = (addr - DATA_BASE) / 8;
             let format = decode_format(self.format_code).unwrap_or(KeyFormat::UNSIGNED64);
-            match self.device.write_raw(self.window, slot, &[value], format) {
-                Ok(()) => {
+            let raw = [value];
+            let lowered = Command::Write {
+                region: self.window,
+                offset: slot,
+                raw: Cow::Borrowed(&raw),
+                format,
+            };
+            match self.device.execute(lowered) {
+                Ok(_) => {
                     self.status = status::OK;
                     self.error = errcode::NONE;
                 }
@@ -267,9 +282,15 @@ impl MmioInterface {
         }
     }
 
+    /// Decodes the staged registers plus the doorbell value into one
+    /// typed [`Command`], runs it, and marshals the outcome back into
+    /// the register file.
     fn execute(&mut self, command: u64) {
         self.error = errcode::NONE;
         if command == cmd::FIFO_NEXT {
+            // Drains the *presentation* FIFO (results already fetched by
+            // a batch command) — a register-file-local latch move, not a
+            // device command.
             self.advance_fifo();
             return;
         }
@@ -277,52 +298,51 @@ impl MmioInterface {
             self.fault(errcode::BAD_FORMAT);
             return;
         };
-        match command {
-            cmd::INIT => {
-                self.fifo.clear();
-                let len = self.end.saturating_sub(self.begin);
-                match self.device.init_raw(self.window, self.begin, len, format) {
-                    Ok(()) => self.status = status::OK,
-                    Err(e) => self.fault(errcode_of(&e)),
-                }
+        let direction = |min_code| {
+            if command == min_code {
+                Direction::Min
+            } else {
+                Direction::Max
             }
-            cmd::MIN | cmd::MAX => {
-                self.fifo.clear();
-                let direction = if command == cmd::MIN {
-                    Direction::Min
-                } else {
-                    Direction::Max
-                };
-                match self.device.next_extreme_raw(self.window, format, direction) {
-                    Ok(Some((slot, raw))) => {
-                        self.result_addr = slot;
-                        self.result_value = raw;
-                        self.status = status::OK;
-                    }
-                    Ok(None) => self.status = status::EXHAUSTED,
-                    Err(e) => self.fault(errcode_of(&e)),
-                }
+        };
+        let lowered = match command {
+            cmd::INIT => Command::Init {
+                region: self.window,
+                offset: self.begin,
+                len: self.end.saturating_sub(self.begin),
+                format,
+            },
+            cmd::MIN | cmd::MAX => Command::Extract {
+                region: self.window,
+                format,
+                direction: direction(cmd::MIN),
+            },
+            cmd::MIN_K | cmd::MAX_K => Command::ExtractBatch {
+                region: self.window,
+                format,
+                direction: direction(cmd::MIN_K),
+                k: usize::try_from(self.count).unwrap_or(usize::MAX),
+            },
+            _ => {
+                self.fault(errcode::BAD_COMMAND);
+                return;
             }
-            cmd::MIN_K | cmd::MAX_K => {
-                self.fifo.clear();
-                let direction = if command == cmd::MIN_K {
-                    Direction::Min
-                } else {
-                    Direction::Max
-                };
-                let want = usize::try_from(self.count).unwrap_or(usize::MAX);
-                match self
-                    .device
-                    .next_extremes_raw(self.window, format, direction, want)
-                {
-                    Ok(results) => {
-                        self.fifo.extend(results);
-                        self.advance_fifo();
-                    }
-                    Err(e) => self.fault(errcode_of(&e)),
-                }
+        };
+        self.fifo.clear();
+        match self.device.execute(lowered) {
+            Ok(Outcome::Done) => self.status = status::OK,
+            Ok(Outcome::Hit(Some((slot, raw)))) => {
+                self.result_addr = slot;
+                self.result_value = raw;
+                self.status = status::OK;
             }
-            _ => self.fault(errcode::BAD_COMMAND),
+            Ok(Outcome::Hit(None)) => self.status = status::EXHAUSTED,
+            Ok(Outcome::Hits(results)) => {
+                self.fifo.extend(results);
+                self.advance_fifo();
+            }
+            Ok(other) => unreachable!("register command produced {other:?}"),
+            Err(e) => self.fault(errcode_of(&e)),
         }
     }
 

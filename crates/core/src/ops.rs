@@ -13,6 +13,12 @@
 //! batch of consecutive extractions. Every operation takes the device by
 //! shared reference, so disjoint regions can be driven from different
 //! threads concurrently (see [`merge_parallel`]).
+//!
+//! Like every other consumer of the device, these compositions bottom
+//! out in the unified command plane ([`crate::cmd`]): each primitive
+//! call lowers into one typed `Command`, so telemetry sinks observe
+//! rank/sort/merge workloads as the same event stream any front-end
+//! produces.
 
 use std::collections::VecDeque;
 
@@ -32,7 +38,7 @@ const STREAM_BATCH: usize = 32;
 /// Created by [`sorted`] / [`sorted_desc`]; call
 /// [`SortedStream::try_next`] until it returns `Ok(None)`.
 ///
-/// The stream pulls keys from the device in batches of [`STREAM_BATCH`]
+/// The stream pulls keys from the device in batches of `STREAM_BATCH`
 /// and buffers them host-side, so device errors (stale region, format
 /// mismatch, …) surface at refill boundaries rather than on every call.
 #[derive(Debug)]

@@ -24,7 +24,24 @@
 //! the headline factors (Figs. 15–18) land in the paper's reported ranges
 //! against the baseline model in `rime-memsim` (see `EXPERIMENTS.md`).
 
-use rime_memristive::ArrayTiming;
+use rime_memristive::{ArrayTiming, OpCounters};
+
+/// Modeled busy time (ns) of the busiest chip given each chip's
+/// accumulated counters — the device-side critical path when chips
+/// operate concurrently (Fig. 14 activates all spanned chips at once).
+pub fn modeled_busy_ns(timing: &ArrayTiming, per_chip: &[OpCounters]) -> f64 {
+    per_chip
+        .iter()
+        .map(|c| timing.time_ns(c))
+        .fold(0.0, f64::max)
+}
+
+/// Modeled array energy (nJ) summed over all chips given each chip's
+/// accumulated counters. Energy is linear in the counters, so summing
+/// per-chip contributions equals pricing the aggregated totals.
+pub fn modeled_energy_nj(timing: &ArrayTiming, per_chip: &[OpCounters]) -> f64 {
+    per_chip.iter().map(|c| timing.energy_nj(c)).sum()
+}
 
 /// How a dataset is laid out across the RIME chips.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +187,20 @@ impl Default for RimePerfConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn busy_ns_is_max_energy_is_sum() {
+        let timing = ArrayTiming::table1();
+        let mut a = OpCounters::new();
+        a.row_reads = 10;
+        let mut b = OpCounters::new();
+        b.row_reads = 3;
+        let per_chip = [a, b];
+        assert!((modeled_busy_ns(&timing, &per_chip) - timing.time_ns(&a)).abs() < 1e-9);
+        let want = timing.energy_nj(&a) + timing.energy_nj(&b);
+        assert!((modeled_energy_nj(&timing, &per_chip) - want).abs() < 1e-9);
+        assert_eq!(modeled_busy_ns(&timing, &[]), 0.0);
+    }
 
     #[test]
     fn extraction_latency_matches_table1() {

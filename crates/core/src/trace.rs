@@ -2,19 +2,34 @@
 //!
 //! A [`TracedDevice`] wraps a [`RimeDevice`] and logs every API call —
 //! the sequence of `rime_malloc` / stores / `rime_init` / `rime_min` /
-//! `rime_max` / `rime_free` operations an application issued. Traces
-//! serve two production purposes:
+//! `rime_min_k` / FIFO drains / `rime_free` operations an application
+//! issued. Traces serve two production purposes:
 //!
 //! * **debugging** — a failing workload can be captured once and
 //!   replayed deterministically against any device configuration;
 //! * **regression** — [`replay`] re-executes a trace on a fresh device
 //!   and returns the extracted values, so refactors of the device
 //!   internals can be checked against recorded behaviour.
+//!
+//! Both halves sit at the command-plane boundary: recording is a
+//! [`Telemetry`] sink ([`TraceRecorder`]) observing the executor's event
+//! stream, and [`replay`] feeds typed [`Command`]s back through
+//! [`RimeDevice::execute`]. Because the sink sees *commands* rather than
+//! API entry points, every front-end lowering into the executor — the
+//! typed API, MMIO doorbells, or another replay — is recordable with the
+//! same code path, and new command variants (like the batch extraction
+//! PR 1 added) are traced without recorder changes.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use rime_memristive::{Direction, KeyFormat};
 
+use crate::cmd::{Command, Outcome};
 use crate::device::{Region, RimeConfig, RimeDevice};
 use crate::error::RimeError;
+use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// One recorded API call. Regions are identified by their ordinal
 /// allocation index, which makes traces portable across devices.
@@ -61,24 +76,43 @@ pub enum TraceOp {
         /// Min or max.
         direction: Direction,
     },
+    /// Batched `rime_min_k`/`rime_max_k`.
+    ExtractBatch {
+        /// Region ordinal.
+        region: usize,
+        /// Format the caller requested.
+        format: KeyFormat,
+        /// Min or max.
+        direction: Direction,
+        /// Batch size.
+        k: usize,
+    },
+    /// A drain of one already-buffered candidate (no chip engagement).
+    FifoNext {
+        /// Region ordinal.
+        region: usize,
+    },
 }
 
-/// A recording wrapper around a device.
-#[derive(Debug)]
-pub struct TracedDevice {
-    device: RimeDevice,
-    regions: Vec<Region>,
+/// A [`Telemetry`] sink that turns the executor's event stream into a
+/// portable [`TraceOp`] log.
+///
+/// Failed commands are not recorded (they had no effect to reproduce),
+/// and neither are plain reads — a trace captures the store/init/extract
+/// sequence that determines device behaviour. Region handles are
+/// translated to ordinal allocation indices as `Alloc` outcomes stream
+/// past, so the log never references device-specific addresses.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    ordinals: HashMap<u64, usize>,
+    next_ordinal: usize,
     log: Vec<TraceOp>,
 }
 
-impl TracedDevice {
-    /// Wraps a fresh device with the given configuration.
-    pub fn new(config: RimeConfig) -> TracedDevice {
-        TracedDevice {
-            device: RimeDevice::new(config),
-            regions: Vec::new(),
-            log: Vec::new(),
-        }
+impl TraceRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
     }
 
     /// The recorded operations so far.
@@ -86,9 +120,144 @@ impl TracedDevice {
         &self.log
     }
 
+    /// Takes the recorded trace, leaving the recorder empty (region
+    /// ordinal assignments are kept so recording can continue).
+    pub fn take(&mut self) -> Vec<TraceOp> {
+        std::mem::take(&mut self.log)
+    }
+
+    fn ordinal_of(&self, region: Region) -> Option<usize> {
+        self.ordinals.get(&region.id).copied()
+    }
+}
+
+impl Telemetry for TraceRecorder {
+    fn record(&mut self, event: &TelemetryEvent<'_>) {
+        let outcome = match event.result {
+            Ok(outcome) => outcome,
+            Err(_) => return, // failed calls are not recorded
+        };
+        match *event.command {
+            Command::Alloc { len } => {
+                if let Outcome::Region(region) = outcome {
+                    self.ordinals.insert(region.id, self.next_ordinal);
+                    self.next_ordinal += 1;
+                    self.log.push(TraceOp::Alloc { len });
+                }
+            }
+            Command::Free { region } => {
+                if let Some(region) = self.ordinal_of(region) {
+                    self.log.push(TraceOp::Free { region });
+                }
+            }
+            Command::Write {
+                region,
+                offset,
+                ref raw,
+                format,
+            } => {
+                if let Some(region) = self.ordinal_of(region) {
+                    self.log.push(TraceOp::Write {
+                        region,
+                        offset,
+                        raw: raw.to_vec(),
+                        format,
+                    });
+                }
+            }
+            Command::Read { .. } => {}
+            Command::Init {
+                region,
+                offset,
+                len,
+                format,
+            } => {
+                if let Some(region) = self.ordinal_of(region) {
+                    self.log.push(TraceOp::Init {
+                        region,
+                        offset,
+                        len,
+                        format,
+                    });
+                }
+            }
+            Command::Extract {
+                region,
+                format,
+                direction,
+            } => {
+                if let Some(region) = self.ordinal_of(region) {
+                    self.log.push(TraceOp::Extract {
+                        region,
+                        format,
+                        direction,
+                    });
+                }
+            }
+            Command::ExtractBatch {
+                region,
+                format,
+                direction,
+                k,
+            } => {
+                if let Some(region) = self.ordinal_of(region) {
+                    self.log.push(TraceOp::ExtractBatch {
+                        region,
+                        format,
+                        direction,
+                        k,
+                    });
+                }
+            }
+            Command::FifoNext { region } => {
+                if let Some(region) = self.ordinal_of(region) {
+                    self.log.push(TraceOp::FifoNext { region });
+                }
+            }
+        }
+    }
+}
+
+/// A recording wrapper around a device: a [`RimeDevice`] with a
+/// [`TraceRecorder`] attached to its telemetry spine, plus the
+/// ordinal→handle table the replay side needs.
+#[derive(Debug)]
+pub struct TracedDevice {
+    device: RimeDevice,
+    regions: Vec<Region>,
+    recorder: Arc<Mutex<TraceRecorder>>,
+}
+
+impl TracedDevice {
+    /// Wraps a fresh device with the given configuration.
+    pub fn new(config: RimeConfig) -> TracedDevice {
+        let device = RimeDevice::new(config);
+        let recorder = Arc::new(Mutex::new(TraceRecorder::new()));
+        device.attach_telemetry(recorder.clone());
+        TracedDevice {
+            device,
+            regions: Vec::new(),
+            recorder,
+        }
+    }
+
+    /// The wrapped device (e.g. for counter or capacity inspection).
+    pub fn device(&self) -> &RimeDevice {
+        &self.device
+    }
+
+    fn recorder(&self) -> std::sync::MutexGuard<'_, TraceRecorder> {
+        self.recorder.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The recorded operations so far.
+    pub fn log(&self) -> Vec<TraceOp> {
+        self.recorder().log().to_vec()
+    }
+
     /// Consumes the wrapper, returning the trace.
     pub fn into_trace(self) -> Vec<TraceOp> {
-        self.log
+        self.recorder().take()
     }
 
     fn region(&self, ordinal: usize) -> Result<Region, RimeError> {
@@ -106,7 +275,6 @@ impl TracedDevice {
     pub fn alloc(&mut self, len: u64) -> Result<usize, RimeError> {
         let region = self.device.alloc(len)?;
         self.regions.push(region);
-        self.log.push(TraceOp::Alloc { len });
         Ok(self.regions.len() - 1)
     }
 
@@ -116,9 +284,7 @@ impl TracedDevice {
     ///
     /// Propagates device errors.
     pub fn free(&mut self, region: usize) -> Result<(), RimeError> {
-        self.device.free(self.region(region)?)?;
-        self.log.push(TraceOp::Free { region });
-        Ok(())
+        self.device.free(self.region(region)?)
     }
 
     /// Recorded raw store.
@@ -134,14 +300,7 @@ impl TracedDevice {
         format: KeyFormat,
     ) -> Result<(), RimeError> {
         self.device
-            .write_raw(self.region(region)?, offset, raw, format)?;
-        self.log.push(TraceOp::Write {
-            region,
-            offset,
-            raw: raw.to_vec(),
-            format,
-        });
-        Ok(())
+            .write_raw(self.region(region)?, offset, raw, format)
     }
 
     /// Recorded `rime_init`.
@@ -157,14 +316,7 @@ impl TracedDevice {
         format: KeyFormat,
     ) -> Result<(), RimeError> {
         self.device
-            .init_raw(self.region(region)?, offset, len, format)?;
-        self.log.push(TraceOp::Init {
-            region,
-            offset,
-            len,
-            format,
-        });
-        Ok(())
+            .init_raw(self.region(region)?, offset, len, format)
     }
 
     /// Recorded extraction; returns (global slot, raw bits).
@@ -178,21 +330,46 @@ impl TracedDevice {
         format: KeyFormat,
         direction: Direction,
     ) -> Result<Option<(u64, u64)>, RimeError> {
-        let out = self
-            .device
-            .next_extreme_raw(self.region(region)?, format, direction)?;
-        self.log.push(TraceOp::Extract {
-            region,
-            format,
-            direction,
-        });
-        Ok(out)
+        self.device
+            .next_extreme_raw(self.region(region)?, format, direction)
+    }
+
+    /// Recorded batch extraction (`rime_min_k`/`rime_max_k`); returns up
+    /// to `k` (global slot, raw bits) pairs in extraction order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn extract_batch(
+        &mut self,
+        region: usize,
+        format: KeyFormat,
+        direction: Direction,
+        k: usize,
+    ) -> Result<Vec<(u64, u64)>, RimeError> {
+        self.device
+            .next_extremes_raw(self.region(region)?, format, direction, k)
+    }
+
+    /// Recorded FIFO drain of one already-buffered candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn fifo_next(&mut self, region: usize) -> Result<Option<(u64, u64)>, RimeError> {
+        self.device.fifo_next_raw(self.region(region)?)
     }
 }
 
 /// Replays a trace on a fresh device with `config`, returning the raw
-/// bits every `Extract` produced (in order; `None` entries mark
-/// exhausted ranges).
+/// bits every extraction produced (in order; `None` entries mark
+/// exhausted ranges or dry FIFO drains; each `ExtractBatch` contributes
+/// one `Some` entry per extracted value).
+///
+/// Replay is a third front-end of the command plane: each [`TraceOp`] is
+/// lowered back into a typed [`Command`] and fed through
+/// [`RimeDevice::execute`], so replayed operations take exactly the
+/// executor path the original ones did.
 ///
 /// # Errors
 ///
@@ -201,42 +378,69 @@ pub fn replay(trace: &[TraceOp], config: RimeConfig) -> Result<Vec<Option<u64>>,
     let device = RimeDevice::new(config);
     let mut regions: Vec<Region> = Vec::new();
     let mut extracted = Vec::new();
+    let resolve = |regions: &[Region], ordinal: usize| {
+        regions
+            .get(ordinal)
+            .copied()
+            .ok_or(RimeError::InvalidRegion)
+    };
     for op in trace {
-        match op {
-            TraceOp::Alloc { len } => regions.push(device.alloc(*len)?),
-            TraceOp::Free { region } => {
-                device.free(*regions.get(*region).ok_or(RimeError::InvalidRegion)?)?;
-            }
+        let lowered = match *op {
+            TraceOp::Alloc { len } => Command::Alloc { len },
+            TraceOp::Free { region } => Command::Free {
+                region: resolve(&regions, region)?,
+            },
             TraceOp::Write {
                 region,
                 offset,
-                raw,
+                ref raw,
                 format,
-            } => {
-                let r = *regions.get(*region).ok_or(RimeError::InvalidRegion)?;
-                device.write_raw(r, *offset, raw, *format)?;
-            }
+            } => Command::Write {
+                region: resolve(&regions, region)?,
+                offset,
+                raw: Cow::Borrowed(raw.as_slice()),
+                format,
+            },
             TraceOp::Init {
                 region,
                 offset,
                 len,
                 format,
-            } => {
-                let r = *regions.get(*region).ok_or(RimeError::InvalidRegion)?;
-                device.init_raw(r, *offset, *len, *format)?;
-            }
+            } => Command::Init {
+                region: resolve(&regions, region)?,
+                offset,
+                len,
+                format,
+            },
             TraceOp::Extract {
                 region,
                 format,
                 direction,
-            } => {
-                let r = *regions.get(*region).ok_or(RimeError::InvalidRegion)?;
-                extracted.push(
-                    device
-                        .next_extreme_raw(r, *format, *direction)?
-                        .map(|(_, v)| v),
-                );
-            }
+            } => Command::Extract {
+                region: resolve(&regions, region)?,
+                format,
+                direction,
+            },
+            TraceOp::ExtractBatch {
+                region,
+                format,
+                direction,
+                k,
+            } => Command::ExtractBatch {
+                region: resolve(&regions, region)?,
+                format,
+                direction,
+                k,
+            },
+            TraceOp::FifoNext { region } => Command::FifoNext {
+                region: resolve(&regions, region)?,
+            },
+        };
+        match device.execute(lowered)? {
+            Outcome::Region(region) => regions.push(region),
+            Outcome::Hit(hit) => extracted.push(hit.map(|(_, v)| v)),
+            Outcome::Hits(hits) => extracted.extend(hits.into_iter().map(|(_, v)| Some(v))),
+            Outcome::Done | Outcome::Keys(_) => {}
         }
     }
     Ok(extracted)
@@ -304,8 +508,69 @@ mod tests {
     #[test]
     fn failed_calls_are_not_recorded() {
         let mut traced = TracedDevice::new(RimeConfig::small());
-        let cap = traced.device.capacity();
+        let cap = traced.device().capacity();
         let _ = traced.alloc(cap + 1).unwrap_err();
-        assert!(traced.log().is_empty());
+        // A faulting extraction is not recorded either.
+        let r = traced.alloc(2).unwrap();
+        let _ = traced
+            .extract(r, KeyFormat::UNSIGNED64, Direction::Min)
+            .unwrap_err();
+        assert_eq!(traced.log(), vec![TraceOp::Alloc { len: 2 }]);
+    }
+
+    #[test]
+    fn batch_trace_records_and_replays_bit_identically() {
+        // Regression: a rime_min_k workload (with FIFO drains and a
+        // direction switch) recorded through the telemetry sink replays
+        // bit-identically through the command plane.
+        let mut traced = TracedDevice::new(RimeConfig::small());
+        // Span two chips so the batch leaves candidates buffered on the
+        // losing chip — the FIFO drain then has real work to do.
+        let n = traced.device().config().chip_slots() + 8;
+        let keys: Vec<u64> = (0..n).map(|i| (i * 7919) % 104729).collect();
+        let r = traced.alloc(keys.len() as u64).unwrap();
+        traced
+            .write_raw(r, 0, &keys, KeyFormat::UNSIGNED64)
+            .unwrap();
+        traced
+            .init_raw(r, 0, keys.len() as u64, KeyFormat::UNSIGNED64)
+            .unwrap();
+
+        let mut live: Vec<Option<u64>> = Vec::new();
+        let batch = traced
+            .extract_batch(r, KeyFormat::UNSIGNED64, Direction::Min, 7)
+            .unwrap();
+        assert_eq!(batch.len(), 7);
+        live.extend(batch.iter().map(|&(_, v)| Some(v)));
+        // Drain whatever the batch left buffered.
+        let mut drained = 0;
+        while let Some((_, v)) = traced.fifo_next(r).unwrap() {
+            live.push(Some(v));
+            drained += 1;
+        }
+        assert!(drained > 0, "batch left buffered candidates to drain");
+        live.push(None); // the dry drain itself
+                         // Direction switch re-arms; take the top 3.
+        let top = traced
+            .extract_batch(r, KeyFormat::UNSIGNED64, Direction::Max, 3)
+            .unwrap();
+        let mut want = keys.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(
+            top.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            want[..3].to_vec()
+        );
+        live.extend(top.iter().map(|&(_, v)| Some(v)));
+        traced.free(r).unwrap();
+
+        let trace = traced.into_trace();
+        assert!(trace
+            .iter()
+            .any(|op| matches!(op, TraceOp::ExtractBatch { k: 7, .. })));
+        assert!(trace
+            .iter()
+            .any(|op| matches!(op, TraceOp::FifoNext { .. })));
+        let replayed = replay(&trace, RimeConfig::small()).unwrap();
+        assert_eq!(replayed, live);
     }
 }

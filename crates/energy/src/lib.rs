@@ -177,6 +177,62 @@ pub fn rime_dimm_power_w(model: &PowerModel, concurrent_chips: u32, extract_ns: 
     model.rime_background_w + concurrent_chips as f64 * model.rime_nj_per_extraction / extract_ns
 }
 
+/// A [`rime_core::Telemetry`] sink that accumulates RIME dynamic energy
+/// from the device's command stream: completed extractions (per-chip
+/// counter deltas) and DDR4 interface transfers, priced by a
+/// [`PowerModel`]. Attach with `RimeDevice::attach_telemetry`, then read
+/// [`EnergySink::dynamic_nj`] — background power is time-based and stays
+/// with [`rime_energy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySink {
+    model: PowerModel,
+    extractions: u64,
+    transfers: u64,
+}
+
+impl EnergySink {
+    /// A zeroed sink pricing events with `model`.
+    pub fn new(model: PowerModel) -> EnergySink {
+        EnergySink {
+            model,
+            extractions: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Extractions observed so far.
+    pub fn extractions(&self) -> u64 {
+        self.extractions
+    }
+
+    /// Interface transfers observed so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Accumulated dynamic RIME energy (nJ): extraction plus interface
+    /// transfer energy, excluding background power.
+    pub fn dynamic_nj(&self) -> f64 {
+        self.extractions as f64 * self.model.rime_nj_per_extraction
+            + self.transfers as f64 * self.model.rime_nj_per_transfer
+    }
+}
+
+impl Default for EnergySink {
+    fn default() -> Self {
+        EnergySink::new(PowerModel::table1())
+    }
+}
+
+impl rime_core::Telemetry for EnergySink {
+    fn record(&mut self, event: &rime_core::TelemetryEvent<'_>) {
+        for (_, delta) in event.effects.chip_deltas() {
+            self.extractions += delta.extractions;
+        }
+        self.transfers += event.effects.interface_transfers();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +299,29 @@ mod tests {
         let model = PowerModel::table1();
         let p5 = rime_dimm_power_w(&model, 5, 286.8);
         assert!((0.5..1.5).contains(&p5), "{p5} W");
+    }
+
+    #[test]
+    fn energy_sink_prices_the_command_stream() {
+        use rime_core::telemetry::shared;
+        use rime_core::{RimeConfig, RimeDevice};
+
+        let model = PowerModel::table1();
+        let dev = RimeDevice::new(RimeConfig::small());
+        let sink = shared(EnergySink::new(model));
+        dev.attach_telemetry(sink.clone());
+        let region = dev.alloc(8).unwrap();
+        dev.write(region, 0, &[9u32, 2, 7, 4, 5, 1, 8, 3]).unwrap();
+        dev.init_all::<u32>(region).unwrap();
+        let _ = dev.rime_min_k::<u32>(region, 4).unwrap();
+        let sink = sink.lock().unwrap().clone();
+        let c = dev.counters();
+        assert_eq!(sink.extractions(), c.extractions);
+        assert_eq!(sink.transfers(), dev.interface_transfers());
+        let want = c.extractions as f64 * model.rime_nj_per_extraction
+            + dev.interface_transfers() as f64 * model.rime_nj_per_transfer;
+        assert!((sink.dynamic_nj() - want).abs() < 1e-9);
+        assert!(sink.dynamic_nj() > 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! the functional path guarantees the performance numbers describe exactly
 //! the work the bit-accurate model performed.
 
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// Operation counts accumulated by a chip (or aggregated across chips).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +39,31 @@ impl OpCounters {
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         *self = OpCounters::default();
+    }
+
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Used by the command executor to turn two snapshots of a chip's
+    /// monotonically increasing counters into the per-command delta it
+    /// publishes to telemetry sinks. Saturation makes the helper total:
+    /// a reset between snapshots yields zeros instead of wrapping.
+    pub fn delta_since(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            column_search_steps: self
+                .column_search_steps
+                .saturating_sub(earlier.column_search_steps),
+            mat_column_searches: self
+                .mat_column_searches
+                .saturating_sub(earlier.mat_column_searches),
+            row_reads: self.row_reads.saturating_sub(earlier.row_reads),
+            row_writes: self.row_writes.saturating_sub(earlier.row_writes),
+            select_loads: self.select_loads.saturating_sub(earlier.select_loads),
+            htree_traversals: self
+                .htree_traversals
+                .saturating_sub(earlier.htree_traversals),
+            init_ops: self.init_ops.saturating_sub(earlier.init_ops),
+            extractions: self.extractions.saturating_sub(earlier.extractions),
+        }
     }
 
     /// Total array-level accesses of any kind (useful for sanity checks).
@@ -76,6 +101,20 @@ impl AddAssign for OpCounters {
     }
 }
 
+impl Sub for OpCounters {
+    type Output = OpCounters;
+
+    fn sub(self, rhs: OpCounters) -> OpCounters {
+        self.delta_since(&rhs)
+    }
+}
+
+impl SubAssign for OpCounters {
+    fn sub_assign(&mut self, rhs: OpCounters) {
+        *self = self.delta_since(&rhs);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +140,26 @@ mod tests {
         a.reset();
         assert_eq!(a, OpCounters::default());
         assert_eq!(a.total_events(), 0);
+    }
+
+    #[test]
+    fn delta_since_is_fieldwise_and_saturating() {
+        let mut before = OpCounters::new();
+        before.row_reads = 3;
+        before.extractions = 2;
+        let mut after = before;
+        after.row_reads = 7;
+        after.select_loads = 5;
+        let d = after - before;
+        assert_eq!(d.row_reads, 4);
+        assert_eq!(d.select_loads, 5);
+        assert_eq!(d.extractions, 0);
+        // A reset between snapshots saturates to zero instead of wrapping.
+        let zeroed = OpCounters::new();
+        assert_eq!(zeroed.delta_since(&before), OpCounters::default());
+        let mut acc = after;
+        acc -= before;
+        assert_eq!(acc, d);
     }
 
     #[test]

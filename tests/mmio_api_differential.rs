@@ -1,0 +1,262 @@
+//! MMIO ↔ Rust-API differential property test.
+//!
+//! Both front-ends lower into the same `rime_core::cmd::Executor`, so a
+//! random command sequence driven through the register file must be
+//! indistinguishable — statuses, latched results, typed error codes,
+//! operation counters, interface transfers — from the same sequence
+//! driven through the typed API against a device with an identical
+//! full-capacity window region.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use rime_core::mmio::{cmd, errcode, format_code, regs, status, MmioInterface, DATA_BASE};
+use rime_core::{Direction, KeyFormat, RimeConfig, RimeDevice, RimeError};
+
+/// One step of the random register-level workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store a raw value through the data window.
+    Store { slot: u64, value: u64 },
+    /// Select one of the staged formats (index into `FORMATS`).
+    SetFormat(usize),
+    /// Program BEGIN/END and ring the INIT doorbell.
+    Init { begin: u64, end: u64 },
+    /// Ring MIN or MAX.
+    Extract { max: bool },
+    /// Program COUNT and ring MIN_K or MAX_K.
+    ExtractBatch { max: bool, k: u64 },
+    /// Ring FIFO_NEXT.
+    FifoNext,
+}
+
+/// Formats the workload cycles through; `None` stages a deliberately
+/// undecodable register value.
+const FORMATS: [Option<KeyFormat>; 4] = [
+    Some(KeyFormat::UNSIGNED64),
+    Some(KeyFormat::SIGNED32),
+    Some(KeyFormat::FLOAT32),
+    None,
+];
+
+/// The FORMAT register value staging `FORMATS[i]`.
+fn format_reg(i: usize) -> u64 {
+    FORMATS[i].map_or(u64::MAX, format_code)
+}
+
+/// Mirrors the private `errcode_of` mapping: the typed API error a
+/// command returns must park exactly this code in the ERROR register.
+fn expected_errcode(error: &RimeError) -> u64 {
+    match error {
+        RimeError::InvalidRegion => errcode::INVALID_REGION,
+        RimeError::OutOfBounds { .. } => errcode::OUT_OF_BOUNDS,
+        RimeError::NotInitialized => errcode::NOT_INITIALIZED,
+        RimeError::TypeMismatch { .. } => errcode::TYPE_MISMATCH,
+        RimeError::OutOfContiguousMemory { .. } => errcode::OUT_OF_MEMORY,
+        RimeError::Chip(_) => errcode::CHIP,
+        _ => unreachable!("unmapped error variant"),
+    }
+}
+
+/// The typed-API twin of the register file: one full-capacity region,
+/// a result latch, and a presentation FIFO, updated with the register
+/// semantics but driven through `RimeDevice` methods.
+struct ApiTwin {
+    device: RimeDevice,
+    window: rime_core::Region,
+    format_code: u64,
+    status: u64,
+    error: u64,
+    latch: (u64, u64), // (value, addr)
+    fifo: VecDeque<(u64, u64)>,
+}
+
+impl ApiTwin {
+    fn new() -> ApiTwin {
+        let device = RimeDevice::new(RimeConfig::small());
+        let window = device.alloc(device.capacity()).unwrap();
+        ApiTwin {
+            device,
+            window,
+            format_code: format_code(KeyFormat::UNSIGNED64),
+            status: status::OK,
+            error: errcode::NONE,
+            latch: (0, 0),
+            fifo: VecDeque::new(),
+        }
+    }
+
+    fn format(&self) -> Option<KeyFormat> {
+        rime_core::mmio::decode_format(self.format_code)
+    }
+
+    fn fault(&mut self, code: u64) {
+        self.status = status::ERROR;
+        self.error = code;
+    }
+
+    fn advance_fifo(&mut self) {
+        match self.fifo.pop_front() {
+            Some((slot, raw)) => {
+                self.latch = (raw, slot);
+                self.status = status::OK;
+            }
+            None => self.status = status::EXHAUSTED,
+        }
+    }
+
+    fn apply(&mut self, op: &Op, begin: u64, end: u64) {
+        match *op {
+            Op::Store { slot, value } => {
+                let format = self.format().unwrap_or(KeyFormat::UNSIGNED64);
+                match self.device.write_raw(self.window, slot, &[value], format) {
+                    Ok(()) => {
+                        self.status = status::OK;
+                        self.error = errcode::NONE;
+                    }
+                    Err(e) => self.fault(expected_errcode(&e)),
+                }
+            }
+            Op::SetFormat(i) => self.format_code = format_reg(i),
+            Op::FifoNext => {
+                self.error = errcode::NONE;
+                self.advance_fifo();
+            }
+            Op::Init { .. } => {
+                self.error = errcode::NONE;
+                let Some(format) = self.format() else {
+                    self.fault(errcode::BAD_FORMAT);
+                    return;
+                };
+                self.fifo.clear();
+                match self
+                    .device
+                    .init_raw(self.window, begin, end.saturating_sub(begin), format)
+                {
+                    Ok(()) => self.status = status::OK,
+                    Err(e) => self.fault(expected_errcode(&e)),
+                }
+            }
+            Op::Extract { max } => {
+                self.error = errcode::NONE;
+                let Some(format) = self.format() else {
+                    self.fault(errcode::BAD_FORMAT);
+                    return;
+                };
+                self.fifo.clear();
+                let direction = if max { Direction::Max } else { Direction::Min };
+                match self.device.next_extreme_raw(self.window, format, direction) {
+                    Ok(Some((slot, raw))) => {
+                        self.latch = (raw, slot);
+                        self.status = status::OK;
+                    }
+                    Ok(None) => self.status = status::EXHAUSTED,
+                    Err(e) => self.fault(expected_errcode(&e)),
+                }
+            }
+            Op::ExtractBatch { max, k } => {
+                self.error = errcode::NONE;
+                let Some(format) = self.format() else {
+                    self.fault(errcode::BAD_FORMAT);
+                    return;
+                };
+                self.fifo.clear();
+                let direction = if max { Direction::Max } else { Direction::Min };
+                let want = usize::try_from(k).unwrap_or(usize::MAX);
+                match self
+                    .device
+                    .next_extremes_raw(self.window, format, direction, want)
+                {
+                    Ok(results) => {
+                        self.fifo.extend(results);
+                        self.advance_fifo();
+                    }
+                    Err(e) => self.fault(expected_errcode(&e)),
+                }
+            }
+        }
+    }
+}
+
+fn drive_mmio(m: &mut MmioInterface, op: &Op, begin: u64, end: u64) {
+    match *op {
+        Op::Store { slot, value } => m.write(DATA_BASE + 8 * slot, value),
+        Op::SetFormat(i) => m.write(regs::FORMAT, format_reg(i)),
+        Op::Init { .. } => {
+            m.write(regs::BEGIN, begin);
+            m.write(regs::END, end);
+            m.write(regs::COMMAND, cmd::INIT);
+        }
+        Op::Extract { max } => {
+            m.write(regs::COMMAND, if max { cmd::MAX } else { cmd::MIN });
+        }
+        Op::ExtractBatch { max, k } => {
+            m.write(regs::COUNT, k);
+            m.write(regs::COMMAND, if max { cmd::MAX_K } else { cmd::MIN_K });
+        }
+        Op::FifoNext => m.write(regs::COMMAND, cmd::FIFO_NEXT),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..24, any::<u32>()).prop_map(|(slot, v)| Op::Store {
+            slot,
+            value: v as u64,
+        }),
+        (0usize..FORMATS.len()).prop_map(Op::SetFormat),
+        (0u64..20, 0u64..24).prop_map(|(begin, end)| Op::Init { begin, end }),
+        any::<bool>().prop_map(|max| Op::Extract { max }),
+        (any::<bool>(), 0u64..10).prop_map(|(max, k)| Op::ExtractBatch { max, k }),
+        Just(Op::FifoNext),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mmio_and_api_are_indistinguishable(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut mmio = MmioInterface::new(RimeConfig::small());
+        let mut api = ApiTwin::new();
+        let mut last_init = (0u64, 0u64);
+        for (step, op) in ops.iter().enumerate() {
+            if let Op::Init { begin, end } = *op {
+                last_init = (begin, end);
+            }
+            let (begin, end) = last_init;
+            drive_mmio(&mut mmio, op, begin, end);
+            api.apply(op, begin, end);
+            prop_assert_eq!(
+                mmio.read(regs::STATUS), api.status,
+                "status diverged at step {} ({:?})", step, op
+            );
+            prop_assert_eq!(
+                mmio.read(regs::ERROR), api.error,
+                "errcode diverged at step {} ({:?})", step, op
+            );
+            prop_assert_eq!(
+                (mmio.read(regs::RESULT_VALUE), mmio.read(regs::RESULT_ADDR)),
+                api.latch,
+                "result latch diverged at step {} ({:?})", step, op
+            );
+            prop_assert_eq!(
+                mmio.read(regs::RESULT_COUNT), api.fifo.len() as u64,
+                "fifo depth diverged at step {} ({:?})", step, op
+            );
+        }
+        // Both devices executed the identical command stream, so the
+        // telemetry they accumulated must match exactly.
+        prop_assert_eq!(mmio.device().counters(), api.device.counters());
+        prop_assert_eq!(
+            mmio.device().interface_transfers(),
+            api.device.interface_transfers()
+        );
+        prop_assert_eq!(
+            mmio.device().per_chip_counters(),
+            api.device.per_chip_counters()
+        );
+    }
+}
