@@ -1,0 +1,240 @@
+//! Parallel scaling benchmark: persistent mat-shard pool vs the legacy
+//! per-step `thread::scope` fan-out, plus chip-parallel executor
+//! dispatch.
+//!
+//! **Mat level** (8 and 64 mats): batched extraction throughput under
+//! `Sequential` (inline walk), `SpawnPerStep(T)` (the retired default —
+//! a fresh thread scope per column-search step), and `Threads(T)` (the
+//! persistent pool, one lease per batch with epoch-tagged step
+//! broadcasts). `T` is fixed at 4 so the protocols are compared at the
+//! same fan-out on any host; the interesting ratio is pool vs spawn —
+//! the same work scheduled with standing workers instead of ~2 spawns
+//! per key bit.
+//!
+//! **Chip level** (1/2/4 chips): full-device batched drain through the
+//! executor, whose multi-chip prefill dispatches independent chips on
+//! scoped threads with a deterministic chip-order merge. Reported as
+//! keys/sec against the chip count (chips are per-command scoped
+//! threads — one spawn per *chip batch*, not per step, so the spawn
+//! cost is already amortized there).
+//!
+//! Prints a table; with `RIME_BENCH_JSON=<path>` writes a
+//! machine-readable snapshot (see `BENCH_parallel_scaling.json` at the
+//! repo root). Pass `--quick` for a CI-sized smoke run.
+
+use rime_core::{RimeConfig, RimeDevice};
+use rime_memristive::{Chip, ChipGeometry, Direction, KeyFormat, ParallelPolicy};
+use std::time::{Duration, Instant};
+
+/// Fixed fan-out width for the spawn-vs-pool comparison.
+const FANOUT: usize = 4;
+
+/// Slots per mat = 4 arrays × rows.
+fn geometry(mats: u16, rows: u32) -> ChipGeometry {
+    ChipGeometry {
+        banks: 1,
+        subbanks_per_bank: 1,
+        mats_per_subbank: mats,
+        arrays_per_mat: 4,
+        rows,
+        cols: 64,
+    }
+}
+
+fn loaded_chip(mats: u16, rows: u32, policy: ParallelPolicy) -> (Chip, u64) {
+    let geo = geometry(mats, rows);
+    let n = geo.capacity_slots();
+    let mut chip = Chip::new(geo);
+    chip.set_parallel_policy(policy);
+    let keys: Vec<u64> = (0..n)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    chip.store_keys(0, &keys, KeyFormat::UNSIGNED64).unwrap();
+    (chip, n)
+}
+
+/// Best-of-`reps` wall time for `f`, which receives a fresh clone of
+/// `chip` each repetition (clone/setup — including pool spin-up, which
+/// clones do not inherit — excluded from the measurement only insofar
+/// as it happens before `init_range`; the first lease is part of the
+/// measured session, as it would be in real use).
+fn best_of(reps: usize, chip: &Chip, mut f: impl FnMut(Chip)) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let fresh = chip.clone();
+        let t = Instant::now();
+        f(fresh);
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+fn keys_per_sec(extracted: u64, elapsed: Duration) -> f64 {
+    extracted as f64 / elapsed.as_secs_f64()
+}
+
+struct MatResult {
+    mats: u16,
+    keys: u64,
+    seq_kps: f64,
+    spawn_kps: f64,
+    pool_kps: f64,
+}
+
+impl MatResult {
+    fn pool_vs_spawn(&self) -> f64 {
+        self.pool_kps / self.spawn_kps
+    }
+    fn pool_vs_seq(&self) -> f64 {
+        self.pool_kps / self.seq_kps
+    }
+}
+
+fn run_mat_config(mats: u16, rows: u32, batch_k: usize, reps: usize) -> MatResult {
+    let mut kps = [0.0f64; 3];
+    let mut keys = 0;
+    let policies = [
+        ParallelPolicy::Sequential,
+        ParallelPolicy::SpawnPerStep(FANOUT),
+        ParallelPolicy::Threads(FANOUT),
+    ];
+    for (idx, policy) in policies.into_iter().enumerate() {
+        let (chip, n) = loaded_chip(mats, rows, policy);
+        keys = n;
+        let elapsed = best_of(reps, &chip, |mut chip| {
+            chip.init_range(0, n, KeyFormat::UNSIGNED64).unwrap();
+            std::hint::black_box(chip.extract_batch(Direction::Min, batch_k).unwrap());
+        });
+        kps[idx] = keys_per_sec(batch_k as u64, elapsed);
+    }
+    MatResult {
+        mats,
+        keys,
+        seq_kps: kps[0],
+        spawn_kps: kps[1],
+        pool_kps: kps[2],
+    }
+}
+
+struct ChipResult {
+    chips: u32,
+    keys: u64,
+    kps: f64,
+}
+
+fn run_chip_config(chips: u32, rows: u32, batch_k: usize, reps: usize) -> ChipResult {
+    let config = RimeConfig {
+        channels: chips,
+        chips_per_channel: 1,
+        chip_geometry: geometry(8, rows),
+        ..RimeConfig::small()
+    };
+    let total = config.total_slots();
+    let keys: Vec<u64> = (0..total)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    // One batch of `batch_k` prefills every chip's candidate buffer to
+    // that depth concurrently — the executor-level fan-out under test —
+    // so the chip-side work grows with the chip count while the
+    // measured command stays the same size.
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let dev = RimeDevice::new(config);
+        dev.set_parallel_policy(ParallelPolicy::Sequential);
+        let region = dev.alloc(total).unwrap();
+        dev.write(region, 0, &keys).unwrap();
+        let t = Instant::now();
+        dev.init_all::<u64>(region).unwrap();
+        std::hint::black_box(dev.rime_min_k::<u64>(region, batch_k).unwrap());
+        best = best.min(t.elapsed());
+    }
+    ChipResult {
+        chips,
+        keys: total,
+        kps: keys_per_sec(batch_k as u64 * u64::from(chips), best),
+    }
+}
+
+fn write_json(path: &str, mode: &str, mat: &[MatResult], chip: &[ChipResult]) {
+    let mut out = String::from("{\n  \"bench\": \"parallel_scaling\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{mode}\",\n  \"fanout_threads\": {FANOUT},\n  \"mat_level\": [\n"
+    ));
+    for (i, r) in mat.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mats\": {}, \"keys\": {}, \"seq_kps\": {:.0}, \
+             \"spawn_kps\": {:.0}, \"pool_kps\": {:.0}, \
+             \"pool_vs_spawn\": {:.2}, \"pool_vs_seq\": {:.2}}}{}\n",
+            r.mats,
+            r.keys,
+            r.seq_kps,
+            r.spawn_kps,
+            r.pool_kps,
+            r.pool_vs_spawn(),
+            r.pool_vs_seq(),
+            if i + 1 < mat.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"chip_level\": [\n");
+    for (i, r) in chip.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"chips\": {}, \"keys\": {}, \"kps\": {:.0}}}{}\n",
+            r.chips,
+            r.keys,
+            r.kps,
+            if i + 1 < chip.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench snapshot");
+    println!("snapshot written to {path}");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "quick");
+    let (rows, batch_k, reps) = if quick {
+        (64u32, 64usize, 2usize)
+    } else {
+        (512, 256, 3)
+    };
+
+    println!(
+        "parallel scaling: persistent pool vs per-step spawns ({} mode, fan-out {})",
+        if quick { "quick" } else { "full" },
+        FANOUT,
+    );
+    println!(
+        "{:>5} {:>8} | {:>12} {:>12} {:>12} | {:>10} {:>10}",
+        "mats", "keys", "seq k/s", "spawn k/s", "pool k/s", "pool/spawn", "pool/seq"
+    );
+    let mut mat_results = Vec::new();
+    for mats in [8u16, 64] {
+        let r = run_mat_config(mats, rows, batch_k, reps);
+        println!(
+            "{:>5} {:>8} | {:>12.0} {:>12.0} {:>12.0} | {:>9.2}x {:>9.2}x",
+            r.mats,
+            r.keys,
+            r.seq_kps,
+            r.spawn_kps,
+            r.pool_kps,
+            r.pool_vs_spawn(),
+            r.pool_vs_seq(),
+        );
+        mat_results.push(r);
+    }
+
+    println!();
+    println!("chip-parallel executor dispatch (8 mats per chip)");
+    println!("{:>5} {:>8} | {:>14}", "chips", "keys", "extracted k/s");
+    let mut chip_results = Vec::new();
+    for chips in [1u32, 2, 4] {
+        let r = run_chip_config(chips, rows, batch_k, reps);
+        println!("{:>5} {:>8} | {:>14.0}", r.chips, r.keys, r.kps);
+        chip_results.push(r);
+    }
+
+    if let Ok(path) = std::env::var("RIME_BENCH_JSON") {
+        let mode = if quick { "quick" } else { "full" };
+        write_json(&path, mode, &mat_results, &chip_results);
+    }
+}

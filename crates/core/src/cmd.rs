@@ -30,7 +30,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use rime_memristive::{Chip, Direction, KeyFormat, OpCounters, ParallelPolicy};
+use rime_memristive::{Chip, Direction, ExtractHit, KeyFormat, OpCounters, ParallelPolicy};
 
 use crate::device::{Region, RimeConfig};
 use crate::driver::ContiguousAllocator;
@@ -535,6 +535,17 @@ impl Executor {
     /// Fig. 14: tops up each spanned chip's candidate buffer to `depth`
     /// using the chip's batched extraction, so one command can drain
     /// several results without re-engaging every chip in between.
+    ///
+    /// Chips are independent devices behind their own locks, so when a
+    /// session spans more than one, the per-chip extractions dispatch
+    /// concurrently on scoped threads — the executor-level mirror of the
+    /// chip's mat fan-out. The merge is deterministic by construction:
+    /// per-chip results come back keyed by chip index and are folded in
+    /// ascending chip order, so buffered candidates, `Outcome::Hits`,
+    /// and the per-chip [`Effects`] deltas the telemetry spine observes
+    /// are identical to the serial walk regardless of scheduling. On
+    /// failure every chip's partial delta is still recorded (all chips
+    /// ran) and the lowest-chip-index error is returned.
     fn prefill_queues(
         &self,
         session: &mut Session,
@@ -544,25 +555,62 @@ impl Executor {
     ) -> Result<(), RimeError> {
         let mut chip_ids: Vec<u32> = session.queues.keys().copied().collect();
         chip_ids.sort_unstable();
-        for chip_idx in chip_ids {
+        // (chip, need, chip_base, local_begin, local_end) per chip that
+        // actually needs a refill, in ascending chip order.
+        let mut work: Vec<(u32, usize, u64, u64, u64)> = Vec::new();
+        for &chip_idx in &chip_ids {
             let have = session.queues[&chip_idx].len();
             if have >= depth {
                 continue;
             }
             let (chip_base, local_begin, local_end) = self.chip_local_range(session, chip_idx);
-            let hits = self.with_chip(chip_idx, fx, |c| {
-                c.extract_range_batch(
-                    local_begin,
-                    local_end,
-                    session.format,
-                    direction,
-                    depth - have,
-                )
-            })?;
-            let queue = session.queues.get_mut(&chip_idx).expect("spanned chip");
-            queue.extend(hits.iter().map(|h| (chip_base + h.slot, h.raw_bits)));
+            work.push((chip_idx, depth - have, chip_base, local_begin, local_end));
         }
-        Ok(())
+        let format = session.format;
+        let refill = |&(chip_idx, need, chip_base, begin, end): &(u32, usize, u64, u64, u64)| {
+            let mut chip = lock_recover(&self.chips[chip_idx as usize]);
+            let before = *chip.counters();
+            let res = chip
+                .extract_range_batch(begin, end, format, direction, need)
+                .map_err(RimeError::from);
+            let delta = chip.counters().delta_since(&before);
+            (chip_idx, chip_base, delta, res)
+        };
+        type Refill = (u32, u64, OpCounters, Result<Vec<ExtractHit>, RimeError>);
+        let results: Vec<Refill> = if work.len() <= 1 {
+            work.iter().map(refill).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let refill = &refill;
+                let handles: Vec<_> = work
+                    .iter()
+                    .map(|item| scope.spawn(move || refill(item)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chip dispatch worker panicked"))
+                    .collect()
+            })
+        };
+        let mut first_err = None;
+        for (chip_idx, chip_base, delta, res) in results {
+            fx.record_chip(chip_idx, delta);
+            match res {
+                Ok(hits) => {
+                    let queue = session.queues.get_mut(&chip_idx).expect("spanned chip");
+                    queue.extend(hits.iter().map(|h| (chip_base + h.slot, h.raw_bits)));
+                }
+                Err(err) => {
+                    if first_err.is_none() {
+                        first_err = Some(err);
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(err) => Err(err),
+        }
     }
 
     /// CPU-side reduction across the buffered per-chip queue fronts:
@@ -768,7 +816,7 @@ impl Executor {
     fn poison_chip(&self, idx: usize) {
         let chips = &self.chips;
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = chips[idx].lock().unwrap();
+            let _guard = lock_recover(&chips[idx]);
             panic!("poison chip {idx} for test");
         }));
         assert!(result.is_err());
@@ -948,6 +996,99 @@ mod tests {
         );
         exec.reset_counters();
         assert_eq!(exec.counters(), OpCounters::default());
+    }
+
+    #[test]
+    fn multi_chip_dispatch_is_deterministic_and_ordered() {
+        use crate::driver::DriverConfig;
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+        use rime_memristive::{ArrayTiming, ChipGeometry};
+
+        // Records, per event, the chip order of the published deltas:
+        // concurrent chip dispatch must still fold them in ascending
+        // chip order (the deterministic merge).
+        struct OrderSink(Arc<Mutex<Vec<Vec<u32>>>>);
+        impl Telemetry for OrderSink {
+            fn record(&mut self, event: &TelemetryEvent<'_>) {
+                let order = event
+                    .effects
+                    .chip_deltas()
+                    .iter()
+                    .map(|&(c, _)| c)
+                    .collect();
+                lock_recover(&self.0).push(order);
+            }
+        }
+
+        let config = RimeConfig {
+            channels: 2,
+            chips_per_channel: 2,
+            chip_geometry: ChipGeometry::tiny(),
+            timing: ArrayTiming::table1(),
+            driver: DriverConfig::default(),
+        };
+        let total = config.total_slots();
+        let keys: Vec<u64> = (0..total).map(|i| (i * 2654435761) % 1009).collect();
+        let mut want: Vec<(u64, u64)> = keys
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(s, v)| (s as u64, v))
+            .collect();
+        want.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(40);
+
+        type RunSnapshot = (Vec<(u64, u64)>, Vec<OpCounters>);
+        let mut reference: Option<RunSnapshot> = None;
+        for _ in 0..2 {
+            let exec = Executor::new(config);
+            let orders = Arc::new(Mutex::new(Vec::new()));
+            exec.attach_sink(Arc::new(Mutex::new(OrderSink(Arc::clone(&orders)))));
+            let r = region_of(exec.execute(Command::Alloc { len: total }).unwrap());
+            exec.execute(Command::Write {
+                region: r,
+                offset: 0,
+                raw: Cow::Borrowed(&keys),
+                format: KeyFormat::UNSIGNED64,
+            })
+            .unwrap();
+            exec.execute(Command::Init {
+                region: r,
+                offset: 0,
+                len: total,
+                format: KeyFormat::UNSIGNED64,
+            })
+            .unwrap();
+            let hits = match exec
+                .execute(Command::ExtractBatch {
+                    region: r,
+                    format: KeyFormat::UNSIGNED64,
+                    direction: Direction::Min,
+                    k: 40,
+                })
+                .unwrap()
+            {
+                Outcome::Hits(h) => h,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(hits, want, "global top-40 across four chips");
+            for order in lock_recover(&orders).iter() {
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(order, &sorted, "deltas folded in chip order");
+            }
+            match &reference {
+                None => reference = Some((hits, exec.per_chip_counters())),
+                Some((want_hits, want_counters)) => {
+                    assert_eq!(&hits, want_hits, "run-to-run hit determinism");
+                    assert_eq!(
+                        &exec.per_chip_counters(),
+                        want_counters,
+                        "run-to-run counter determinism"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -463,6 +463,11 @@ impl RimeDevice {
 
     /// Sets every chip's mat fan-out policy (model-execution knob; see
     /// [`ParallelPolicy`] — results and counters are unaffected).
+    /// `Threads(n)` leases each chip's in-range mats to a persistent
+    /// shard pool; `SpawnPerStep(n)` keeps the legacy per-step scoped
+    /// fan-out as a benchmark baseline. Independent of this knob,
+    /// multi-chip batched commands dispatch each chip's prefill on its
+    /// own thread with a deterministic chip-order merge (DESIGN.md §10).
     pub fn set_parallel_policy(&self, policy: ParallelPolicy) {
         self.exec.set_parallel_policy(policy);
     }

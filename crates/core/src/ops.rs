@@ -326,9 +326,15 @@ pub fn merge<T: SortableBits + PartialOrd>(
 ///
 /// This is the Fig. 14 merge scenario with the ranges actually running
 /// concurrently: each worker streams its region through the batched
-/// extraction path while the others do the same. The output is identical
-/// to [`merge`] — ties between runs resolve toward the earlier region in
-/// `regions`, matching the sequential candidate-buffer walk.
+/// extraction path while the others do the same. The worker count is
+/// bounded by the host's parallelism — regions are striped across a
+/// fixed set of workers instead of spawning one OS thread per region,
+/// so a thousand-way merge costs the same handful of threads as a
+/// four-way one. The output is identical to [`merge`] — ties between
+/// runs resolve toward the earlier region in `regions`, matching the
+/// sequential candidate-buffer walk; each worker's runs are placed back
+/// by region index, so the k-way merge sees them in `regions` order
+/// regardless of scheduling.
 ///
 /// # Errors
 ///
@@ -337,30 +343,67 @@ pub fn merge_parallel<T: SortableBits + Send>(
     device: &RimeDevice,
     regions: &[Region],
 ) -> Result<Vec<T>, RimeError> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(regions.len().max(1));
+    merge_parallel_with_workers(device, regions, workers)
+}
+
+/// Drains one region to a sorted run via the batched extraction stream.
+fn drain_region<T: SortableBits>(device: &RimeDevice, region: Region) -> Result<Vec<T>, RimeError> {
+    let mut stream = SortedStream::<T> {
+        device,
+        region,
+        direction: Direction::Min,
+        buffer: VecDeque::new(),
+        exhausted: false,
+    };
+    stream.collect_remaining()
+}
+
+/// [`merge_parallel`] with an explicit worker bound (exposed to tests so
+/// the striping is exercised regardless of the host's core count).
+fn merge_parallel_with_workers<T: SortableBits + Send>(
+    device: &RimeDevice,
+    regions: &[Region],
+    workers: usize,
+) -> Result<Vec<T>, RimeError> {
     for &r in regions {
         device.init_all::<T>(r)?;
     }
-    let results: Vec<Result<Vec<T>, RimeError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = regions
-            .iter()
-            .map(|&region| {
-                scope.spawn(move || {
-                    let mut stream = SortedStream::<T> {
-                        device,
-                        region,
-                        direction: Direction::Min,
-                        buffer: VecDeque::new(),
-                        exhausted: false,
-                    };
-                    stream.collect_remaining()
+    let results: Vec<Result<Vec<T>, RimeError>> = if workers <= 1 || regions.len() <= 1 {
+        regions.iter().map(|&r| drain_region(device, r)).collect()
+    } else {
+        // Stripe regions across the bounded worker set; every worker
+        // tags its runs with the region index so the merge below sees
+        // them in `regions` order whatever the scheduling.
+        let mut slots: Vec<Option<Result<Vec<T>, RimeError>>> =
+            regions.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        regions
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(idx, &region)| (idx, drain_region(device, region)))
+                            .collect::<Vec<_>>()
+                    })
                 })
-            })
-            .collect();
-        handles
+                .collect();
+            for handle in handles {
+                for (idx, res) in handle.join().expect("merge worker panicked") {
+                    slots[idx] = Some(res);
+                }
+            }
+        });
+        slots
             .into_iter()
-            .map(|h| h.join().expect("merge worker panicked"))
+            .map(|slot| slot.expect("every region is striped to a worker"))
             .collect()
-    });
+    };
     let mut runs = Vec::with_capacity(results.len());
     for res in results {
         runs.push(res?);
@@ -653,6 +696,31 @@ mod tests {
         let mut want: Vec<u64> = sets.into_iter().flatten().collect();
         want.sort_unstable();
         assert_eq!(par, want);
+    }
+
+    #[test]
+    fn many_region_merge_stays_bounded_and_unchanged() {
+        // Far more regions than any sane core count: the striped worker
+        // bound must not change the output. Exercise the striping at
+        // several explicit worker counts (including counts that do not
+        // divide the region count) plus the host-derived default.
+        let sets: Vec<Vec<u32>> = (0..24)
+            .map(|s| {
+                (0..6)
+                    .map(|i| ((i * 2654435761u64 + s * 193) % 509) as u32)
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[u32]> = sets.iter().map(Vec::as_slice).collect();
+        let (dev, rs) = dev_with(&slices);
+        let mut want: Vec<u32> = sets.into_iter().flatten().collect();
+        want.sort_unstable();
+        for workers in [1, 3, 7, 24, 64] {
+            let got = merge_parallel_with_workers::<u32>(&dev, &rs, workers).unwrap();
+            assert_eq!(got, want, "workers = {workers}");
+        }
+        assert_eq!(merge_parallel::<u32>(&dev, &rs).unwrap(), want);
+        assert_eq!(merge::<u32>(&dev, &rs).unwrap(), want);
     }
 
     #[test]

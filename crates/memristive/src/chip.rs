@@ -16,13 +16,20 @@
 //!
 //! In hardware every mat senses its column simultaneously and the
 //! signals meet at wire-OR nodes on the way up the H-tree (Fig. 9/10).
-//! The model mirrors that: each column-search step can fan out across
-//! OS threads ([`ParallelPolicy`]), with per-chunk `ColumnSignals` and
-//! deselection counts accumulated privately and merged in chunk order
+//! The model mirrors that with a persistent mat-shard worker pool
+//! ([`crate::pool::MatPool`]): long-lived workers each own a fixed
+//! shard of the range's mats for the duration of an extraction session
+//! and are driven by epoch-tagged step broadcasts, with per-shard
+//! `ColumnSignals` and deselection counts merged in fixed worker order
 //! afterwards. Because the wire-OR and the removed-row sum are both
 //! commutative and the chip loop never short-circuits across mats, the
 //! merged result — and therefore every [`OpCounters`] field — is
-//! bit-identical whatever the thread count.
+//! bit-identical whatever the thread count ([`ParallelPolicy`] is purely
+//! a scheduling knob). The retired per-step `thread::scope` fan-out
+//! survives as [`ParallelPolicy::SpawnPerStep`], kept as a benchmark
+//! baseline and an extra differential subject.
+
+use std::sync::Arc;
 
 use crate::array::ColumnSignals;
 use crate::bitmap::Bitmap;
@@ -33,6 +40,7 @@ use crate::geometry::ChipGeometry;
 use crate::htree::IndexTree;
 use crate::mat::Mat;
 use crate::plan::{Direction, SearchPlan};
+use crate::pool::MatPool;
 
 /// Result of one in-situ min/max extraction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,14 +61,30 @@ pub struct ExtractHit {
 /// [`OpCounters`] are identical under every policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParallelPolicy {
-    /// Walk the mats on the calling thread.
+    /// Walk the mats on the calling thread — the differential oracle.
     Sequential,
-    /// Fan out when enough mats participate to amortize thread spawns
-    /// (the default).
+    /// Route wide ranges through the persistent mat-shard pool, sized to
+    /// the host's parallelism (cached once per chip). The default.
     #[default]
     Auto,
-    /// Use exactly this many worker threads (clamped to the mat count).
+    /// Drive the persistent pool with exactly this many workers
+    /// (`0` and `1` stay on the calling thread).
     Threads(usize),
+    /// Legacy scheduling: open a fresh `thread::scope` with this many
+    /// workers on *every* column-search step. Retained as a benchmark
+    /// baseline for the pool and as an extra differential subject; new
+    /// code wants [`ParallelPolicy::Threads`] or
+    /// [`ParallelPolicy::Auto`].
+    SpawnPerStep(usize),
+}
+
+/// How a given extraction session is actually scheduled.
+enum Fanout {
+    /// Walk (or scope-spawn over) the mats on the calling side with this
+    /// many threads per step.
+    Host(usize),
+    /// Lease the span to the persistent pool with this many workers.
+    Pool(usize),
 }
 
 /// Under [`ParallelPolicy::Auto`], ranges spanning fewer mats than this
@@ -70,7 +94,7 @@ const AUTO_PARALLEL_MIN_MATS: usize = 16;
 /// One RIME memristive chip.
 ///
 /// See the [crate-level example](crate) for end-to-end usage.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Chip {
     geometry: ChipGeometry,
     mats: Vec<Option<Mat>>,
@@ -87,6 +111,34 @@ pub struct Chip {
     /// observationally identical — hits and counters bit-equal — which
     /// the differential suite proves.
     scalar_oracle: bool,
+    /// Host parallelism, queried once at construction (§satellite:
+    /// `available_parallelism` is a syscall-backed lookup; re-querying
+    /// per extraction range was measurable on the batch path).
+    auto_threads: usize,
+    /// Persistent mat-shard workers, built lazily on first pooled
+    /// extraction and kept across sessions. `None` until then (and in
+    /// clones — worker threads are per-instance).
+    pool: Option<MatPool>,
+}
+
+impl Clone for Chip {
+    fn clone(&self) -> Chip {
+        Chip {
+            geometry: self.geometry,
+            mats: self.mats.clone(),
+            tree: self.tree.clone(),
+            excluded: self.excluded.clone(),
+            format: self.format,
+            range: self.range,
+            counters: self.counters,
+            parallel: self.parallel,
+            scalar_oracle: self.scalar_oracle,
+            auto_threads: self.auto_threads,
+            // Worker threads are not shareable state; the clone builds
+            // its own pool on first pooled extraction.
+            pool: None,
+        }
+    }
 }
 
 impl Chip {
@@ -103,6 +155,8 @@ impl Chip {
             counters: OpCounters::new(),
             parallel: ParallelPolicy::Auto,
             scalar_oracle: false,
+            auto_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            pool: None,
         }
     }
 
@@ -133,17 +187,22 @@ impl Chip {
         self.parallel = policy;
     }
 
-    fn worker_threads(&self, mats_in_range: usize) -> usize {
+    /// Decides how this session's span is scheduled. Single-mat spans
+    /// always stay on the calling thread — no fan-out can help them.
+    fn fanout(&self, mats_in_range: usize) -> Fanout {
+        if mats_in_range <= 1 {
+            return Fanout::Host(1);
+        }
         match self.parallel {
-            ParallelPolicy::Sequential => 1,
-            ParallelPolicy::Threads(n) => n.clamp(1, mats_in_range.max(1)),
+            ParallelPolicy::Sequential => Fanout::Host(1),
+            ParallelPolicy::SpawnPerStep(n) => Fanout::Host(n.clamp(1, mats_in_range)),
+            ParallelPolicy::Threads(0 | 1) => Fanout::Host(1),
+            ParallelPolicy::Threads(n) => Fanout::Pool(n),
             ParallelPolicy::Auto => {
-                if mats_in_range < AUTO_PARALLEL_MIN_MATS {
-                    1
+                if mats_in_range < AUTO_PARALLEL_MIN_MATS || self.auto_threads <= 1 {
+                    Fanout::Host(1)
                 } else {
-                    std::thread::available_parallelism()
-                        .map_or(1, |n| n.get())
-                        .clamp(1, mats_in_range)
+                    Fanout::Pool(self.auto_threads.min(mats_in_range))
                 }
             }
         }
@@ -367,7 +426,17 @@ impl Chip {
             return Ok(None);
         }
 
-        Ok(Some(self.converge(first_mat, last_mat, &plan, selected)))
+        Ok(Some(match self.fanout(last_mat - first_mat + 1) {
+            Fanout::Host(threads) => {
+                self.converge_host(first_mat, last_mat, &plan, selected, threads)
+            }
+            Fanout::Pool(workers) => {
+                let mut pool = self.lease_pool(first_mat, last_mat, workers);
+                let hit = self.converge_pooled(first_mat, &mut pool, &plan, selected);
+                self.restore_pool(first_mat, pool);
+                hit
+            }
+        }))
     }
 
     /// Extracts up to `k` consecutive extremes from the active range — the
@@ -441,28 +510,92 @@ impl Chip {
 
         let mut hits = Vec::with_capacity(k);
         let mut selected = membership.count_ones() as u64;
-        for _ in 0..k {
-            // Rearm: one select-vector load through the H-tree, exactly
-            // as the sequential path counts it. Each mat latches its
-            // window of the membership vector in place — zero
-            // allocations per iteration.
-            let per_mat = self.geometry.slots_per_mat() as usize;
-            for idx in first_mat..=last_mat {
-                self.mat_mut(idx as u32)
-                    .load_select_window(&membership, idx * per_mat);
-            }
-            self.counters.select_loads += 1;
-            self.counters.htree_traversals += 1;
+        match self.fanout(last_mat - first_mat + 1) {
+            Fanout::Host(threads) => {
+                for _ in 0..k {
+                    // Rearm: one select-vector load through the H-tree,
+                    // exactly as the sequential path counts it. Each mat
+                    // latches its window of the membership vector in
+                    // place — zero allocations per iteration.
+                    let per_mat = self.geometry.slots_per_mat() as usize;
+                    for idx in first_mat..=last_mat {
+                        self.mat_mut(idx as u32)
+                            .load_select_window(&membership, idx * per_mat);
+                    }
+                    self.counters.select_loads += 1;
+                    self.counters.htree_traversals += 1;
 
-            if selected == 0 {
-                break;
+                    if selected == 0 {
+                        break;
+                    }
+                    let hit = self.converge_host(first_mat, last_mat, &plan, selected, threads);
+                    membership.set(hit.slot as usize, false);
+                    selected -= 1;
+                    hits.push(hit);
+                }
             }
-            let hit = self.converge(first_mat, last_mat, &plan, selected);
-            membership.set(hit.slot as usize, false);
-            selected -= 1;
-            hits.push(hit);
+            Fanout::Pool(workers) => {
+                // One lease covers the whole batch: the membership vector
+                // is shared with the workers (`Arc`), each rearm is a
+                // fire-and-forget broadcast, and the mats come home only
+                // after the last extraction. Counter arithmetic matches
+                // the host path line for line.
+                let mut pool = self.lease_pool(first_mat, last_mat, workers);
+                let mut membership = Arc::new(membership);
+                for _ in 0..k {
+                    pool.rearm(&membership);
+                    self.counters.select_loads += 1;
+                    self.counters.htree_traversals += 1;
+
+                    if selected == 0 {
+                        break;
+                    }
+                    let hit = self.converge_pooled(first_mat, &mut pool, &plan, selected);
+                    // The next barrier (any reply-bearing request) has
+                    // already passed by the time a hit returns, so the
+                    // workers hold no clone and this mutates in place.
+                    Arc::make_mut(&mut membership).set(hit.slot as usize, false);
+                    selected -= 1;
+                    hits.push(hit);
+                }
+                self.restore_pool(first_mat, pool);
+            }
         }
         Ok(hits)
+    }
+
+    /// Materializes the span's mats (empty in-range slots hold 0 and
+    /// participate in ranking) and moves them into the persistent pool,
+    /// building or resizing the pool if the requested worker count
+    /// changed.
+    fn lease_pool(&mut self, first_mat: usize, last_mat: usize, workers: usize) -> MatPool {
+        for idx in first_mat..=last_mat {
+            self.mat_mut(idx as u32);
+        }
+        let mut pool = match self.pool.take() {
+            Some(pool) if pool.workers() == workers => pool,
+            _ => MatPool::new(workers),
+        };
+        let span: Vec<Option<Mat>> = self.mats[first_mat..=last_mat]
+            .iter_mut()
+            .map(Option::take)
+            .collect();
+        pool.lease(
+            first_mat,
+            span,
+            self.geometry.slots_per_mat() as usize,
+            self.scalar_oracle,
+        );
+        pool
+    }
+
+    /// Moves the leased mats back into the chip and parks the pool for
+    /// the next session.
+    fn restore_pool(&mut self, first_mat: usize, mut pool: MatPool) {
+        for (offset, mat) in pool.unlease().into_iter().enumerate() {
+            self.mats[first_mat + offset] = mat;
+        }
+        self.pool = Some(pool);
     }
 
     /// Indices of the first and last mats a `[begin, end)` range touches.
@@ -474,15 +607,18 @@ impl Chip {
     /// Runs the bit-serial search to convergence over `selected` armed
     /// rows in `mats[first_mat..=last_mat]`, priority-encodes the winner,
     /// reads it out, and flags it excluded. The caller has already armed
-    /// the select vectors and counted `selected > 0`.
-    fn converge(
+    /// the select vectors and counted `selected > 0`. Host-side
+    /// scheduling: `threads == 1` walks inline, `threads > 1` opens a
+    /// `thread::scope` per step (the legacy
+    /// [`ParallelPolicy::SpawnPerStep`] baseline).
+    fn converge_host(
         &mut self,
         first_mat: usize,
         last_mat: usize,
         plan: &SearchPlan,
         mut selected: u64,
+        threads: usize,
     ) -> ExtractHit {
-        let threads = self.worker_threads(last_mat - first_mat + 1);
         let mut survivors_negative = false;
         let mut steps_executed = 0u16;
         for step in 0..plan.steps() {
@@ -541,6 +677,73 @@ impl Chip {
             .as_ref()
             .expect("winning mat is materialized")
             .read_slot(local);
+        self.counters.row_reads += 1;
+        self.excluded.set(slot as usize, true);
+        self.counters.extractions += 1;
+
+        ExtractHit {
+            slot,
+            raw_bits,
+            steps: steps_executed,
+        }
+    }
+
+    /// Pool-scheduled twin of [`Chip::converge_host`]: the span's mats
+    /// live in `pool` (leased from `first_mat`); every step is one
+    /// epoch-tagged broadcast with a fixed-order reply reduction. The
+    /// counter arithmetic matches the host path line for line, which is
+    /// what makes [`OpCounters`] scheduling-invariant.
+    fn converge_pooled(
+        &mut self,
+        first_mat: usize,
+        pool: &mut MatPool,
+        plan: &SearchPlan,
+        mut selected: u64,
+    ) -> ExtractHit {
+        let mut survivors_negative = false;
+        let mut steps_executed = 0u16;
+        for step in 0..plan.steps() {
+            if selected <= 1 {
+                break; // §IV-B.2: stop once a single value remains
+            }
+            steps_executed += 1;
+            let pos = plan.position(step);
+
+            let (global, active_mats) = pool.sense(pos);
+            self.counters.column_search_steps += 1;
+            self.counters.mat_column_searches += active_mats;
+
+            if plan.is_sign_step(step) {
+                survivors_negative = plan.survivors_negative(global.any_one, global.any_zero);
+            }
+
+            if !global.all_same() {
+                let keep = plan.keep_bit(step, survivors_negative);
+                let removed = pool.exclude(pos, keep);
+                self.counters.select_loads += 1;
+                selected -= removed;
+            }
+        }
+
+        // Upstream index reduction across all mats (Fig. 10): span
+        // entries come from the workers in mat order; mats outside the
+        // span stayed home (their selects were cleared by the caller).
+        let mut hits: Vec<Option<u32>> = self
+            .mats
+            .iter()
+            .map(|m| m.as_ref().and_then(Mat::first_selected))
+            .collect();
+        let firsts = pool.first_selected();
+        hits[first_mat..first_mat + firsts.len()].copy_from_slice(&firsts);
+        let slot = self
+            .tree
+            .reduce(&hits)
+            .expect("non-empty selection must reduce to a winner");
+        self.counters.htree_traversals += 1;
+
+        // Read the winner out of its owning shard and flag it excluded.
+        let (mat, local) = self.geometry.split_slot(slot);
+        let raw_bits = pool.read_slot(mat as usize - first_mat, local);
         self.counters.row_reads += 1;
         self.excluded.set(slot as usize, true);
         self.counters.extractions += 1;
@@ -940,13 +1143,15 @@ mod tests {
 
     #[test]
     fn parallel_policy_is_observationally_invisible() {
-        // Same keys, three scheduling policies: identical hit streams and
+        // Same keys, every scheduling policy (inline walk, persistent
+        // pool, legacy per-step spawns, Auto): identical hit streams and
         // identical counters (the wire-OR merge is order-independent).
         let keys: Vec<u32> = (0..64).map(|i| (i * 2654435761u64 % 997) as u32).collect();
         let mut reference: Option<(Vec<ExtractHit>, OpCounters)> = None;
         for policy in [
             ParallelPolicy::Sequential,
             ParallelPolicy::Threads(3),
+            ParallelPolicy::SpawnPerStep(3),
             ParallelPolicy::Auto,
         ] {
             let mut chip = chip_with(&keys);
@@ -960,6 +1165,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pool_survives_across_sessions_and_interleaved_ranges() {
+        // The persistent pool is parked between sessions and reused; an
+        // interleaved single extract and a policy that alternates worker
+        // counts must all stay correct.
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        let keys: Vec<u64> = (0..40).map(|i| (i * 7919 % 241) as u64).collect();
+        chip.store_keys(0, &keys, KeyFormat::UNSIGNED64).unwrap();
+        chip.init_range(0, 40, KeyFormat::UNSIGNED64).unwrap();
+        chip.set_parallel_policy(ParallelPolicy::Threads(2));
+        let first = chip.extract_batch(Direction::Min, 3).unwrap();
+        chip.set_parallel_policy(ParallelPolicy::Threads(4));
+        let second = chip.extract_batch(Direction::Min, 3).unwrap();
+        chip.set_parallel_policy(ParallelPolicy::Threads(2));
+        let third: Vec<ExtractHit> =
+            std::iter::from_fn(|| chip.extract(Direction::Min).unwrap()).collect();
+        let got: Vec<u64> = first
+            .iter()
+            .chain(&second)
+            .chain(&third)
+            .map(|h| h.raw_bits)
+            .collect();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // A clone leaves the worker threads behind but keeps the data.
+        let mut cloned = chip.clone();
+        cloned.init_range(0, 40, KeyFormat::UNSIGNED64).unwrap();
+        let redo = cloned.extract_batch(Direction::Min, 41).unwrap();
+        assert_eq!(redo.iter().map(|h| h.raw_bits).collect::<Vec<_>>(), want);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`chip`] — banks, subbanks, and mats under a chip controller that
 //!   coordinates multi-mat exclusion with the two-signal protocol (Fig. 9)
 //!   and streams ranked values.
+//! * [`pool`] — the persistent mat-shard worker pool the chip controller
+//!   drives with epoch-tagged step broadcasts (the model's standing
+//!   concurrency, mirroring always-on hardware mats).
 //! * [`timing`] / [`counters`] — Table I device timings and energy, and
 //!   the typed event counters every operation increments.
 //! * [`lifetime`] — write-endurance tracking and lifetime estimation
@@ -74,6 +77,7 @@ pub mod htree;
 pub mod lifetime;
 pub mod mat;
 pub mod plan;
+pub mod pool;
 pub mod reference;
 pub mod selftest;
 pub mod storage;
@@ -91,6 +95,7 @@ pub use htree::IndexTree;
 pub use lifetime::EnduranceTracker;
 pub use mat::{Mat, MatCommand, MatResponse};
 pub use plan::{Direction, SearchPlan};
+pub use pool::MatPool;
 pub use selftest::{march_test, SelfTestReport};
 pub use storage::NormalStorageView;
 pub use timing::ArrayTiming;

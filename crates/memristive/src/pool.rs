@@ -1,0 +1,592 @@
+//! Persistent mat-shard worker pool — standing concurrency for the
+//! column search (§IV-B.2, Fig. 9).
+//!
+//! In hardware every mat is always powered and listening: the chip
+//! controller broadcasts one step descriptor per column search and the
+//! per-mat signals meet at fixed wire-OR nodes on the way back up the
+//! H-tree. The earlier model approximated that with a fresh
+//! `std::thread::scope` per step — up to ~128 spawn/join rounds per
+//! 64-bit key. [`MatPool`] replaces the per-step fan-out with the
+//! hardware shape: long-lived workers each own a fixed contiguous shard
+//! of the range's mats for the duration of an extraction *session*
+//! (lease → steps → unlease), and the controller drives them by
+//! broadcasting epoch-tagged requests over per-worker channels.
+//!
+//! # Protocol
+//!
+//! - **Lease** moves the session's mats into the workers (the crate
+//!   forbids `unsafe`, so persistent threads cannot borrow chip state;
+//!   moving the ~40-byte `Mat` headers is cheap — the heap storage never
+//!   moves). Shards are contiguous and assigned in worker order.
+//! - **Sense/Exclude** broadcast one step descriptor (bit position,
+//!   keep-bit, phase) to every worker. Each worker walks only its own
+//!   shard and replies with its partial [`ColumnSignals`] wire-OR and
+//!   active-mat count (or rows-deselected count). The controller
+//!   collects replies **in worker index order** — the fixed-order
+//!   reduction that stands in for the H-tree's wired OR nodes — so the
+//!   merged result is bit-identical to a sequential walk regardless of
+//!   which worker finishes first.
+//! - **Rearm** re-latches every shard's select windows from a shared
+//!   membership bitmap (batch extraction). It is fire-and-forget: the
+//!   per-worker channel is FIFO, so the next reply-bearing request
+//!   doubles as its barrier.
+//! - **Unlease** moves the mats back to the chip at session end.
+//!
+//! Every reply carries the epoch of the request that triggered it and
+//! the controller asserts the match, so a protocol desync (a lost or
+//! reordered reply) is loud, never silent corruption.
+//!
+//! # Why counters are scheduling-invariant
+//!
+//! Replies are collected in worker order and both reductions (signal OR,
+//! active-mat / removed-row sums) are commutative over disjoint shards,
+//! so hits *and every [`crate::OpCounters`] field* derived from them are
+//! bit-identical to [`crate::ParallelPolicy::Sequential`] at any worker
+//! count. The differential suites assert exactly that.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::array::ColumnSignals;
+use crate::bitmap::Bitmap;
+use crate::mat::Mat;
+
+/// Requests broadcast (or targeted) from the chip controller to workers.
+enum Request {
+    /// Move a shard of the session's mats into the worker.
+    /// Fire-and-forget (like [`Request::Rearm`]): the per-worker channel
+    /// is FIFO, so the next reply-bearing request doubles as its
+    /// barrier, and only reply-bearing requests carry epochs.
+    Lease {
+        /// Global mat index of the shard's first mat.
+        base: usize,
+        /// Key slots per mat (for select-window offsets).
+        slots_per_mat: usize,
+        /// Route through the row-major scalar oracle.
+        scalar: bool,
+        mats: Vec<Option<Mat>>,
+    },
+    /// One column-search step: sense bit `pos` on every active mat.
+    Sense { epoch: u64, pos: u16 },
+    /// One exclusion step: latch the match vector for (`pos`, `keep`).
+    Exclude { epoch: u64, pos: u16, keep: bool },
+    /// Re-latch the shard's select windows from the membership vector.
+    Rearm { membership: Arc<Bitmap> },
+    /// Report the first selected row per mat in the shard.
+    FirstSelected { epoch: u64 },
+    /// Read the raw bits of row `slot` in shard-local mat `mat`.
+    ReadSlot { epoch: u64, mat: usize, slot: u32 },
+    /// Move the shard's mats back to the chip.
+    Unlease { epoch: u64 },
+}
+
+/// Replies from a worker; each carries the epoch of its request.
+enum Reply {
+    Signals {
+        epoch: u64,
+        signals: ColumnSignals,
+        active: u64,
+    },
+    Removed {
+        epoch: u64,
+        removed: u64,
+    },
+    Firsts {
+        epoch: u64,
+        firsts: Vec<Option<u32>>,
+    },
+    Raw {
+        epoch: u64,
+        raw: u64,
+    },
+    Mats {
+        epoch: u64,
+        mats: Vec<Option<Mat>>,
+    },
+}
+
+/// The mats a worker holds between lease and unlease.
+struct Shard {
+    base: usize,
+    slots_per_mat: usize,
+    scalar: bool,
+    mats: Vec<Option<Mat>>,
+}
+
+fn sense_mat(mat: &Mat, pos: u16, scalar: bool) -> ColumnSignals {
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    if scalar {
+        return mat.sense_column_scalar(pos);
+    }
+    let _ = scalar;
+    mat.sense_column(pos)
+}
+
+fn exclude_mat(mat: &mut Mat, pos: u16, keep: bool, scalar: bool) -> u64 {
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    if scalar {
+        return mat.apply_exclusion_scalar(pos, keep) as u64;
+    }
+    let _ = scalar;
+    mat.apply_exclusion(pos, keep) as u64
+}
+
+/// Worker body: block on the request channel until the pool drops it.
+fn worker_loop(rx: Receiver<Request>, tx: Sender<Reply>) {
+    let mut shard: Option<Shard> = None;
+    while let Ok(req) = rx.recv() {
+        // A send failure means the pool is gone; exit quietly.
+        let ok = match req {
+            Request::Lease {
+                base,
+                slots_per_mat,
+                scalar,
+                mats,
+            } => {
+                assert!(shard.is_none(), "pool protocol desync: double lease");
+                shard = Some(Shard {
+                    base,
+                    slots_per_mat,
+                    scalar,
+                    mats,
+                });
+                true
+            }
+            Request::Sense { epoch, pos } => {
+                let s = shard.as_ref().expect("pool protocol desync: no lease");
+                let mut signals = ColumnSignals::default();
+                let mut active = 0u64;
+                for mat in s.mats.iter().flatten() {
+                    if mat.selected_count() == 0 {
+                        continue;
+                    }
+                    active += 1;
+                    signals.merge(sense_mat(mat, pos, s.scalar));
+                }
+                tx.send(Reply::Signals {
+                    epoch,
+                    signals,
+                    active,
+                })
+                .is_ok()
+            }
+            Request::Exclude { epoch, pos, keep } => {
+                let s = shard.as_mut().expect("pool protocol desync: no lease");
+                let mut removed = 0u64;
+                for mat in s.mats.iter_mut().flatten() {
+                    if mat.selected_count() == 0 {
+                        continue;
+                    }
+                    removed += exclude_mat(mat, pos, keep, s.scalar);
+                }
+                tx.send(Reply::Removed { epoch, removed }).is_ok()
+            }
+            Request::Rearm { membership } => {
+                let s = shard.as_mut().expect("pool protocol desync: no lease");
+                for (offset, mat) in s.mats.iter_mut().enumerate() {
+                    if let Some(mat) = mat {
+                        mat.load_select_window(&membership, (s.base + offset) * s.slots_per_mat);
+                    }
+                }
+                // `membership` drops here: the worker keeps no reference,
+                // so the controller's `Arc::make_mut` stays in place.
+                true
+            }
+            Request::FirstSelected { epoch } => {
+                let s = shard.as_ref().expect("pool protocol desync: no lease");
+                let firsts = s
+                    .mats
+                    .iter()
+                    .map(|m| m.as_ref().and_then(Mat::first_selected))
+                    .collect();
+                tx.send(Reply::Firsts { epoch, firsts }).is_ok()
+            }
+            Request::ReadSlot { epoch, mat, slot } => {
+                let s = shard.as_ref().expect("pool protocol desync: no lease");
+                let raw = s.mats[mat]
+                    .as_ref()
+                    .expect("winning mat is materialized")
+                    .read_slot(slot);
+                tx.send(Reply::Raw { epoch, raw }).is_ok()
+            }
+            Request::Unlease { epoch } => {
+                let s = shard.take().expect("pool protocol desync: no lease");
+                tx.send(Reply::Mats {
+                    epoch,
+                    mats: s.mats,
+                })
+                .is_ok()
+            }
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+struct Worker {
+    /// `None` only during shutdown (dropping the sender closes the
+    /// channel, which is the worker's exit signal).
+    tx: Option<Sender<Request>>,
+    rx: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn send(&self, req: Request) {
+        self.tx
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(req)
+            .expect("pool worker exited unexpectedly");
+    }
+
+    fn recv(&self) -> Reply {
+        self.rx.recv().expect("pool worker exited unexpectedly")
+    }
+}
+
+/// While leased: how the span is sharded across workers (shard lengths
+/// in worker order, used to target `ReadSlot` at the owning worker).
+struct LeaseInfo {
+    shard_lens: Vec<usize>,
+}
+
+/// A persistent pool of mat-shard workers driving one chip's extraction
+/// sessions. See the [module docs](self) for the protocol.
+///
+/// The pool is an execution vehicle only: it holds no chip state between
+/// sessions and is deliberately *not* cloned with the chip (a cloned
+/// chip lazily builds its own workers on first pooled extraction).
+pub struct MatPool {
+    workers: Vec<Worker>,
+    epoch: u64,
+    lease: Option<LeaseInfo>,
+}
+
+impl std::fmt::Debug for MatPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatPool")
+            .field("workers", &self.workers.len())
+            .field("epoch", &self.epoch)
+            .field("leased", &self.lease.is_some())
+            .finish()
+    }
+}
+
+impl MatPool {
+    /// Spawns `workers` long-lived worker threads (at least one).
+    pub fn new(workers: usize) -> MatPool {
+        let workers = workers.max(1);
+        let workers = (0..workers)
+            .map(|i| {
+                let (req_tx, req_rx) = channel::<Request>();
+                let (rep_tx, rep_rx) = channel::<Reply>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("rime-mat-shard-{i}"))
+                    .spawn(move || worker_loop(req_rx, rep_tx))
+                    .expect("spawn mat-shard worker");
+                Worker {
+                    tx: Some(req_tx),
+                    rx: rep_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        MatPool {
+            workers,
+            epoch: 0,
+            lease: None,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn next_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Opens a session: shards `span` (the mats of `[first, last]`,
+    /// already materialized) contiguously across the workers.
+    /// `base` is the global index of the first mat in the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already open.
+    pub fn lease(
+        &mut self,
+        base: usize,
+        span: Vec<Option<Mat>>,
+        slots_per_mat: usize,
+        scalar: bool,
+    ) {
+        assert!(self.lease.is_none(), "pool session already open");
+        let chunk = span.len().div_ceil(self.workers.len()).max(1);
+        let mut rest = span;
+        let mut offset = 0usize;
+        let mut shard_lens = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let take = chunk.min(rest.len());
+            let mats: Vec<Option<Mat>> = rest.drain(..take).collect();
+            shard_lens.push(mats.len());
+            worker.send(Request::Lease {
+                base: base + offset,
+                slots_per_mat,
+                scalar,
+                mats,
+            });
+            offset += take;
+        }
+        self.lease = Some(LeaseInfo { shard_lens });
+    }
+
+    /// Closes the session and returns the span's mats in order.
+    pub fn unlease(&mut self) -> Vec<Option<Mat>> {
+        let lease = self.lease.take().expect("no pool session open");
+        let epoch = self.next_epoch();
+        for worker in &self.workers {
+            worker.send(Request::Unlease { epoch });
+        }
+        let mut span = Vec::new();
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Mats { epoch: e, mats } => {
+                    assert_eq!(e, epoch, "pool protocol desync");
+                    span.extend(mats);
+                }
+                _ => panic!("pool protocol desync: unexpected reply"),
+            }
+        }
+        drop(lease);
+        span
+    }
+
+    /// Broadcasts one column-search step; wire-ORs the per-shard signals
+    /// and sums active mats in worker order (Fig. 9's fixed reduction).
+    pub fn sense(&mut self, pos: u16) -> (ColumnSignals, u64) {
+        let epoch = self.next_epoch();
+        for worker in &self.workers {
+            worker.send(Request::Sense { epoch, pos });
+        }
+        let mut global = ColumnSignals::default();
+        let mut active = 0u64;
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Signals {
+                    epoch: e,
+                    signals,
+                    active: a,
+                } => {
+                    assert_eq!(e, epoch, "pool protocol desync");
+                    global.merge(signals);
+                    active += a;
+                }
+                _ => panic!("pool protocol desync: unexpected reply"),
+            }
+        }
+        (global, active)
+    }
+
+    /// Broadcasts one exclusion step; returns total rows deselected,
+    /// summed in worker order.
+    pub fn exclude(&mut self, pos: u16, keep: bool) -> u64 {
+        let epoch = self.next_epoch();
+        for worker in &self.workers {
+            worker.send(Request::Exclude { epoch, pos, keep });
+        }
+        let mut removed = 0u64;
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Removed {
+                    epoch: e,
+                    removed: r,
+                } => {
+                    assert_eq!(e, epoch, "pool protocol desync");
+                    removed += r;
+                }
+                _ => panic!("pool protocol desync: unexpected reply"),
+            }
+        }
+        removed
+    }
+
+    /// Broadcasts a select-window rearm from the shared membership
+    /// vector. Fire-and-forget: the per-worker channels are FIFO, so the
+    /// next reply-bearing request is its barrier.
+    pub fn rearm(&mut self, membership: &Arc<Bitmap>) {
+        for worker in &self.workers {
+            worker.send(Request::Rearm {
+                membership: Arc::clone(membership),
+            });
+        }
+    }
+
+    /// First selected row per mat across the whole span, in mat order.
+    pub fn first_selected(&mut self) -> Vec<Option<u32>> {
+        let epoch = self.next_epoch();
+        for worker in &self.workers {
+            worker.send(Request::FirstSelected { epoch });
+        }
+        let mut firsts = Vec::new();
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Firsts {
+                    epoch: e,
+                    firsts: f,
+                } => {
+                    assert_eq!(e, epoch, "pool protocol desync");
+                    firsts.extend(f);
+                }
+                _ => panic!("pool protocol desync: unexpected reply"),
+            }
+        }
+        firsts
+    }
+
+    /// Reads raw bits of row `slot` in the span's `mat`-th mat
+    /// (0 = first mat of the leased span).
+    pub fn read_slot(&mut self, mat: usize, slot: u32) -> u64 {
+        let lease = self.lease.as_ref().expect("no pool session open");
+        // Locate the worker owning span-local mat index `mat`.
+        let mut local = mat;
+        let mut owner = 0usize;
+        for (w, &len) in lease.shard_lens.iter().enumerate() {
+            if local < len {
+                owner = w;
+                break;
+            }
+            local -= len;
+        }
+        let epoch = self.next_epoch();
+        self.workers[owner].send(Request::ReadSlot {
+            epoch,
+            mat: local,
+            slot,
+        });
+        match self.workers[owner].recv() {
+            Reply::Raw { epoch: e, raw } => {
+                assert_eq!(e, epoch, "pool protocol desync");
+                raw
+            }
+            _ => panic!("pool protocol desync: unexpected reply"),
+        }
+    }
+}
+
+impl Drop for MatPool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Closing the request channel is the exit signal.
+            worker.tx.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_with(rows: u32, keys: &[u64]) -> Mat {
+        let mut mat = Mat::new(1, rows);
+        for (slot, &raw) in keys.iter().enumerate() {
+            mat.write_slot(slot as u32, raw);
+        }
+        mat
+    }
+
+    fn select_all(mat: &mut Mat, slots: usize, base: usize, capacity: usize) {
+        let mut membership = Bitmap::zeros(capacity);
+        membership.set_range(base, base + slots);
+        mat.load_select_window(&membership, base);
+    }
+
+    #[test]
+    fn lease_roundtrip_preserves_mats() {
+        let mut pool = MatPool::new(3);
+        let span: Vec<Option<Mat>> = vec![
+            Some(mat_with(8, &[1, 2, 3])),
+            None,
+            Some(mat_with(8, &[9])),
+            Some(mat_with(8, &[4, 5])),
+        ];
+        pool.lease(2, span, 8, false);
+        let back = pool.unlease();
+        assert_eq!(back.len(), 4);
+        assert!(back[1].is_none());
+        assert_eq!(back[0].as_ref().unwrap().read_slot(2), 3);
+        assert_eq!(back[2].as_ref().unwrap().read_slot(0), 9);
+        assert_eq!(back[3].as_ref().unwrap().read_slot(1), 5);
+    }
+
+    #[test]
+    fn sense_matches_sequential_walk_at_any_worker_count() {
+        let keys = [0b1010u64, 0b0110, 0b0001, 0b1111, 0b0000];
+        for workers in 1..=4 {
+            let mut mats: Vec<Option<Mat>> = (0..3)
+                .map(|i| {
+                    let mut m = mat_with(8, &keys[i..i + 2]);
+                    select_all(&mut m, 2, i * 8, 64);
+                    Some(m)
+                })
+                .collect();
+            // Sequential reference.
+            let mut want = ColumnSignals::default();
+            let mut want_active = 0u64;
+            for mat in mats.iter().flatten() {
+                if mat.selected_count() > 0 {
+                    want_active += 1;
+                    want.merge(mat.sense_column(1));
+                }
+            }
+            // Pool under test.
+            let mut pool = MatPool::new(workers);
+            pool.lease(0, std::mem::take(&mut mats), 8, false);
+            let (got, active) = pool.sense(1);
+            assert_eq!((got.any_one, got.any_zero), (want.any_one, want.any_zero));
+            assert_eq!(active, want_active);
+            pool.unlease();
+        }
+    }
+
+    #[test]
+    fn read_slot_targets_the_owning_shard() {
+        let mut pool = MatPool::new(2);
+        let span: Vec<Option<Mat>> = (0..5)
+            .map(|i| Some(mat_with(8, &[i as u64 * 100 + 7])))
+            .collect();
+        pool.lease(0, span, 8, false);
+        for mat in 0..5 {
+            assert_eq!(pool.read_slot(mat, 0), mat as u64 * 100 + 7);
+        }
+        pool.unlease();
+    }
+
+    #[test]
+    fn rearm_updates_selection_through_shared_bitmap() {
+        let mut pool = MatPool::new(2);
+        let span: Vec<Option<Mat>> = (0..2).map(|_| Some(mat_with(8, &[1, 2, 3]))).collect();
+        pool.lease(0, span, 8, false);
+        let mut membership = Arc::new({
+            let mut b = Bitmap::zeros(16);
+            b.set_range(0, 3);
+            b.set_range(8, 11);
+            b
+        });
+        pool.rearm(&membership);
+        assert_eq!(pool.first_selected(), vec![Some(0), Some(0)]);
+        Arc::make_mut(&mut membership).set(0, false);
+        pool.rearm(&membership);
+        assert_eq!(pool.first_selected(), vec![Some(1), Some(0)]);
+        pool.unlease();
+    }
+}

@@ -1,0 +1,182 @@
+//! Scheduling-invariance properties for the parallel mat fan-out: the
+//! persistent shard pool ([`rime_memristive::MatPool`] behind
+//! `ParallelPolicy::Threads`), the legacy per-step `thread::scope`
+//! fan-out (`ParallelPolicy::SpawnPerStep`), and `Auto` must all be
+//! observationally identical to `Sequential` — same hit streams, same
+//! raw bits, and bit-identical [`rime_memristive::OpCounters`] — across
+//! random formats, thread counts, injected stuck-at faults, and batch
+//! sizes. This is the executable form of the pool's fixed-order
+//! reduction argument (wire-OR and removed-row sums are commutative
+//! over disjoint shards, merged in worker order).
+
+use proptest::prelude::*;
+use rime_memristive::{
+    Chip, ChipGeometry, Direction, ExtractHit, OpCounters, ParallelPolicy, SortableBits,
+};
+
+/// Slots per mat under [`geometry`] (4 arrays × 4 rows).
+const SLOTS_PER_MAT: u64 = 16;
+
+/// A geometry with `mats` narrow mats (16 slots each), so moderate key
+/// counts span many mats and every policy gets real fan-out to schedule.
+fn geometry(mats: u16) -> ChipGeometry {
+    ChipGeometry {
+        banks: 1,
+        subbanks_per_bank: 1,
+        mats_per_subbank: mats,
+        arrays_per_mat: 4,
+        rows: 4,
+        cols: 64,
+    }
+}
+
+/// Runs one full scenario under `policy`: store, fault injection, init,
+/// one batch extraction, one single-extract continuation. Returns
+/// everything observable.
+fn run_policy<T: SortableBits>(
+    keys: &[T],
+    mats: u16,
+    faults: &[(u64, u16, bool)],
+    direction: Direction,
+    k: usize,
+    policy: ParallelPolicy,
+) -> (Vec<ExtractHit>, Option<ExtractHit>, OpCounters) {
+    let mut chip = Chip::new(geometry(mats));
+    chip.set_parallel_policy(policy);
+    let raw: Vec<u64> = keys.iter().map(|v| v.to_raw_bits()).collect();
+    chip.store_keys(0, &raw, T::FORMAT).unwrap();
+    for &(slot, bit, stuck) in faults {
+        chip.inject_stuck_cell(slot % raw.len() as u64, bit % T::FORMAT.bits(), stuck)
+            .unwrap();
+    }
+    chip.init_range(0, raw.len() as u64, T::FORMAT).unwrap();
+    let hits = chip.extract_batch(direction, k).unwrap();
+    let next = chip.extract(direction).unwrap();
+    (hits, next, *chip.counters())
+}
+
+/// Asserts every scheduling policy reproduces the `Sequential` oracle
+/// bit for bit: hits (slots, raw bits, step counts), the single-extract
+/// continuation, and all counters.
+fn assert_policies_agree<T: SortableBits>(
+    keys: &[T],
+    mats: u16,
+    faults: &[(u64, u16, bool)],
+    direction: Direction,
+    k: usize,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let want = run_policy(keys, mats, faults, direction, k, ParallelPolicy::Sequential);
+    for policy in [
+        ParallelPolicy::Threads(threads),
+        ParallelPolicy::SpawnPerStep(threads),
+        ParallelPolicy::Auto,
+    ] {
+        let got = run_policy(keys, mats, faults, direction, k, policy);
+        prop_assert_eq!(&got.0, &want.0, "hit stream under {:?}", policy);
+        prop_assert_eq!(got.1, want.1, "continuation under {:?}", policy);
+        prop_assert_eq!(got.2, want.2, "counters under {:?}", policy);
+    }
+    Ok(())
+}
+
+/// Zips independently generated fault component vectors (the proptest
+/// shim has no tuple strategies).
+fn zip_faults(slots: &[u64], bits: &[u16], stuck: &[bool]) -> Vec<(u64, u16, bool)> {
+    slots
+        .iter()
+        .zip(bits)
+        .zip(stuck)
+        .map(|((&sl, &b), &s)| (sl, b, s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn unsigned_policies_agree(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+        mats in 1u16..20,
+        fault_slots in prop::collection::vec(any::<u64>(), 0..5),
+        fault_bits in prop::collection::vec(0u16..64, 5..=5),
+        fault_stuck in prop::collection::vec(any::<bool>(), 5..=5),
+        k in 0usize..32,
+        threads in 2usize..6,
+        max in any::<bool>(),
+    ) {
+        prop_assume!(keys.len() as u64 <= u64::from(mats) * SLOTS_PER_MAT);
+        let direction = if max { Direction::Max } else { Direction::Min };
+        let faults = zip_faults(&fault_slots, &fault_bits, &fault_stuck);
+        assert_policies_agree(&keys, mats, &faults, direction, k, threads)?;
+    }
+
+    #[test]
+    fn signed_policies_agree(
+        keys in prop::collection::vec(any::<i32>(), 1..200),
+        mats in 1u16..20,
+        fault_slots in prop::collection::vec(any::<u64>(), 0..5),
+        fault_bits in prop::collection::vec(0u16..32, 5..=5),
+        fault_stuck in prop::collection::vec(any::<bool>(), 5..=5),
+        k in 0usize..32,
+        threads in 2usize..6,
+    ) {
+        prop_assume!(keys.len() as u64 <= u64::from(mats) * SLOTS_PER_MAT);
+        let faults = zip_faults(&fault_slots, &fault_bits, &fault_stuck);
+        assert_policies_agree(&keys, mats, &faults, Direction::Min, k, threads)?;
+    }
+
+    #[test]
+    fn float_policies_agree(
+        keys in prop::collection::vec(any::<f32>(), 1..200),
+        mats in 1u16..20,
+        fault_slots in prop::collection::vec(any::<u64>(), 0..5),
+        fault_bits in prop::collection::vec(0u16..32, 5..=5),
+        fault_stuck in prop::collection::vec(any::<bool>(), 5..=5),
+        k in 0usize..32,
+        threads in 2usize..6,
+        max in any::<bool>(),
+    ) {
+        prop_assume!(keys.len() as u64 <= u64::from(mats) * SLOTS_PER_MAT);
+        let direction = if max { Direction::Max } else { Direction::Min };
+        let faults = zip_faults(&fault_slots, &fault_bits, &fault_stuck);
+        assert_policies_agree(&keys, mats, &faults, direction, k, threads)?;
+    }
+}
+
+/// A wide fixed-span drain: 18 mats fully populated, drained to
+/// exhaustion under every policy, with the pool reused across an
+/// interleaved re-init. Deterministic (non-proptest) so it always runs
+/// the wide-span pool path even if case generation trends narrow.
+#[test]
+fn wide_span_drain_is_policy_invariant() {
+    let mats = 18u16;
+    let n = u64::from(mats) * SLOTS_PER_MAT;
+    let keys: Vec<u64> = (0..n).map(|i| (i * 2654435761) % 4093).collect();
+    let mut reference: Option<(Vec<ExtractHit>, OpCounters)> = None;
+    for policy in [
+        ParallelPolicy::Sequential,
+        ParallelPolicy::Threads(2),
+        ParallelPolicy::Threads(5),
+        ParallelPolicy::SpawnPerStep(4),
+        ParallelPolicy::Auto,
+    ] {
+        let mut chip = Chip::new(geometry(mats));
+        chip.set_parallel_policy(policy);
+        chip.store_keys(0, &keys, u64::FORMAT).unwrap();
+        chip.init_range(0, n, u64::FORMAT).unwrap();
+        let mut hits = chip
+            .extract_batch(Direction::Min, (n / 2) as usize)
+            .unwrap();
+        // Re-init mid-drain: the parked pool must rearm cleanly.
+        chip.init_range(0, n, u64::FORMAT).unwrap();
+        hits.extend(chip.extract_batch(Direction::Max, 8).unwrap());
+        match &reference {
+            None => reference = Some((hits, *chip.counters())),
+            Some((want_hits, want_counters)) => {
+                assert_eq!(&hits, want_hits, "{policy:?}");
+                assert_eq!(chip.counters(), want_counters, "{policy:?}");
+            }
+        }
+    }
+}
