@@ -110,7 +110,7 @@ fn run_config(mats: u16, rows: u32, extracts: u64, batch_k: usize, reps: usize) 
     }
 }
 
-fn write_json(path: &str, mode: &str, results: &[ConfigResult]) {
+fn write_json(path: &str, mode: &str, results: &[ConfigResult], rows: u32, batch_k: usize) {
     let mut out = String::from("{\n  \"bench\": \"column_search\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n  \"configs\": [\n"));
     for (i, r) in results.iter().enumerate() {
@@ -131,7 +131,15 @@ fn write_json(path: &str, mode: &str, results: &[ConfigResult]) {
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    // One extra fully instrumented pass of the largest config, outside
+    // any timed region, whose masked (deterministic) metrics snapshot
+    // rides along in the committed file.
+    let metrics = rime_bench::instrumented_metrics_json(
+        geometry(64, rows),
+        ParallelPolicy::Sequential,
+        batch_k,
+    );
+    out.push_str(&format!("  ],\n  \"metrics\": {metrics}\n}}\n"));
     std::fs::write(path, out).expect("write bench snapshot");
     println!("snapshot written to {path}");
 }
@@ -181,6 +189,6 @@ fn main() {
 
     if let Ok(path) = std::env::var("RIME_BENCH_JSON") {
         let mode = if quick { "quick" } else { "full" };
-        write_json(&path, mode, &results);
+        write_json(&path, mode, &results, rows, batch_k);
     }
 }

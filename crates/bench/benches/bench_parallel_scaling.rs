@@ -155,7 +155,14 @@ fn run_chip_config(chips: u32, rows: u32, batch_k: usize, reps: usize) -> ChipRe
     }
 }
 
-fn write_json(path: &str, mode: &str, mat: &[MatResult], chip: &[ChipResult]) {
+fn write_json(
+    path: &str,
+    mode: &str,
+    mat: &[MatResult],
+    chip: &[ChipResult],
+    rows: u32,
+    batch_k: usize,
+) {
     let mut out = String::from("{\n  \"bench\": \"parallel_scaling\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{mode}\",\n  \"fanout_threads\": {FANOUT},\n  \"mat_level\": [\n"
@@ -185,7 +192,15 @@ fn write_json(path: &str, mode: &str, mat: &[MatResult], chip: &[ChipResult]) {
             if i + 1 < chip.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    // One extra fully instrumented pass of the pool configuration,
+    // outside any timed region, whose masked (deterministic) metrics
+    // snapshot rides along in the committed file.
+    let metrics = rime_bench::instrumented_metrics_json(
+        geometry(64, rows),
+        ParallelPolicy::Threads(FANOUT),
+        batch_k,
+    );
+    out.push_str(&format!("  ],\n  \"metrics\": {metrics}\n}}\n"));
     std::fs::write(path, out).expect("write bench snapshot");
     println!("snapshot written to {path}");
 }
@@ -235,6 +250,6 @@ fn main() {
 
     if let Ok(path) = std::env::var("RIME_BENCH_JSON") {
         let mode = if quick { "quick" } else { "full" };
-        write_json(&path, mode, &mat_results, &chip_results);
+        write_json(&path, mode, &mat_results, &chip_results, rows, batch_k);
     }
 }

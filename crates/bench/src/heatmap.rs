@@ -1,0 +1,107 @@
+//! ASCII heatmap rendering for per-mat wear matrices.
+//!
+//! `rime-stats --wear` feeds `RimeDevice::wear_matrix()` (cumulative
+//! write counts indexed `[chip][mat]`) through [`render`]: one row per
+//! chip, one character per mat, shaded by [`bucket`] on a fixed ramp.
+//! The bucket math is deliberately integer-only so the same matrix
+//! always renders the same picture.
+
+/// Shade ramp from cold to hot. Ten levels: index 0 is "never written".
+pub const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Maps a write count onto `0..RAMP.len()` relative to the matrix
+/// maximum: zero stays 0, any nonzero count lands in `1..=9`, and only
+/// `value == max` reaches the hottest level 9 exactly when it fills the
+/// range. Integer ceiling division — no floats, no rounding drift.
+pub fn bucket(value: u64, max: u64) -> usize {
+    if value == 0 || max == 0 {
+        return 0;
+    }
+    let levels = (RAMP.len() - 1) as u128; // 9 shade steps above zero
+    ((value as u128 * levels).div_ceil(max as u128)) as usize
+}
+
+/// Renders the wear matrix as one text block: a header with the maximum,
+/// one `chip NN |....|` row per chip, and the ramp legend. Chips with no
+/// mats render an empty cell row.
+pub fn render(matrix: &[Vec<u64>]) -> String {
+    let max = matrix
+        .iter()
+        .flat_map(|row| row.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wear heatmap: {} chips, hottest mat = {} writes\n",
+        matrix.len(),
+        max
+    ));
+    for (chip, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("chip {chip:>3} |"));
+        for &writes in row {
+            out.push(RAMP[bucket(writes, max)]);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("scale: '{}' = 0", RAMP[0]));
+    for (i, c) in RAMP.iter().enumerate().skip(1) {
+        out.push_str(&format!(", '{c}' ≤ {}/9 of max", i));
+    }
+    out.push('\n');
+    out
+}
+
+/// The wear matrix as a JSON array of per-chip arrays, e.g.
+/// `[[12,0,3],[0,0,0]]`.
+pub fn to_json(matrix: &[Vec<u64>]) -> String {
+    let rows: Vec<String> = matrix
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_is_pinned() {
+        // Zero and empty matrices stay cold.
+        assert_eq!(bucket(0, 100), 0);
+        assert_eq!(bucket(0, 0), 0);
+        assert_eq!(bucket(5, 0), 0);
+        // Any nonzero count is visible (never rendered as blank).
+        assert_eq!(bucket(1, 1_000_000), 1);
+        // The maximum hits the hottest shade exactly.
+        assert_eq!(bucket(100, 100), 9);
+        assert_eq!(bucket(u64::MAX, u64::MAX), 9);
+        // Interior values: ceil(v * 9 / max).
+        assert_eq!(bucket(50, 100), 5); // ceil(4.5)
+        assert_eq!(bucket(33, 100), 3); // ceil(2.97)
+        assert_eq!(bucket(99, 100), 9); // ceil(8.91)
+        assert_eq!(bucket(11, 100), 1); // ceil(0.99)
+        assert_eq!(bucket(12, 100), 2); // ceil(1.08)
+    }
+
+    #[test]
+    fn render_shows_every_chip_row() {
+        let matrix = vec![vec![0, 5, 10], vec![10, 0, 0]];
+        let text = render(&matrix);
+        assert!(text.contains("chip   0 | +@|"), "{text}");
+        assert!(text.contains("chip   1 |@  |"), "{text}");
+        assert!(text.contains("hottest mat = 10"), "{text}");
+    }
+
+    #[test]
+    fn json_matrix_is_plain_arrays() {
+        assert_eq!(
+            to_json(&[vec![12, 0, 3], vec![0, 0, 0]]),
+            "[[12,0,3],[0,0,0]]"
+        );
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

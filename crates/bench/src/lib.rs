@@ -11,6 +11,7 @@
 
 pub mod chart;
 pub mod csv;
+pub mod heatmap;
 
 use rime_memsim::SystemConfig;
 
@@ -88,6 +89,49 @@ pub fn print_series(x_name: &str, xs: &[u64], series: &[(String, Vec<f64>)]) {
         println!();
     }
     CURRENT_FIGURE.with(|f| csv::export(&f.borrow(), x_name, xs, series));
+}
+
+/// Runs one fully instrumented (probes + metrics registry) pass of an
+/// `init` + `rime_min_k(batch_k)` workload on a single chip of
+/// `chip_geometry` under `policy`, and returns the device's *masked*
+/// metrics snapshot as compact JSON.
+///
+/// The bench harnesses embed this in their `RIME_BENCH_JSON` output: the
+/// pass runs *outside* the timed region (probes read the host clock, so
+/// they stay off while measuring), and masking zeroes the wall-clock
+/// metrics so the embedded snapshot is deterministic for a fixed
+/// geometry/policy/batch — committed snapshots don't churn on re-runs.
+pub fn instrumented_metrics_json(
+    chip_geometry: rime_memristive::ChipGeometry,
+    policy: rime_memristive::ParallelPolicy,
+    batch_k: usize,
+) -> String {
+    use rime_core::{Direction, DriverConfig, KeyFormat, RimeConfig, RimeDevice};
+    use rime_memristive::ArrayTiming;
+
+    let config = RimeConfig {
+        channels: 1,
+        chips_per_channel: 1,
+        chip_geometry,
+        timing: ArrayTiming::table1(),
+        driver: DriverConfig::default(),
+    };
+    let dev = RimeDevice::new(config);
+    dev.enable_extraction_metrics();
+    dev.set_parallel_policy(policy);
+    let n = dev.capacity();
+    let region = dev.alloc(n).expect("alloc metrics pass");
+    let keys: Vec<u64> = (0..n)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    dev.write_raw(region, 0, &keys, KeyFormat::UNSIGNED64)
+        .expect("store metrics pass");
+    dev.init_raw(region, 0, n, KeyFormat::UNSIGNED64)
+        .expect("init metrics pass");
+    let _ = dev
+        .next_extremes_raw(region, KeyFormat::UNSIGNED64, Direction::Min, batch_k)
+        .expect("extract metrics pass");
+    dev.metrics_snapshot().masked().to_json(false)
 }
 
 /// Formats a ratio like the paper's "×" factors.

@@ -35,6 +35,7 @@ use rime_memristive::{Chip, Direction, ExtractHit, KeyFormat, OpCounters, Parall
 use crate::device::{Region, RimeConfig};
 use crate::driver::ContiguousAllocator;
 use crate::error::RimeError;
+use crate::metrics::{ChipProbe, MetricsRegistry, MetricsSink, Snapshot};
 use crate::telemetry::{DeviceStats, Effects, SharedSink, Telemetry, TelemetryEvent};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
@@ -133,6 +134,21 @@ pub enum Command<'a> {
 }
 
 impl Command<'_> {
+    /// Stable lowercase label of the command kind, used as a metric
+    /// label value (`rime_commands_total{command="extract_batch"}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::Alloc { .. } => "alloc",
+            Command::Free { .. } => "free",
+            Command::Write { .. } => "write",
+            Command::Read { .. } => "read",
+            Command::Init { .. } => "init",
+            Command::Extract { .. } => "extract",
+            Command::ExtractBatch { .. } => "extract_batch",
+            Command::FifoNext { .. } => "fifo_next",
+        }
+    }
+
     /// The region this command addresses, if any.
     pub fn region(&self) -> Option<Region> {
         match self {
@@ -226,6 +242,9 @@ pub struct Executor {
     sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>, // region id → rime_init state
     next_id: AtomicU64,
     hub: Mutex<Hub>,
+    /// Built-in metrics publisher: always on, lock-free after metric
+    /// registration, feeding the registry behind [`Executor::metrics`].
+    metrics: MetricsSink,
 }
 
 impl Executor {
@@ -247,6 +266,7 @@ impl Executor {
                 stats: DeviceStats::new(config.total_chips() as usize),
                 sinks: Vec::new(),
             }),
+            metrics: MetricsSink::new(MetricsRegistry::new(), config.timing),
             config,
         }
     }
@@ -254,6 +274,11 @@ impl Executor {
     /// Validates, dispatches, and marshals one command, publishing the
     /// resulting event (success or failure) to every telemetry sink.
     pub fn execute(&self, command: Command<'_>) -> Result<Outcome, RimeError> {
+        let _span = crate::span!(
+            self.metrics.registry(),
+            "rime_command",
+            command = command.kind()
+        );
         let mut effects = Effects::default();
         let result = self.dispatch(&command, &mut effects);
         self.publish(&command, &result, &effects);
@@ -284,6 +309,7 @@ impl Executor {
         };
         hub.seq += 1;
         hub.stats.record(&event);
+        self.metrics.observe(&event);
         for sink in &hub.sinks {
             lock_recover(sink).record(&event);
         }
@@ -810,6 +836,38 @@ impl Executor {
         for chip in &self.chips {
             lock_recover(chip).set_parallel_policy(policy);
         }
+    }
+
+    /// The built-in metrics registry. Per-command metrics are always
+    /// published here; per-phase chip and pool metrics appear once
+    /// [`Executor::enable_extraction_probes`] has run.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.metrics.registry()
+    }
+
+    /// A consistent point-in-time snapshot of the built-in registry.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.registry().snapshot()
+    }
+
+    /// Installs a registry-backed [`ChipProbe`] on every chip (and, via
+    /// the chip, on its mat pool), turning on deep per-phase and pool
+    /// instrumentation. Off by default: the probes read the host clock,
+    /// so benchmarks leave them uninstalled.
+    pub fn enable_extraction_probes(&self) {
+        for (idx, chip) in self.chips.iter().enumerate() {
+            let probe = ChipProbe::new(self.metrics.registry(), self.config.timing, idx as u32);
+            lock_recover(chip).set_probe(Some(Arc::new(probe)));
+        }
+    }
+
+    /// Cumulative per-mat write counts, indexed `[chip][mat]` — the raw
+    /// matrix behind wear heatmaps (absent mats report zero).
+    pub fn wear_matrix(&self) -> Vec<Vec<u64>> {
+        self.chips
+            .iter()
+            .map(|c| lock_recover(c).wear_by_mat())
+            .collect()
     }
 
     #[cfg(test)]

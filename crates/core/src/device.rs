@@ -37,6 +37,7 @@ use rime_memristive::{
 use crate::cmd::{Command, Executor, Outcome};
 use crate::driver::DriverConfig;
 use crate::error::RimeError;
+use crate::metrics::{MetricsRegistry, Snapshot};
 use crate::telemetry::SharedSink;
 
 /// System-level RIME configuration.
@@ -509,6 +510,33 @@ impl RimeDevice {
     /// Largest free contiguous extent (driver diagnostics).
     pub fn largest_free(&self) -> u64 {
         self.exec.largest_free()
+    }
+
+    /// The device's built-in metrics registry (see [`crate::metrics`]).
+    /// Per-command metrics are always published; per-phase chip and pool
+    /// metrics appear after [`RimeDevice::enable_extraction_metrics`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.exec.metrics()
+    }
+
+    /// A consistent point-in-time snapshot of every registered metric,
+    /// exportable as Prometheus text or JSON.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.exec.metrics_snapshot()
+    }
+
+    /// Turns on deep per-phase extraction and mat-pool instrumentation
+    /// by installing a registry-backed probe on every chip. Off by
+    /// default — the probes read the host clock on every phase, so
+    /// benchmarks leave them uninstalled.
+    pub fn enable_extraction_metrics(&self) {
+        self.exec.enable_extraction_probes();
+    }
+
+    /// Cumulative per-mat write counts, indexed `[chip][mat]` — the
+    /// matrix behind wear heatmaps.
+    pub fn wear_matrix(&self) -> Vec<Vec<u64>> {
+        self.exec.wear_matrix()
     }
 }
 

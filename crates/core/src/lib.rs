@@ -12,6 +12,9 @@
 //!   dispatch, and result marshalling for *every* front-end.
 //! * [`telemetry`] — the observer spine over the executor: one ordered
 //!   event stream feeding counters, energy, wear, and trace sinks.
+//! * [`metrics`] — the metrics registry and span layer over that spine:
+//!   counters, gauges, and log2-bucket histograms with Prometheus/JSON
+//!   export, deterministic for modeled quantities.
 //! * [`device`] — the full device (channels × DIMMs × chips) plus the
 //!   userspace API library of Fig. 12: `rime_malloc`, `rime_init`,
 //!   `rime_min`, `rime_max`, `rime_free`, and ordinary loads/stores, with
@@ -58,6 +61,7 @@ pub mod device;
 pub mod dimm;
 pub mod driver;
 pub mod error;
+pub mod metrics;
 pub mod mmio;
 pub mod ops;
 pub mod perf;
@@ -68,6 +72,7 @@ pub use cmd::{Command, Executor, Outcome};
 pub use device::{Region, RimeConfig, RimeDevice};
 pub use driver::{ContiguousAllocator, DriverConfig};
 pub use error::RimeError;
+pub use metrics::{ChipProbe, MetricValue, MetricsRegistry, MetricsSink, Snapshot};
 pub use perf::{Placement, RimePerfConfig};
 pub use telemetry::{SharedSink, Telemetry, TelemetryEvent};
 

@@ -1,0 +1,1669 @@
+//! Metrics registry and span tracing over the telemetry spine.
+//!
+//! The registry holds three metric families — monotonic [`Counter`]s,
+//! [`Gauge`]s, and fixed-log2-bucket [`Histogram`]s — keyed by
+//! `(name, sorted labels)` in a `BTreeMap`, so a [`Snapshot`] always
+//! lists metrics in one canonical order. Handles returned by the
+//! registration calls are `Arc`-wrapped atomics: after the first
+//! registration of a key, updates are lock-free, which is what lets the
+//! chip/pool hot paths record into the registry without contending with
+//! snapshot readers.
+//!
+//! # Determinism contract
+//!
+//! Every metric is either *modeled* (derived from the bit-accurate
+//! simulation: op counts, step counts, modeled nanoseconds, shard sizes)
+//! or *wall-clock* (host timing, flagged `nondeterministic`). For a fixed
+//! workload and a pinned [`rime_memristive::ParallelPolicy`], two runs
+//! produce byte-identical [`Snapshot::masked`] exports: masking zeroes
+//! the nondeterministic metrics and the canonical key order fixes the
+//! rest. Wall-clock metrics are quarantined this way so differential
+//! oracles can keep asserting bit-equality while humans still get real
+//! latency distributions. The log2 bucket layout is fixed (powers of
+//! two), never adapted to observed data, so histogram *shape* can never
+//! differ between runs either.
+//!
+//! # Example
+//!
+//! ```
+//! use rime_core::metrics::MetricsRegistry;
+//! use rime_core::span;
+//!
+//! let registry = MetricsRegistry::new();
+//! let steps = registry.counter("steps_total", &[("chip", "0")], "column-search steps");
+//! steps.add(64);
+//! {
+//!     // Records wall time into `extract_wall_ns{chip="0"}` on drop.
+//!     let _span = span!(registry, "extract", chip = 0);
+//! }
+//! let snap = registry.snapshot();
+//! assert!(snap.to_prometheus().contains("steps_total{chip=\"0\"} 64"));
+//! // Wall-clock metrics vanish under masking; modeled ones survive.
+//! assert!(snap.masked().to_json(false).contains("\"steps_total\""));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+use rime_memristive::probe::{ExtractionProbe, Phase};
+use rime_memristive::{ArrayTiming, OpCounters};
+
+use crate::error::RimeError;
+use crate::telemetry::{Telemetry, TelemetryEvent};
+
+/// Number of histogram buckets: bucket `i < 63` counts observations in
+/// `(2^(i-1), 2^i]` (bucket 0 also takes 0), bucket 63 is the overflow
+/// (`+Inf`) bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A monotonically increasing counter handle (lock-free updates).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways (lock-free updates).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram handle with fixed log2 buckets (lock-free updates).
+///
+/// The bucket layout never adapts to the data, so two runs observing the
+/// same modeled values produce bit-identical snapshots.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    nondeterministic: bool,
+    handle: Handle,
+}
+
+type MetricKey = (String, Vec<(String, String)>);
+
+/// The lock-cheap metrics registry: registration takes a short lock, but
+/// the returned handles update atomically with no lock at all. Cloning
+/// the registry clones a shared reference (`Arc`), not the metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RwLock<BTreeMap<MetricKey, Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn get_or_register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        nondeterministic: bool,
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        sorted.sort();
+        let key = (name.to_string(), sorted);
+        {
+            let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(entry) = map.get(&key) {
+                return entry.handle.clone();
+            }
+        }
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        map.entry(key)
+            .or_insert_with(|| Entry {
+                help: help.to_string(),
+                nondeterministic,
+                handle: make(),
+            })
+            .handle
+            .clone()
+    }
+
+    /// Registers (or fetches) a deterministic counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        self.counter_with(name, labels, help, false)
+    }
+
+    /// Registers (or fetches) a counter, flagged nondeterministic when it
+    /// aggregates wall-clock quantities.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        nondeterministic: bool,
+    ) -> Counter {
+        match self.get_or_register(name, labels, help, nondeterministic, || {
+            Handle::Counter(Arc::new(AtomicU64::new(0)))
+        }) {
+            Handle::Counter(c) => Counter(c),
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a deterministic gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.get_or_register(name, labels, help, false, || {
+            Handle::Gauge(Arc::new(AtomicI64::new(0)))
+        }) {
+            Handle::Gauge(g) => Gauge(g),
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a deterministic histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        self.histogram_with(name, labels, help, false)
+    }
+
+    /// Registers (or fetches) a histogram, flagged nondeterministic when
+    /// it observes wall-clock quantities.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        nondeterministic: bool,
+    ) -> Histogram {
+        match self.get_or_register(name, labels, help, nondeterministic, || {
+            Handle::Histogram(Arc::new(HistogramCore::default()))
+        }) {
+            Handle::Histogram(h) => Histogram(h),
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// A consistent point-in-time export of every registered metric, in
+    /// canonical `(name, labels)` order.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        let metrics = map
+            .iter()
+            .map(|((name, labels), entry)| MetricSnap {
+                name: name.clone(),
+                labels: labels.clone(),
+                help: entry.help.clone(),
+                nondeterministic: entry.nondeterministic,
+                value: match &entry.handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                    Handle::Histogram(h) => MetricValue::Histogram(HistogramSnap {
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        count: h.count.load(Ordering::Relaxed),
+                    }),
+                },
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+/// A frozen histogram: per-bucket (non-cumulative) counts plus sum and
+/// count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnap {
+    /// Raw per-bucket counts (length [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A frozen metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnap),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    fn zeroed(&self) -> MetricValue {
+        match self {
+            MetricValue::Counter(_) => MetricValue::Counter(0),
+            MetricValue::Gauge(_) => MetricValue::Gauge(0),
+            MetricValue::Histogram(h) => MetricValue::Histogram(HistogramSnap {
+                buckets: vec![0; h.buckets.len()],
+                sum: 0,
+                count: 0,
+            }),
+        }
+    }
+}
+
+/// One frozen metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnap {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Help text.
+    pub help: String,
+    /// Whether the metric carries wall-clock (host) quantities.
+    pub nondeterministic: bool,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A consistent point-in-time export of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Metrics in canonical `(name, labels)` order.
+    pub metrics: Vec<MetricSnap>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# HELP`/`# TYPE` headers, cumulative `le` histogram buckets).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for m in &self.metrics {
+            if last_name != Some(m.name.as_str()) {
+                out.push_str(&format!(
+                    "# HELP {} {}\n",
+                    m.name,
+                    m.help.replace('\n', " ")
+                ));
+                out.push_str(&format!("# TYPE {} {}\n", m.name, m.value.kind()));
+                last_name = Some(m.name.as_str());
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        m.name,
+                        render_labels(&m.labels, None)
+                    ));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        m.name,
+                        render_labels(&m.labels, None)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, &b) in h.buckets.iter().enumerate() {
+                        cumulative += b;
+                        let le = if i == h.buckets.len() - 1 {
+                            "+Inf".to_string()
+                        } else {
+                            (1u64 << i).to_string()
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {cumulative}\n",
+                            m.name,
+                            render_labels(&m.labels, Some(("le", &le)))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSON (`pretty` adds indentation). The
+    /// format round-trips through [`Snapshot::from_json`].
+    pub fn to_json(&self, pretty: bool) -> String {
+        let (nl, ind, sp) = if pretty {
+            ("\n", "  ", " ")
+        } else {
+            ("", "", "")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{{{nl}{ind}\"metrics\":{sp}[{nl}"));
+        for (i, m) in self.metrics.iter().enumerate() {
+            let labels = m
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{sp}\"{}\"", escape_json(k), escape_json(v)))
+                .collect::<Vec<_>>()
+                .join(&format!(",{sp}"));
+            let value = match &m.value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge(v) => format!("{v}"),
+                MetricValue::Histogram(h) => {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!(
+                        "{{\"buckets\":{sp}[{buckets}],{sp}\"sum\":{sp}{},{sp}\"count\":{sp}{}}}",
+                        h.sum, h.count
+                    )
+                }
+            };
+            out.push_str(&format!(
+                "{ind}{ind}{{\"name\":{sp}\"{}\",{sp}\"labels\":{sp}{{{labels}}},{sp}\"type\":{sp}\"{}\",{sp}\"help\":{sp}\"{}\",{sp}\"nondeterministic\":{sp}{},{sp}\"value\":{sp}{value}}}{}{nl}",
+                escape_json(&m.name),
+                m.value.kind(),
+                escape_json(&m.help),
+                m.nondeterministic,
+                if i + 1 < self.metrics.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!("{ind}]{nl}}}{nl}"));
+        out
+    }
+
+    /// A copy with every nondeterministic (wall-clock) metric zeroed.
+    /// Two runs of the same workload under a pinned parallel policy
+    /// produce byte-identical `masked().to_json(false)` strings.
+    pub fn masked(&self) -> Snapshot {
+        Snapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|m| {
+                    let mut m = m.clone();
+                    if m.nondeterministic {
+                        m.value = m.value.zeroed();
+                    }
+                    m
+                })
+                .collect(),
+        }
+    }
+
+    /// Subtracts `baseline` metric-wise: counters and histograms become
+    /// deltas (saturating at zero), gauges keep their current value.
+    /// Metrics absent from the baseline pass through unchanged.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        type BaseKey<'a> = (&'a str, &'a [(String, String)]);
+        let base: BTreeMap<BaseKey<'_>, &MetricValue> = baseline
+            .metrics
+            .iter()
+            .map(|m| ((m.name.as_str(), m.labels.as_slice()), &m.value))
+            .collect();
+        Snapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|m| {
+                    let mut m = m.clone();
+                    if let Some(earlier) = base.get(&(m.name.as_str(), m.labels.as_slice())) {
+                        m.value = match (&m.value, earlier) {
+                            (MetricValue::Counter(now), MetricValue::Counter(then)) => {
+                                MetricValue::Counter(now.saturating_sub(*then))
+                            }
+                            (MetricValue::Histogram(now), MetricValue::Histogram(then))
+                                if now.buckets.len() == then.buckets.len() =>
+                            {
+                                MetricValue::Histogram(HistogramSnap {
+                                    buckets: now
+                                        .buckets
+                                        .iter()
+                                        .zip(&then.buckets)
+                                        .map(|(a, b)| a.saturating_sub(*b))
+                                        .collect(),
+                                    sum: now.sum.saturating_sub(then.sum),
+                                    count: now.count.saturating_sub(then.count),
+                                })
+                            }
+                            (current, _) => (*current).clone(),
+                        };
+                    }
+                    m
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses a snapshot back from its [`Snapshot::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema violation.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let root = json::parse(text)?;
+        let obj = root.as_object().ok_or("top level must be an object")?;
+        let metrics = json::field(obj, "metrics")?
+            .as_array()
+            .ok_or("\"metrics\" must be an array")?;
+        let mut out = Vec::with_capacity(metrics.len());
+        for m in metrics {
+            let m = m.as_object().ok_or("metric entries must be objects")?;
+            let name = json::field(m, "name")?
+                .as_str()
+                .ok_or("\"name\" must be a string")?
+                .to_string();
+            let labels_obj = json::field(m, "labels")?
+                .as_object()
+                .ok_or("\"labels\" must be an object")?;
+            let labels: Vec<(String, String)> = labels_obj
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|v| (k.clone(), v.to_string()))
+                        .ok_or_else(|| format!("label {k} must be a string"))
+                })
+                .collect::<Result<_, _>>()?;
+            let help = json::field(m, "help")?
+                .as_str()
+                .ok_or("\"help\" must be a string")?
+                .to_string();
+            let nondeterministic = json::field(m, "nondeterministic")?
+                .as_bool()
+                .ok_or("\"nondeterministic\" must be a boolean")?;
+            let kind = json::field(m, "type")?
+                .as_str()
+                .ok_or("\"type\" must be a string")?;
+            let value = json::field(m, "value")?;
+            let value = match kind {
+                "counter" => {
+                    MetricValue::Counter(value.as_u64().ok_or("counter value must be a u64")?)
+                }
+                "gauge" => MetricValue::Gauge(value.as_i64().ok_or("gauge value must be an i64")?),
+                "histogram" => {
+                    let h = value
+                        .as_object()
+                        .ok_or("histogram value must be an object")?;
+                    let buckets = json::field(h, "buckets")?
+                        .as_array()
+                        .ok_or("\"buckets\" must be an array")?
+                        .iter()
+                        .map(|b| b.as_u64().ok_or("buckets must hold u64s".to_string()))
+                        .collect::<Result<Vec<u64>, _>>()?;
+                    MetricValue::Histogram(HistogramSnap {
+                        buckets,
+                        sum: json::field(h, "sum")?
+                            .as_u64()
+                            .ok_or("\"sum\" must be a u64")?,
+                        count: json::field(h, "count")?
+                            .as_u64()
+                            .ok_or("\"count\" must be a u64")?,
+                    })
+                }
+                other => return Err(format!("unknown metric type {other:?}")),
+            };
+            out.push(MetricSnap {
+                name,
+                labels,
+                help,
+                nondeterministic,
+                value,
+            });
+        }
+        Ok(Snapshot { metrics: out })
+    }
+}
+
+/// Minimal recursive-descent JSON reader for [`Snapshot::from_json`] —
+/// the workspace is offline, so no serde.
+mod json {
+    /// A parsed JSON value (numbers are kept as `i128`; the snapshot
+    /// schema never uses fractions).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Integral number.
+        Int(i128),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object (insertion order preserved).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) => u64::try_from(*i).ok(),
+                _ => None,
+            }
+        }
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => i64::try_from(*i).ok(),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|c| c as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(out));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                out.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(out));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(out));
+            }
+            loop {
+                self.skip_ws();
+                out.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(out));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                                self.pos += 4;
+                            }
+                            other => {
+                                return Err(format!("bad escape {:?}", other.map(|c| c as char)))
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // boundaries are valid).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                        let c = s.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while let Some(b'0'..=b'9') = self.peek() {
+                self.pos += 1;
+            }
+            if let Some(b'.' | b'e' | b'E') = self.peek() {
+                return Err(format!(
+                    "non-integer number at byte {start} (snapshot schema is integral)"
+                ));
+            }
+            let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+            s.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+    }
+}
+
+/// Validates Prometheus text exposition syntax, returning the number of
+/// sample lines. Used by the `rime-stats --selfcheck` CI gate (the
+/// workspace is offline, so the check is an in-repo grammar walk, not an
+/// external parser).
+///
+/// # Errors
+///
+/// Returns `(line number, description)` of the first malformed line.
+pub fn validate_prometheus(text: &str) -> Result<usize, (usize, String)> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    fn parse_labels(s: &str) -> Result<(), String> {
+        // `s` is the text between '{' and '}'.
+        if s.is_empty() {
+            return Ok(());
+        }
+        let mut rest = s;
+        loop {
+            let eq = rest.find('=').ok_or("label without '='")?;
+            let key = &rest[..eq];
+            if !valid_name(key) {
+                return Err(format!("bad label name {key:?}"));
+            }
+            rest = rest[eq + 1..]
+                .strip_prefix('"')
+                .ok_or("label value must be quoted")?;
+            // Scan to the closing unescaped quote.
+            let mut escaped = false;
+            let mut end = None;
+            for (i, c) in rest.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.ok_or("unterminated label value")?;
+            rest = &rest[end + 1..];
+            match rest.strip_prefix(',') {
+                Some(r) => rest = r,
+                None if rest.is_empty() => return Ok(()),
+                None => return Err("expected ',' between labels".to_string()),
+            }
+        }
+    }
+
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let ok = comment
+                .strip_prefix("HELP ")
+                .map(|r| r.split_whitespace().next().is_some_and(valid_name))
+                .or_else(|| {
+                    comment.strip_prefix("TYPE ").map(|r| {
+                        let mut parts = r.split_whitespace();
+                        parts.next().is_some_and(valid_name)
+                            && matches!(parts.next(), Some("counter" | "gauge" | "histogram"))
+                    })
+                })
+                .unwrap_or(true); // other comments are legal
+            if !ok {
+                return Err((lineno, format!("malformed comment: {line:?}")));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or((lineno, "sample line without value".to_string()))?;
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            return Err((lineno, format!("bad sample value {value:?}")));
+        }
+        let name = if let Some(open) = series.find('{') {
+            let labels = series[open..]
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or((lineno, "unbalanced label braces".to_string()))?;
+            parse_labels(labels).map_err(|e| (lineno, e))?;
+            &series[..open]
+        } else {
+            series
+        };
+        if !valid_name(name) {
+            return Err((lineno, format!("bad metric name {name:?}")));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// A wall-clock span guard: records elapsed nanoseconds into its
+/// (nondeterministic) histogram when dropped. Usually created via the
+/// [`crate::span!`] macro.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span against `hist` (which should be registered with the
+    /// nondeterministic flag — wall time is host noise).
+    pub fn new(hist: Histogram) -> Span {
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.observe(ns);
+    }
+}
+
+/// Starts a wall-clock span: `span!(registry, "extract", chip = 3)`
+/// records into the nondeterministic histogram `extract_wall_ns{chip="3"}`
+/// when the returned [`Span`] guard drops.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        let values: &[::std::string::String] = &[$(($val).to_string()),*];
+        let names: &[&str] = &[$(stringify!($key)),*];
+        let labels: ::std::vec::Vec<(&str, &str)> = names
+            .iter()
+            .zip(values.iter())
+            .map(|(n, v)| (*n, v.as_str()))
+            .collect();
+        $crate::metrics::Span::new($registry.histogram_with(
+            concat!($name, "_wall_ns"),
+            &labels,
+            "wall-clock span duration in nanoseconds",
+            true,
+        ))
+    }};
+}
+
+fn error_code(err: &RimeError) -> &'static str {
+    match err {
+        RimeError::OutOfContiguousMemory { .. } => "out_of_contiguous_memory",
+        RimeError::InvalidRegion => "invalid_region",
+        RimeError::OutOfBounds { .. } => "out_of_bounds",
+        RimeError::NotInitialized => "not_initialized",
+        RimeError::TypeMismatch { .. } => "type_mismatch",
+        RimeError::Chip(_) => "chip_fault",
+    }
+}
+
+const OP_NAMES: [&str; 8] = [
+    "column_search_steps",
+    "mat_column_searches",
+    "row_reads",
+    "row_writes",
+    "select_loads",
+    "htree_traversals",
+    "init_ops",
+    "extractions",
+];
+
+fn op_values(c: &OpCounters) -> [u64; 8] {
+    [
+        c.column_search_steps,
+        c.mat_column_searches,
+        c.row_reads,
+        c.row_writes,
+        c.select_loads,
+        c.htree_traversals,
+        c.init_ops,
+        c.extractions,
+    ]
+}
+
+/// A telemetry sink publishing the command stream into a
+/// [`MetricsRegistry`]: per-command outcome/errcode counters, per-command
+/// modeled-latency and transfer histograms, and per-chip op counters.
+/// One instance is built into every executor; additional instances can be
+/// attached like any other sink to publish into a private registry.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    registry: MetricsRegistry,
+    timing: ArrayTiming,
+    seq: Gauge,
+    transfers_total: Counter,
+}
+
+impl MetricsSink {
+    /// Creates a sink publishing into `registry`, pricing modeled latency
+    /// with `timing`.
+    pub fn new(registry: MetricsRegistry, timing: ArrayTiming) -> MetricsSink {
+        let seq = registry.gauge(
+            "rime_events_seq",
+            &[],
+            "sequence number of the last telemetry event",
+        );
+        let transfers_total = registry.counter(
+            "rime_interface_transfers_total",
+            &[],
+            "values transferred over the DDR4 interface",
+        );
+        MetricsSink {
+            registry,
+            timing,
+            seq,
+            transfers_total,
+        }
+    }
+
+    /// The registry this sink publishes into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Publishes one event (shared by the `Telemetry` impl and the
+    /// executor's built-in instance, which records through `&self`).
+    pub(crate) fn observe(&self, event: &TelemetryEvent<'_>) {
+        let kind = event.command.kind();
+        self.seq.set(i64::try_from(event.seq).unwrap_or(i64::MAX));
+        let outcome = if event.result.is_ok() { "ok" } else { "error" };
+        self.registry
+            .counter(
+                "rime_commands_total",
+                &[("command", kind), ("outcome", outcome)],
+                "executed commands by kind and outcome",
+            )
+            .inc();
+        if let Err(err) = event.result {
+            self.registry
+                .counter(
+                    "rime_command_errors_total",
+                    &[("command", kind), ("code", error_code(err))],
+                    "failed commands by kind and error code",
+                )
+                .inc();
+        }
+        let transfers = event.effects.interface_transfers();
+        self.transfers_total.add(transfers);
+        self.registry
+            .histogram(
+                "rime_command_transfers",
+                &[("command", kind)],
+                "interface transfers per command",
+            )
+            .observe(transfers);
+        let total = event.effects.total();
+        let modeled_ns = self.timing.time_ns(&total) as u64;
+        self.registry
+            .histogram(
+                "rime_command_modeled_ns",
+                &[("command", kind)],
+                "modeled device nanoseconds per command (Table I pricing)",
+            )
+            .observe(modeled_ns);
+        for (chip, delta) in event.effects.chip_deltas() {
+            let chip = chip.to_string();
+            for (op, value) in OP_NAMES.iter().zip(op_values(delta)) {
+                if value == 0 {
+                    continue;
+                }
+                self.registry
+                    .counter(
+                        "rime_chip_ops_total",
+                        &[("chip", &chip), ("op", op)],
+                        "chip operations by kind (mirrors OpCounters)",
+                    )
+                    .add(value);
+            }
+        }
+    }
+}
+
+impl Telemetry for MetricsSink {
+    fn record(&mut self, event: &TelemetryEvent<'_>) {
+        self.observe(event);
+    }
+}
+
+const PHASES: [Phase; 5] = [
+    Phase::Sense,
+    Phase::Exclude,
+    Phase::IndexReduce,
+    Phase::Readout,
+    Phase::Rearm,
+];
+
+fn phase_slot(phase: Phase) -> usize {
+    match phase {
+        Phase::Sense => 0,
+        Phase::Exclude => 1,
+        Phase::IndexReduce => 2,
+        Phase::Readout => 3,
+        Phase::Rearm => 4,
+    }
+}
+
+/// The registry-backed implementation of
+/// [`rime_memristive::probe::ExtractionProbe`]: converts phase op counts
+/// into modeled device nanoseconds via [`ArrayTiming`] and publishes
+/// phase, steps-per-key, and pool metrics labeled by chip.
+///
+/// Installed per chip by `RimeDevice::enable_extraction_metrics()` (one
+/// probe per chip so the `chip` label is fixed at construction). Phases
+/// the Table I model does not price separately (exclude, index-reduce,
+/// rearm — CMOS latch and H-tree work folded into the compute step)
+/// record a modeled cost of zero; their op counts and wall time are still
+/// exported.
+#[derive(Debug)]
+pub struct ChipProbe {
+    registry: MetricsRegistry,
+    chip: String,
+    timing: ArrayTiming,
+    phase_wall: Vec<Histogram>,
+    phase_modeled: Vec<Histogram>,
+    phase_ops: Vec<Counter>,
+    steps: Histogram,
+    excluded: Histogram,
+    leases: Counter,
+    unleases: Counter,
+    imbalance: Gauge,
+    leased_mats: Gauge,
+    pool_step_wall: Histogram,
+}
+
+impl ChipProbe {
+    /// Builds a probe for chip `chip`, publishing into `registry`.
+    pub fn new(registry: &MetricsRegistry, timing: ArrayTiming, chip: u32) -> ChipProbe {
+        let chip = chip.to_string();
+        let mut phase_wall = Vec::with_capacity(PHASES.len());
+        let mut phase_modeled = Vec::with_capacity(PHASES.len());
+        let mut phase_ops = Vec::with_capacity(PHASES.len());
+        for phase in PHASES {
+            let labels = [("chip", chip.as_str()), ("phase", phase.label())];
+            phase_wall.push(registry.histogram_with(
+                "rime_phase_wall_ns",
+                &labels,
+                "wall-clock nanoseconds per extraction phase",
+                true,
+            ));
+            phase_modeled.push(registry.histogram(
+                "rime_phase_modeled_ns",
+                &labels,
+                "modeled device nanoseconds per extraction phase (Table I)",
+            ));
+            phase_ops.push(registry.counter(
+                "rime_phase_ops_total",
+                &labels,
+                "device operations per extraction phase",
+            ));
+        }
+        let chip_label = [("chip", chip.as_str())];
+        ChipProbe {
+            steps: registry.histogram(
+                "rime_extraction_steps",
+                &chip_label,
+                "column-search steps per extracted key",
+            ),
+            excluded: registry.histogram(
+                "rime_excluded_per_step",
+                &chip_label,
+                "rows deselected per exclusion step",
+            ),
+            leases: registry.counter(
+                "rime_pool_leases_total",
+                &chip_label,
+                "mat-pool sessions opened",
+            ),
+            unleases: registry.counter(
+                "rime_pool_unleases_total",
+                &chip_label,
+                "mat-pool sessions closed",
+            ),
+            imbalance: registry.gauge(
+                "rime_pool_shard_imbalance",
+                &chip_label,
+                "largest minus smallest shard size of the last lease",
+            ),
+            leased_mats: registry.gauge(
+                "rime_pool_leased_mats",
+                &chip_label,
+                "mats covered by the last pool lease",
+            ),
+            pool_step_wall: registry.histogram_with(
+                "rime_pool_step_wall_ns",
+                &chip_label,
+                "wall-clock broadcast-to-fold latency per pool epoch step",
+                true,
+            ),
+            registry: registry.clone(),
+            chip,
+            timing,
+            phase_wall,
+            phase_modeled,
+            phase_ops,
+        }
+    }
+
+    /// Modeled cost of `ops` operations of `phase`, in integer
+    /// nanoseconds. Only sense steps and readout carry a Table I price;
+    /// the other phases are CMOS/H-tree work folded into the compute
+    /// figure and price at zero.
+    fn modeled_ns(&self, phase: Phase, ops: u64) -> u64 {
+        let per_op = match phase {
+            Phase::Sense => self.timing.extraction_time_ns(1),
+            Phase::Readout => self.timing.t_read_ns,
+            Phase::Exclude | Phase::IndexReduce | Phase::Rearm => 0.0,
+        };
+        (per_op * ops as f64) as u64
+    }
+}
+
+impl ExtractionProbe for ChipProbe {
+    fn phase(&self, phase: Phase, wall_ns: u64, ops: u64) {
+        let slot = phase_slot(phase);
+        self.phase_wall[slot].observe(wall_ns);
+        self.phase_modeled[slot].observe(self.modeled_ns(phase, ops));
+        self.phase_ops[slot].add(ops);
+    }
+
+    fn extraction(&self, steps: u16) {
+        self.steps.observe(u64::from(steps));
+    }
+
+    fn excluded_step(&self, removed: u64) {
+        self.excluded.observe(removed);
+    }
+
+    fn pool_lease(&self, _workers: usize, mats: usize, largest: usize, smallest: usize) {
+        self.leases.inc();
+        self.leased_mats
+            .set(i64::try_from(mats).unwrap_or(i64::MAX));
+        self.imbalance
+            .set(i64::try_from(largest.saturating_sub(smallest)).unwrap_or(i64::MAX));
+    }
+
+    fn pool_unlease(&self) {
+        self.unleases.inc();
+    }
+
+    fn pool_step(&self, wall_ns: u64) {
+        self.pool_step_wall.observe(wall_ns);
+    }
+
+    fn pool_worker(&self, worker: usize, busy_ns: u64, session_ns: u64) {
+        let worker = worker.to_string();
+        let labels = [("chip", self.chip.as_str()), ("worker", worker.as_str())];
+        self.registry
+            .counter_with(
+                "rime_pool_worker_busy_ns_total",
+                &labels,
+                "wall-clock nanoseconds the worker spent processing requests",
+                true,
+            )
+            .add(busy_ns);
+        self.registry
+            .counter_with(
+                "rime_pool_worker_park_ns_total",
+                &labels,
+                "wall-clock nanoseconds the worker sat parked on its channel",
+                true,
+            )
+            .add(session_ns.saturating_sub(busy_ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 62), 62);
+        assert_eq!(bucket_index((1 << 62) + 1), 63);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn handles_are_shared_across_registration() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", &[("k", "v")], "help");
+        let b = reg.counter("x_total", &[("k", "v")], "ignored on re-registration");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("depth", &[], "help");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("x", &[], "help");
+        let _ = reg.gauge("x", &[], "help");
+    }
+
+    #[test]
+    fn snapshot_is_canonically_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zeta_total", &[], "z").inc();
+        reg.counter("alpha_total", &[("chip", "1")], "a").inc();
+        reg.counter("alpha_total", &[("chip", "0")], "a").inc();
+        let names: Vec<(String, Vec<(String, String)>)> = reg
+            .snapshot()
+            .metrics
+            .into_iter()
+            .map(|m| (m.name, m.labels))
+            .collect();
+        assert_eq!(names[0].0, "alpha_total");
+        assert_eq!(names[0].1[0].1, "0");
+        assert_eq!(names[1].1[0].1, "1");
+        assert_eq!(names[2].0, "zeta_total");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_valid_and_cumulative() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops_total", &[("chip", "0")], "ops").add(7);
+        reg.gauge("depth", &[], "queue depth").set(-3);
+        let h = reg.histogram("lat_ns", &[], "latency");
+        h.observe(1);
+        h.observe(3);
+        h.observe(1000);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ops_total counter"));
+        assert!(text.contains("ops_total{chip=\"0\"} 7"));
+        assert!(text.contains("depth -3"));
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_ns_bucket{le=\"4\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"1024\"} 3"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_sum 1004"));
+        assert!(text.contains("lat_ns_count 3"));
+        let samples = validate_prometheus(&text).expect("own exposition must parse");
+        assert!(samples > HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("9bad_name 1\n").is_err());
+        assert!(validate_prometheus("name{k=unquoted} 1\n").is_err());
+        assert!(validate_prometheus("name novalue\n").is_err());
+        assert!(validate_prometheus("name{k=\"v\"} 1\n").is_ok());
+        assert!(validate_prometheus("# arbitrary comment\n").is_ok());
+        assert!(validate_prometheus("# TYPE x summary\n").is_err());
+    }
+
+    #[test]
+    fn json_roundtrips_compact_and_pretty() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", &[("k", "va\"l")], "with \"quotes\"")
+            .add(3);
+        reg.gauge("g", &[], "gauge").set(-7);
+        reg.histogram("h_ns", &[], "hist").observe(42);
+        let snap = reg.snapshot();
+        for pretty in [false, true] {
+            let text = snap.to_json(pretty);
+            let back = Snapshot::from_json(&text).expect("roundtrip parse");
+            assert_eq!(back, snap, "pretty={pretty}");
+        }
+    }
+
+    #[test]
+    fn masking_zeroes_only_nondeterministic_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("modeled_total", &[], "modeled").add(9);
+        reg.counter_with("wall_ns_total", &[], "wall", true)
+            .add(1234);
+        let h = reg.histogram_with("span_wall_ns", &[], "wall hist", true);
+        h.observe(55);
+        let masked = reg.snapshot().masked();
+        for m in &masked.metrics {
+            match (m.name.as_str(), &m.value) {
+                ("modeled_total", MetricValue::Counter(v)) => assert_eq!(*v, 9),
+                ("wall_ns_total", MetricValue::Counter(v)) => assert_eq!(*v, 0),
+                ("span_wall_ns", MetricValue::Histogram(h)) => {
+                    assert_eq!(h.count, 0);
+                    assert_eq!(h.sum, 0);
+                    assert!(h.buckets.iter().all(|&b| b == 0));
+                }
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_histograms() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", &[], "c");
+        let g = reg.gauge("g", &[], "g");
+        let h = reg.histogram("h_ns", &[], "h");
+        c.add(5);
+        g.set(2);
+        h.observe(8);
+        let baseline = reg.snapshot();
+        c.add(3);
+        g.set(9);
+        h.observe(8);
+        h.observe(100);
+        let diff = reg.snapshot().diff(&baseline);
+        for m in &diff.metrics {
+            match (m.name.as_str(), &m.value) {
+                ("c_total", MetricValue::Counter(v)) => assert_eq!(*v, 3),
+                ("g", MetricValue::Gauge(v)) => assert_eq!(*v, 9, "gauges pass through"),
+                ("h_ns", MetricValue::Histogram(h)) => {
+                    assert_eq!(h.count, 2);
+                    assert_eq!(h.sum, 108);
+                }
+                other => panic!("unexpected metric {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn span_macro_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _span = span!(reg, "extract", chip = 3, step = "sense");
+        }
+        {
+            let _span = span!(reg, "idle");
+        }
+        let snap = reg.snapshot();
+        let spans: Vec<&MetricSnap> = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name.ends_with("_wall_ns"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|m| m.nondeterministic));
+        let labeled = spans
+            .iter()
+            .find(|m| m.name == "extract_wall_ns")
+            .expect("labeled span present");
+        assert_eq!(
+            labeled.labels,
+            vec![
+                ("chip".to_string(), "3".to_string()),
+                ("step".to_string(), "sense".to_string())
+            ]
+        );
+        match &labeled.value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("span must be a histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chip_probe_prices_phases_per_table1() {
+        let reg = MetricsRegistry::new();
+        let probe = ChipProbe::new(&reg, ArrayTiming::table1(), 2);
+        probe.phase(Phase::Sense, 999, 64);
+        probe.phase(Phase::Readout, 5, 1);
+        probe.phase(Phase::Exclude, 7, 10);
+        probe.extraction(64);
+        probe.excluded_step(12);
+        probe.pool_lease(4, 16, 4, 4);
+        probe.pool_step(100);
+        probe.pool_worker(0, 80, 100);
+        probe.pool_unlease();
+        let snap = reg.snapshot();
+        let get = |name: &str, phase: Option<&str>| {
+            snap.metrics
+                .iter()
+                .find(|m| {
+                    m.name == name
+                        && phase
+                            .is_none_or(|p| m.labels.iter().any(|(k, v)| k == "phase" && v == p))
+                })
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+                .clone()
+        };
+        // 64 sense steps at Table I's 282.5 ns / 64 steps = 282 ns (u64).
+        match get("rime_phase_modeled_ns", Some("sense")) {
+            MetricValue::Histogram(h) => assert_eq!(h.sum, 282),
+            other => panic!("{other:?}"),
+        }
+        // Readout = one t_read at 4.3 ns → 4 ns.
+        match get("rime_phase_modeled_ns", Some("readout")) {
+            MetricValue::Histogram(h) => assert_eq!(h.sum, 4),
+            other => panic!("{other:?}"),
+        }
+        // Unpriced phase models zero but keeps its op count.
+        match get("rime_phase_modeled_ns", Some("exclude")) {
+            MetricValue::Histogram(h) => assert_eq!(h.sum, 0),
+            other => panic!("{other:?}"),
+        }
+        match get("rime_phase_ops_total", Some("exclude")) {
+            MetricValue::Counter(v) => assert_eq!(v, 10),
+            other => panic!("{other:?}"),
+        }
+        match get("rime_pool_worker_busy_ns_total", None) {
+            MetricValue::Counter(v) => assert_eq!(v, 80),
+            other => panic!("{other:?}"),
+        }
+        match get("rime_pool_worker_park_ns_total", None) {
+            MetricValue::Counter(v) => assert_eq!(v, 20),
+            other => panic!("{other:?}"),
+        }
+        match get("rime_pool_shard_imbalance", None) {
+            MetricValue::Gauge(v) => assert_eq!(v, 0),
+            other => panic!("{other:?}"),
+        }
+        // Wall-clock metrics carry the flag; modeled ones don't.
+        for m in &snap.metrics {
+            let wall = m.name.contains("wall_ns") || m.name.contains("_ns_total");
+            assert_eq!(m.nondeterministic, wall, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_rejects_garbage() {
+        let v = json::parse(r#"{"a": [1, -2, "x\nyA"], "b": true, "c": null}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = json::field(obj, "a").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_i64(), Some(-2));
+        assert_eq!(arr[2].as_str(), Some("x\nyA"));
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("1.5").is_err(), "schema is integral");
+        assert!(json::parse("{} extra").is_err());
+    }
+}

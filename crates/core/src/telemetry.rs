@@ -117,7 +117,11 @@ pub type SharedSink = Arc<Mutex<dyn Telemetry>>;
 /// dev.attach_telemetry(counters.clone());
 /// let region = dev.alloc(4).unwrap();
 /// dev.write(region, 0, &[3u32, 1, 2, 0]).unwrap();
-/// assert_eq!(counters.lock().unwrap().commands(), 2); // alloc + write
+/// let commands = counters
+///     .lock()
+///     .unwrap_or_else(std::sync::PoisonError::into_inner)
+///     .commands();
+/// assert_eq!(commands, 2); // alloc + write
 /// ```
 pub fn shared<T: Telemetry + 'static>(sink: T) -> Arc<Mutex<T>> {
     Arc::new(Mutex::new(sink))
@@ -274,6 +278,7 @@ impl Telemetry for WearSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cmd::lock_recover;
     use crate::device::{RimeConfig, RimeDevice};
 
     fn loaded_device() -> (RimeDevice, crate::device::Region) {
@@ -292,12 +297,12 @@ mod tests {
         // Only activity after attachment is seen by the sink.
         let before = dev.counters();
         let _ = dev.rime_min_k::<u32>(region, 4).unwrap();
-        let sunk = sink.lock().unwrap().counters();
+        let sunk = lock_recover(&sink).counters();
         let grown = dev.counters().delta_since(&before);
         assert_eq!(sunk, grown);
         assert!(sunk.extractions >= 4);
-        assert_eq!(sink.lock().unwrap().commands(), 1);
-        assert_eq!(sink.lock().unwrap().faults(), 0);
+        assert_eq!(lock_recover(&sink).commands(), 1);
+        assert_eq!(lock_recover(&sink).faults(), 0);
     }
 
     #[test]
@@ -310,8 +315,8 @@ mod tests {
         let _ = dev.rime_min::<u32>(region).unwrap();
         let _ = dev.rime_min::<f32>(region); // TypeMismatch fault
         dev.free(region).unwrap();
-        let a = a.lock().unwrap().clone();
-        let b = b.lock().unwrap().clone();
+        let a = lock_recover(&a).clone();
+        let b = lock_recover(&b).clone();
         assert_eq!(a, b, "both sinks observed the identical stream");
         assert_eq!(a.commands(), 3);
         assert_eq!(a.faults(), 1);
@@ -326,7 +331,7 @@ mod tests {
         let region = dev.alloc(per_chip + 4).unwrap();
         let keys: Vec<u32> = (0..per_chip as u32 + 4).collect();
         dev.write(region, 0, &keys).unwrap();
-        let wear = wear.lock().unwrap().clone();
+        let wear = lock_recover(&wear).clone();
         assert_eq!(wear.total_writes(), keys.len() as u64);
         assert_eq!(wear.writes_per_chip().len(), 2, "write spans two chips");
         assert_eq!(wear.hottest_chip(), Some((0, per_chip)));

@@ -41,6 +41,7 @@ use crate::htree::IndexTree;
 use crate::mat::Mat;
 use crate::plan::{Direction, SearchPlan};
 use crate::pool::MatPool;
+use crate::probe::{timed, Phase, SharedProbe};
 
 /// Result of one in-situ min/max extraction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +95,6 @@ const AUTO_PARALLEL_MIN_MATS: usize = 16;
 /// One RIME memristive chip.
 ///
 /// See the [crate-level example](crate) for end-to-end usage.
-#[derive(Debug)]
 pub struct Chip {
     geometry: ChipGeometry,
     mats: Vec<Option<Mat>>,
@@ -119,6 +119,28 @@ pub struct Chip {
     /// extraction and kept across sessions. `None` until then (and in
     /// clones — worker threads are per-instance).
     pool: Option<MatPool>,
+    /// Extraction/pool observer (rime-core's metrics layer). `None` keeps
+    /// every instrumented path free of clock reads.
+    probe: Option<SharedProbe>,
+}
+
+impl std::fmt::Debug for Chip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chip")
+            .field("geometry", &self.geometry)
+            .field("mats", &self.mats)
+            .field("tree", &self.tree)
+            .field("excluded", &self.excluded)
+            .field("format", &self.format)
+            .field("range", &self.range)
+            .field("counters", &self.counters)
+            .field("parallel", &self.parallel)
+            .field("scalar_oracle", &self.scalar_oracle)
+            .field("auto_threads", &self.auto_threads)
+            .field("pool", &self.pool)
+            .field("probe", &self.probe.as_ref().map(|_| "installed"))
+            .finish()
+    }
 }
 
 impl Clone for Chip {
@@ -137,6 +159,7 @@ impl Clone for Chip {
             // Worker threads are not shareable state; the clone builds
             // its own pool on first pooled extraction.
             pool: None,
+            probe: self.probe.clone(),
         }
     }
 }
@@ -157,7 +180,16 @@ impl Chip {
             scalar_oracle: false,
             auto_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             pool: None,
+            probe: None,
         }
+    }
+
+    /// Installs (or removes) an extraction probe. Probes observe phase
+    /// timing, step counts, and pool activity — they never touch
+    /// [`OpCounters`], so results and counters are identical with or
+    /// without one. See [`crate::probe::ExtractionProbe`].
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.probe = probe;
     }
 
     /// Routes every column search and exclusion through the row-major
@@ -413,7 +445,12 @@ impl Chip {
         let plan = SearchPlan::new(format, direction);
 
         // Rearm the select vectors (range minus exclusion flags).
-        self.load_selection(begin, end);
+        let probe = self.probe.clone();
+        let mut rearm_ns = 0u64;
+        timed(&probe, &mut rearm_ns, || self.load_selection(begin, end));
+        if let Some(p) = &probe {
+            p.phase(Phase::Rearm, rearm_ns, 1);
+        }
 
         // Determine the mats participating in this range.
         let (first_mat, last_mat) = self.mat_span(begin, end);
@@ -510,6 +547,7 @@ impl Chip {
 
         let mut hits = Vec::with_capacity(k);
         let mut selected = membership.count_ones() as u64;
+        let probe = self.probe.clone();
         match self.fanout(last_mat - first_mat + 1) {
             Fanout::Host(threads) => {
                 for _ in 0..k {
@@ -517,10 +555,16 @@ impl Chip {
                     // exactly as the sequential path counts it. Each mat
                     // latches its window of the membership vector in
                     // place — zero allocations per iteration.
-                    let per_mat = self.geometry.slots_per_mat() as usize;
-                    for idx in first_mat..=last_mat {
-                        self.mat_mut(idx as u32)
-                            .load_select_window(&membership, idx * per_mat);
+                    let mut rearm_ns = 0u64;
+                    timed(&probe, &mut rearm_ns, || {
+                        let per_mat = self.geometry.slots_per_mat() as usize;
+                        for idx in first_mat..=last_mat {
+                            self.mat_mut(idx as u32)
+                                .load_select_window(&membership, idx * per_mat);
+                        }
+                    });
+                    if let Some(p) = &probe {
+                        p.phase(Phase::Rearm, rearm_ns, 1);
                     }
                     self.counters.select_loads += 1;
                     self.counters.htree_traversals += 1;
@@ -543,7 +587,11 @@ impl Chip {
                 let mut pool = self.lease_pool(first_mat, last_mat, workers);
                 let mut membership = Arc::new(membership);
                 for _ in 0..k {
-                    pool.rearm(&membership);
+                    let mut rearm_ns = 0u64;
+                    timed(&probe, &mut rearm_ns, || pool.rearm(&membership));
+                    if let Some(p) = &probe {
+                        p.phase(Phase::Rearm, rearm_ns, 1);
+                    }
                     self.counters.select_loads += 1;
                     self.counters.htree_traversals += 1;
 
@@ -576,6 +624,7 @@ impl Chip {
             Some(pool) if pool.workers() == workers => pool,
             _ => MatPool::new(workers),
         };
+        pool.set_probe(self.probe.clone());
         let span: Vec<Option<Mat>> = self.mats[first_mat..=last_mat]
             .iter_mut()
             .map(Option::take)
@@ -619,6 +668,9 @@ impl Chip {
         mut selected: u64,
         threads: usize,
     ) -> ExtractHit {
+        let probe = self.probe.clone();
+        let (mut sense_ns, mut exclude_ns, mut reduce_ns, mut readout_ns) = (0u64, 0, 0, 0);
+        let mut exclusions = 0u64;
         let mut survivors_negative = false;
         let mut steps_executed = 0u16;
         for step in 0..plan.steps() {
@@ -630,12 +682,14 @@ impl Chip {
 
             // Column search on every active mat; wire-OR the signals
             // (fanned out across threads per the chip's policy).
-            let (global, active_mats) = sense_step(
-                &self.mats[first_mat..=last_mat],
-                pos,
-                threads,
-                self.scalar_oracle,
-            );
+            let (global, active_mats) = timed(&probe, &mut sense_ns, || {
+                sense_step(
+                    &self.mats[first_mat..=last_mat],
+                    pos,
+                    threads,
+                    self.scalar_oracle,
+                )
+            });
             self.counters.column_search_steps += 1;
             self.counters.mat_column_searches += active_mats;
 
@@ -647,39 +701,56 @@ impl Chip {
             // non-uniform across the whole selected set.
             if !global.all_same() {
                 let keep = plan.keep_bit(step, survivors_negative);
-                let removed = exclude_step(
-                    &mut self.mats[first_mat..=last_mat],
-                    pos,
-                    keep,
-                    threads,
-                    self.scalar_oracle,
-                );
+                let removed = timed(&probe, &mut exclude_ns, || {
+                    exclude_step(
+                        &mut self.mats[first_mat..=last_mat],
+                        pos,
+                        keep,
+                        threads,
+                        self.scalar_oracle,
+                    )
+                });
                 self.counters.select_loads += 1;
                 selected -= removed;
+                exclusions += 1;
+                if let Some(p) = &probe {
+                    p.excluded_step(removed);
+                }
             }
         }
 
         // Upstream index reduction across all mats (Fig. 10).
-        let hits: Vec<Option<u32>> = self
-            .mats
-            .iter()
-            .map(|m| m.as_ref().and_then(Mat::first_selected))
-            .collect();
-        let slot = self
-            .tree
-            .reduce(&hits)
-            .expect("non-empty selection must reduce to a winner");
+        let slot = timed(&probe, &mut reduce_ns, || {
+            let hits: Vec<Option<u32>> = self
+                .mats
+                .iter()
+                .map(|m| m.as_ref().and_then(Mat::first_selected))
+                .collect();
+            self.tree
+                .reduce(&hits)
+                .expect("non-empty selection must reduce to a winner")
+        });
         self.counters.htree_traversals += 1;
 
         // Read the winner out and flag it excluded for later accesses.
         let (mat, local) = self.geometry.split_slot(slot);
-        let raw_bits = self.mats[mat as usize]
-            .as_ref()
-            .expect("winning mat is materialized")
-            .read_slot(local);
+        let raw_bits = timed(&probe, &mut readout_ns, || {
+            self.mats[mat as usize]
+                .as_ref()
+                .expect("winning mat is materialized")
+                .read_slot(local)
+        });
         self.counters.row_reads += 1;
         self.excluded.set(slot as usize, true);
         self.counters.extractions += 1;
+
+        if let Some(p) = &probe {
+            p.phase(Phase::Sense, sense_ns, u64::from(steps_executed));
+            p.phase(Phase::Exclude, exclude_ns, exclusions);
+            p.phase(Phase::IndexReduce, reduce_ns, 1);
+            p.phase(Phase::Readout, readout_ns, 1);
+            p.extraction(steps_executed);
+        }
 
         ExtractHit {
             slot,
@@ -700,6 +771,9 @@ impl Chip {
         plan: &SearchPlan,
         mut selected: u64,
     ) -> ExtractHit {
+        let probe = self.probe.clone();
+        let (mut sense_ns, mut exclude_ns, mut reduce_ns, mut readout_ns) = (0u64, 0, 0, 0);
+        let mut exclusions = 0u64;
         let mut survivors_negative = false;
         let mut steps_executed = 0u16;
         for step in 0..plan.steps() {
@@ -709,7 +783,7 @@ impl Chip {
             steps_executed += 1;
             let pos = plan.position(step);
 
-            let (global, active_mats) = pool.sense(pos);
+            let (global, active_mats) = timed(&probe, &mut sense_ns, || pool.sense(pos));
             self.counters.column_search_steps += 1;
             self.counters.mat_column_searches += active_mats;
 
@@ -719,34 +793,49 @@ impl Chip {
 
             if !global.all_same() {
                 let keep = plan.keep_bit(step, survivors_negative);
-                let removed = pool.exclude(pos, keep);
+                let removed = timed(&probe, &mut exclude_ns, || pool.exclude(pos, keep));
                 self.counters.select_loads += 1;
                 selected -= removed;
+                exclusions += 1;
+                if let Some(p) = &probe {
+                    p.excluded_step(removed);
+                }
             }
         }
 
         // Upstream index reduction across all mats (Fig. 10): span
         // entries come from the workers in mat order; mats outside the
         // span stayed home (their selects were cleared by the caller).
-        let mut hits: Vec<Option<u32>> = self
-            .mats
-            .iter()
-            .map(|m| m.as_ref().and_then(Mat::first_selected))
-            .collect();
-        let firsts = pool.first_selected();
-        hits[first_mat..first_mat + firsts.len()].copy_from_slice(&firsts);
-        let slot = self
-            .tree
-            .reduce(&hits)
-            .expect("non-empty selection must reduce to a winner");
+        let slot = timed(&probe, &mut reduce_ns, || {
+            let mut hits: Vec<Option<u32>> = self
+                .mats
+                .iter()
+                .map(|m| m.as_ref().and_then(Mat::first_selected))
+                .collect();
+            let firsts = pool.first_selected();
+            hits[first_mat..first_mat + firsts.len()].copy_from_slice(&firsts);
+            self.tree
+                .reduce(&hits)
+                .expect("non-empty selection must reduce to a winner")
+        });
         self.counters.htree_traversals += 1;
 
         // Read the winner out of its owning shard and flag it excluded.
         let (mat, local) = self.geometry.split_slot(slot);
-        let raw_bits = pool.read_slot(mat as usize - first_mat, local);
+        let raw_bits = timed(&probe, &mut readout_ns, || {
+            pool.read_slot(mat as usize - first_mat, local)
+        });
         self.counters.row_reads += 1;
         self.excluded.set(slot as usize, true);
         self.counters.extractions += 1;
+
+        if let Some(p) = &probe {
+            p.phase(Phase::Sense, sense_ns, u64::from(steps_executed));
+            p.phase(Phase::Exclude, exclude_ns, exclusions);
+            p.phase(Phase::IndexReduce, reduce_ns, 1);
+            p.phase(Phase::Readout, readout_ns, 1);
+            p.extraction(steps_executed);
+        }
 
         ExtractHit {
             slot,
@@ -782,6 +871,17 @@ impl Chip {
     /// Total writes absorbed by the chip's arrays.
     pub fn total_writes(&self) -> u64 {
         self.mats.iter().flatten().map(Mat::total_writes).sum()
+    }
+
+    /// Per-mat write counts (index = mat number; unmaterialized mats
+    /// report 0). The wear-heatmap source: row writes are the only
+    /// wear-inducing operation (§VII-C), so this matrix localizes
+    /// endurance hot spots to individual mats.
+    pub fn wear_by_mat(&self) -> Vec<u64> {
+        self.mats
+            .iter()
+            .map(|m| m.as_ref().map_or(0, Mat::total_writes))
+            .collect()
     }
 }
 

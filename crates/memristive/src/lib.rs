@@ -28,6 +28,8 @@
 //! * [`pool`] — the persistent mat-shard worker pool the chip controller
 //!   drives with epoch-tagged step broadcasts (the model's standing
 //!   concurrency, mirroring always-on hardware mats).
+//! * [`probe`] — zero-cost-when-disabled observation hooks for extraction
+//!   phases and pool activity (rime-core's metrics layer plugs in here).
 //! * [`timing`] / [`counters`] — Table I device timings and energy, and
 //!   the typed event counters every operation increments.
 //! * [`lifetime`] — write-endurance tracking and lifetime estimation
@@ -78,6 +80,7 @@ pub mod lifetime;
 pub mod mat;
 pub mod plan;
 pub mod pool;
+pub mod probe;
 pub mod reference;
 pub mod selftest;
 pub mod storage;
@@ -96,6 +99,7 @@ pub use lifetime::EnduranceTracker;
 pub use mat::{Mat, MatCommand, MatResponse};
 pub use plan::{Direction, SearchPlan};
 pub use pool::MatPool;
+pub use probe::{ExtractionProbe, Phase, SharedProbe};
 pub use selftest::{march_test, SelfTestReport};
 pub use storage::NormalStorageView;
 pub use timing::ArrayTiming;

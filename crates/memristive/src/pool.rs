@@ -47,10 +47,12 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::array::ColumnSignals;
 use crate::bitmap::Bitmap;
 use crate::mat::Mat;
+use crate::probe::SharedProbe;
 
 /// Requests broadcast (or targeted) from the chip controller to workers.
 enum Request {
@@ -65,6 +67,9 @@ enum Request {
         slots_per_mat: usize,
         /// Route through the row-major scalar oracle.
         scalar: bool,
+        /// Accumulate per-request busy time for this session (set only
+        /// when a probe is installed — the untimed path reads no clocks).
+        timed: bool,
         mats: Vec<Option<Mat>>,
     },
     /// One column-search step: sense bit `pos` on every active mat.
@@ -103,6 +108,9 @@ enum Reply {
     Mats {
         epoch: u64,
         mats: Vec<Option<Mat>>,
+        /// Nanoseconds this worker spent processing requests during the
+        /// session (0 when the session was untimed).
+        busy_ns: u64,
     },
 }
 
@@ -133,18 +141,31 @@ fn exclude_mat(mat: &mut Mat, pos: u16, keep: bool, scalar: bool) -> u64 {
 }
 
 /// Worker body: block on the request channel until the pool drops it.
+/// During a timed session the worker accumulates the wall time it spends
+/// *processing* requests; the controller subtracts that from the session
+/// duration to get the time the worker sat parked on its channel.
 fn worker_loop(rx: Receiver<Request>, tx: Sender<Reply>) {
     let mut shard: Option<Shard> = None;
+    let mut session_timed = false;
+    let mut busy_ns = 0u64;
     while let Ok(req) = rx.recv() {
+        let started = if session_timed {
+            Some(Instant::now())
+        } else {
+            None
+        };
         // A send failure means the pool is gone; exit quietly.
         let ok = match req {
             Request::Lease {
                 base,
                 slots_per_mat,
                 scalar,
+                timed,
                 mats,
             } => {
                 assert!(shard.is_none(), "pool protocol desync: double lease");
+                session_timed = timed;
+                busy_ns = 0;
                 shard = Some(Shard {
                     base,
                     slots_per_mat,
@@ -212,13 +233,18 @@ fn worker_loop(rx: Receiver<Request>, tx: Sender<Reply>) {
             }
             Request::Unlease { epoch } => {
                 let s = shard.take().expect("pool protocol desync: no lease");
+                session_timed = false;
                 tx.send(Reply::Mats {
                     epoch,
                     mats: s.mats,
+                    busy_ns,
                 })
                 .is_ok()
             }
         };
+        if let Some(started) = started {
+            busy_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
         if !ok {
             return;
         }
@@ -248,9 +274,11 @@ impl Worker {
 }
 
 /// While leased: how the span is sharded across workers (shard lengths
-/// in worker order, used to target `ReadSlot` at the owning worker).
+/// in worker order, used to target `ReadSlot` at the owning worker) and,
+/// for timed sessions, when the session opened.
 struct LeaseInfo {
     shard_lens: Vec<usize>,
+    started: Option<Instant>,
 }
 
 /// A persistent pool of mat-shard workers driving one chip's extraction
@@ -263,6 +291,8 @@ pub struct MatPool {
     workers: Vec<Worker>,
     epoch: u64,
     lease: Option<LeaseInfo>,
+    /// Session observer (set by the owning chip before each lease).
+    probe: Option<SharedProbe>,
 }
 
 impl std::fmt::Debug for MatPool {
@@ -298,12 +328,20 @@ impl MatPool {
             workers,
             epoch: 0,
             lease: None,
+            probe: None,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Installs (or removes) the session observer. Timed sessions read
+    /// clocks worker-side; with no probe the pool takes the pre-PR-5
+    /// clock-free path.
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.probe = probe;
     }
 
     fn next_epoch(&mut self) -> u64 {
@@ -326,10 +364,12 @@ impl MatPool {
         scalar: bool,
     ) {
         assert!(self.lease.is_none(), "pool session already open");
+        let mats_total = span.len();
         let chunk = span.len().div_ceil(self.workers.len()).max(1);
         let mut rest = span;
         let mut offset = 0usize;
         let mut shard_lens = Vec::with_capacity(self.workers.len());
+        let timed = self.probe.is_some();
         for worker in &self.workers {
             let take = chunk.min(rest.len());
             let mats: Vec<Option<Mat>> = rest.drain(..take).collect();
@@ -338,14 +378,28 @@ impl MatPool {
                 base: base + offset,
                 slots_per_mat,
                 scalar,
+                timed,
                 mats,
             });
             offset += take;
         }
-        self.lease = Some(LeaseInfo { shard_lens });
+        let started = if let Some(p) = &self.probe {
+            let largest = shard_lens.iter().copied().max().unwrap_or(0);
+            let smallest = shard_lens.iter().copied().min().unwrap_or(0);
+            p.pool_lease(self.workers.len(), mats_total, largest, smallest);
+            Some(Instant::now())
+        } else {
+            None
+        };
+        self.lease = Some(LeaseInfo {
+            shard_lens,
+            started,
+        });
     }
 
-    /// Closes the session and returns the span's mats in order.
+    /// Closes the session and returns the span's mats in order. For timed
+    /// sessions, reports each worker's busy time against the session
+    /// duration (the difference is time parked on the channel).
     pub fn unlease(&mut self) -> Vec<Option<Mat>> {
         let lease = self.lease.take().expect("no pool session open");
         let epoch = self.next_epoch();
@@ -353,22 +407,47 @@ impl MatPool {
             worker.send(Request::Unlease { epoch });
         }
         let mut span = Vec::new();
+        let mut busy = Vec::with_capacity(self.workers.len());
         for worker in &self.workers {
             match worker.recv() {
-                Reply::Mats { epoch: e, mats } => {
+                Reply::Mats {
+                    epoch: e,
+                    mats,
+                    busy_ns,
+                } => {
                     assert_eq!(e, epoch, "pool protocol desync");
                     span.extend(mats);
+                    busy.push(busy_ns);
                 }
                 _ => panic!("pool protocol desync: unexpected reply"),
             }
         }
-        drop(lease);
+        if let (Some(p), Some(started)) = (&self.probe, lease.started) {
+            let session_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            for (worker, &busy_ns) in busy.iter().enumerate() {
+                p.pool_worker(worker, busy_ns, session_ns);
+            }
+            p.pool_unlease();
+        }
         span
+    }
+
+    /// Reports one completed broadcast→fold round trip to the probe.
+    fn step_done(&self, started: Option<Instant>) {
+        if let (Some(p), Some(t)) = (&self.probe, started) {
+            p.pool_step(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Starts timing a broadcast→fold round trip (probe installed only).
+    fn step_start(&self) -> Option<Instant> {
+        self.probe.as_ref().map(|_| Instant::now())
     }
 
     /// Broadcasts one column-search step; wire-ORs the per-shard signals
     /// and sums active mats in worker order (Fig. 9's fixed reduction).
     pub fn sense(&mut self, pos: u16) -> (ColumnSignals, u64) {
+        let started = self.step_start();
         let epoch = self.next_epoch();
         for worker in &self.workers {
             worker.send(Request::Sense { epoch, pos });
@@ -389,12 +468,14 @@ impl MatPool {
                 _ => panic!("pool protocol desync: unexpected reply"),
             }
         }
+        self.step_done(started);
         (global, active)
     }
 
     /// Broadcasts one exclusion step; returns total rows deselected,
     /// summed in worker order.
     pub fn exclude(&mut self, pos: u16, keep: bool) -> u64 {
+        let started = self.step_start();
         let epoch = self.next_epoch();
         for worker in &self.workers {
             worker.send(Request::Exclude { epoch, pos, keep });
@@ -412,6 +493,7 @@ impl MatPool {
                 _ => panic!("pool protocol desync: unexpected reply"),
             }
         }
+        self.step_done(started);
         removed
     }
 
@@ -428,6 +510,7 @@ impl MatPool {
 
     /// First selected row per mat across the whole span, in mat order.
     pub fn first_selected(&mut self) -> Vec<Option<u32>> {
+        let started = self.step_start();
         let epoch = self.next_epoch();
         for worker in &self.workers {
             worker.send(Request::FirstSelected { epoch });
@@ -445,12 +528,14 @@ impl MatPool {
                 _ => panic!("pool protocol desync: unexpected reply"),
             }
         }
+        self.step_done(started);
         firsts
     }
 
     /// Reads raw bits of row `slot` in the span's `mat`-th mat
     /// (0 = first mat of the leased span).
     pub fn read_slot(&mut self, mat: usize, slot: u32) -> u64 {
+        let started = self.step_start();
         let lease = self.lease.as_ref().expect("no pool session open");
         // Locate the worker owning span-local mat index `mat`.
         let mut local = mat;
@@ -468,13 +553,15 @@ impl MatPool {
             mat: local,
             slot,
         });
-        match self.workers[owner].recv() {
+        let raw = match self.workers[owner].recv() {
             Reply::Raw { epoch: e, raw } => {
                 assert_eq!(e, epoch, "pool protocol desync");
                 raw
             }
             _ => panic!("pool protocol desync: unexpected reply"),
-        }
+        };
+        self.step_done(started);
+        raw
     }
 }
 

@@ -1,0 +1,211 @@
+//! Cross-crate observability tests: telemetry fan-in ordering and
+//! metrics-snapshot determinism.
+//!
+//! The command plane's contract is that every sink attached to the hub
+//! observes the same gap-free, strictly increasing `seq` stream — even
+//! when commands are issued concurrently from many threads against a
+//! multi-chip device. These tests wrap three heterogeneous sinks
+//! ([`MetricsSink`], [`CounterSink`], [`TraceRecorder`]) in a seq-logging
+//! shim and drive them from a threaded `ExtractBatch` workload, then pin
+//! the determinism contract of [`RimeDevice::metrics_snapshot`]: masked
+//! exports are byte-identical across identical runs, and the modeled
+//! chip-op metrics are bit-identical across every [`ParallelPolicy`].
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use rime_core::telemetry::{shared, CounterSink, Telemetry, TelemetryEvent};
+use rime_core::trace::TraceRecorder;
+use rime_core::{
+    Direction, DriverConfig, KeyFormat, MetricValue, MetricsRegistry, MetricsSink, ParallelPolicy,
+    RimeConfig, RimeDevice,
+};
+use rime_memristive::{ArrayTiming, ChipGeometry};
+
+/// Four chips of 16 mats each, 1024 slots per chip.
+fn config() -> RimeConfig {
+    RimeConfig {
+        channels: 2,
+        chips_per_channel: 2,
+        chip_geometry: ChipGeometry {
+            banks: 1,
+            subbanks_per_bank: 4,
+            mats_per_subbank: 4,
+            arrays_per_mat: 4,
+            rows: 16,
+            cols: 64,
+        },
+        timing: ArrayTiming::table1(),
+        driver: DriverConfig::default(),
+    }
+}
+
+fn keys(n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+/// Wraps any sink, logging each event's `seq` before delegating.
+struct SeqLog<T: Telemetry> {
+    inner: T,
+    seen: Arc<Mutex<Vec<u64>>>,
+}
+
+impl<T: Telemetry> SeqLog<T> {
+    fn new(inner: T) -> (SeqLog<T>, Arc<Mutex<Vec<u64>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let log = SeqLog {
+            inner,
+            seen: seen.clone(),
+        };
+        (log, seen)
+    }
+}
+
+impl<T: Telemetry> Telemetry for SeqLog<T> {
+    fn record(&mut self, event: &TelemetryEvent<'_>) {
+        self.seen
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.seq);
+        self.inner.record(event);
+    }
+}
+
+fn drain(seen: &Arc<Mutex<Vec<u64>>>) -> Vec<u64> {
+    seen.lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+#[test]
+fn all_sinks_observe_identical_seq_streams_under_concurrency() {
+    let dev = RimeDevice::new(config());
+    dev.set_parallel_policy(ParallelPolicy::Threads(2));
+
+    let (metrics, metrics_seqs) = SeqLog::new(MetricsSink::new(
+        MetricsRegistry::new(),
+        ArrayTiming::table1(),
+    ));
+    let (counters, counter_seqs) = SeqLog::new(CounterSink::default());
+    let (tracer, tracer_seqs) = SeqLog::new(TraceRecorder::new());
+    dev.attach_telemetry(shared(metrics));
+    dev.attach_telemetry(shared(counters));
+    dev.attach_telemetry(shared(tracer));
+
+    // One region per thread, spanning all four chips together, so
+    // concurrent ExtractBatch commands race through the executor while
+    // each one fans out across its own chips.
+    let threads = 4;
+    let per = dev.capacity() / threads;
+    let regions: Vec<_> = (0..threads)
+        .map(|_| dev.alloc(per).expect("alloc slice"))
+        .collect();
+    let dev = &dev;
+    std::thread::scope(|scope| {
+        for &region in &regions {
+            scope.spawn(move || {
+                let data = keys(per);
+                dev.write_raw(region, 0, &data, KeyFormat::UNSIGNED64)
+                    .expect("store");
+                dev.init_raw(region, 0, per, KeyFormat::UNSIGNED64)
+                    .expect("init");
+                for k in [8usize, 16, 4] {
+                    let hits = dev
+                        .next_extremes_raw(region, KeyFormat::UNSIGNED64, Direction::Min, k)
+                        .expect("batch");
+                    assert_eq!(hits.len(), k);
+                }
+                let _ = dev.fifo_next_raw(region).expect("drain");
+            });
+        }
+    });
+
+    let a = drain(&metrics_seqs);
+    let b = drain(&counter_seqs);
+    let c = drain(&tracer_seqs);
+    assert!(!a.is_empty(), "workload published events");
+    assert_eq!(a, b, "MetricsSink and CounterSink saw different streams");
+    assert_eq!(a, c, "MetricsSink and TraceRecorder saw different streams");
+    // Strictly increasing and gap-free: the hub assigns seq under one
+    // lock, so interleaved publishers can never reorder or skip.
+    for pair in a.windows(2) {
+        assert_eq!(pair[1], pair[0] + 1, "seq stream has a gap or reorder");
+    }
+}
+
+/// Runs a fixed instrumented multi-chip workload and returns the masked
+/// metrics snapshot JSON.
+fn masked_run(policy: ParallelPolicy) -> (String, rime_core::Snapshot, rime_core::OpCounters) {
+    let dev = RimeDevice::new(config());
+    dev.enable_extraction_metrics();
+    dev.set_parallel_policy(policy);
+    let n = dev.capacity();
+    let region = dev.alloc(n).expect("alloc");
+    let data = keys(n);
+    dev.write_raw(region, 0, &data, KeyFormat::UNSIGNED64)
+        .expect("store");
+    dev.init_raw(region, 0, n, KeyFormat::UNSIGNED64)
+        .expect("init");
+    for k in [32usize, 8] {
+        let hits = dev
+            .next_extremes_raw(region, KeyFormat::UNSIGNED64, Direction::Min, k)
+            .expect("batch");
+        assert_eq!(hits.len(), k);
+    }
+    let snapshot = dev.metrics_snapshot();
+    (snapshot.masked().to_json(false), snapshot, dev.counters())
+}
+
+#[test]
+fn masked_snapshots_are_byte_identical_across_runs() {
+    let (first, _, _) = masked_run(ParallelPolicy::Threads(3));
+    let (second, _, _) = masked_run(ParallelPolicy::Threads(3));
+    assert_eq!(
+        first, second,
+        "identical workloads must export identical masked snapshots"
+    );
+}
+
+/// The modeled chip-op metrics are a scheduling-independent quantity:
+/// every `ParallelPolicy` must report bit-identical `rime_chip_ops_total`
+/// samples, and they must agree with the device's own `OpCounters`.
+#[test]
+fn chip_op_metrics_are_policy_independent_and_match_counters() {
+    type OpSamples = Vec<(Vec<(String, String)>, u64)>;
+    let mut baseline: Option<OpSamples> = None;
+    for policy in [
+        ParallelPolicy::Sequential,
+        ParallelPolicy::SpawnPerStep(2),
+        ParallelPolicy::Threads(2),
+    ] {
+        let (_, snapshot, counters) = masked_run(policy);
+        let ops: OpSamples = snapshot
+            .metrics
+            .iter()
+            .filter(|m| m.name == "rime_chip_ops_total")
+            .map(|m| match m.value {
+                MetricValue::Counter(v) => (m.labels.clone(), v),
+                ref other => panic!("rime_chip_ops_total is not a counter: {other:?}"),
+            })
+            .collect();
+        assert!(!ops.is_empty(), "chip op metrics were recorded");
+        // Per-op totals across chips must equal the device counters.
+        let total_for = |op: &str| -> u64 {
+            ops.iter()
+                .filter(|(labels, _)| labels.iter().any(|(k, v)| k == "op" && v == op))
+                .map(|&(_, v)| v)
+                .sum()
+        };
+        assert_eq!(
+            total_for("column_search_steps"),
+            counters.column_search_steps
+        );
+        assert_eq!(total_for("extractions"), counters.extractions);
+        match &baseline {
+            None => baseline = Some(ops),
+            Some(first) => assert_eq!(
+                first, &ops,
+                "{policy:?} produced different chip-op metrics than Sequential"
+            ),
+        }
+    }
+}
