@@ -27,14 +27,21 @@
 use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use rime_memristive::{Chip, Direction, ExtractHit, KeyFormat, OpCounters, ParallelPolicy};
+use rime_memristive::{
+    Chip, ChipState, Direction, ExtractHit, KeyFormat, OpCounters, ParallelPolicy,
+};
 
 use crate::device::{Region, RimeConfig};
 use crate::driver::ContiguousAllocator;
 use crate::error::RimeError;
+#[cfg(feature = "crash-test")]
+use crate::journal::CrashPoint;
+use crate::journal::{
+    self, Journal, JournalConfig, JournalError, JournalRecord, JournalStore, RecoveryReport,
+};
 use crate::metrics::{ChipProbe, MetricsRegistry, MetricsSink, Snapshot};
 use crate::telemetry::{DeviceStats, Effects, SharedSink, Telemetry, TelemetryEvent};
 
@@ -245,6 +252,25 @@ pub struct Executor {
     /// Built-in metrics publisher: always on, lock-free after metric
     /// registration, feeding the registry behind [`Executor::metrics`].
     metrics: MetricsSink,
+    /// Write-ahead journal, when attached. Doubles as the serialization
+    /// point for journaled execution: [`Executor::execute`] holds this
+    /// lock across intent → dispatch → outcome, so the log order *is*
+    /// the execution order and recovery replay is deterministic.
+    journal: Mutex<Option<Journal>>,
+    /// Set while [`Executor::recover`] replays the journal tail:
+    /// replayed commands skip the regular per-command metrics and tick
+    /// only the nondeterministic-flagged replay counter, keeping masked
+    /// snapshots of a recovered device identical to an uncrashed run's.
+    replaying: AtomicBool,
+    /// Fault injector for the crash harness; `None` keeps every crash
+    /// site a no-op.
+    #[cfg(feature = "crash-test")]
+    crash: Mutex<Option<Arc<CrashPoint>>>,
+    /// One-shot per-chip errors substituted for the *next* batched
+    /// extraction result on that chip — models a chip failing
+    /// mid-`ExtractBatch` after its work (and counter delta) happened.
+    #[cfg(feature = "crash-test")]
+    extract_faults: Mutex<Vec<(u32, RimeError)>>,
 }
 
 impl Executor {
@@ -267,21 +293,70 @@ impl Executor {
                 sinks: Vec::new(),
             }),
             metrics: MetricsSink::new(MetricsRegistry::new(), config.timing),
+            journal: Mutex::new(None),
+            replaying: AtomicBool::new(false),
+            #[cfg(feature = "crash-test")]
+            crash: Mutex::new(None),
+            #[cfg(feature = "crash-test")]
+            extract_faults: Mutex::new(Vec::new()),
             config,
         }
     }
 
     /// Validates, dispatches, and marshals one command, publishing the
     /// resulting event (success or failure) to every telemetry sink.
+    /// With a journal attached, the command rides the commit-marker
+    /// protocol: intent logged before dispatch, outcome after.
     pub fn execute(&self, command: Command<'_>) -> Result<Outcome, RimeError> {
+        let guard = lock_recover(&self.journal);
+        if guard.is_some() {
+            self.execute_journaled(guard, &command)
+        } else {
+            drop(guard);
+            self.run(&command).0
+        }
+    }
+
+    /// Dispatches one command and publishes its telemetry event,
+    /// returning both the result and the captured effects — the pair
+    /// the journal records and recovery replay compares against.
+    fn run(&self, command: &Command<'_>) -> (Result<Outcome, RimeError>, Effects) {
         let _span = crate::span!(
             self.metrics.registry(),
             "rime_command",
             command = command.kind()
         );
         let mut effects = Effects::default();
-        let result = self.dispatch(&command, &mut effects);
-        self.publish(&command, &result, &effects);
+        let result = self.dispatch(command, &mut effects);
+        self.publish(command, &result, &effects);
+        (result, effects)
+    }
+
+    /// The journaled path: intent durable before dispatch, outcome
+    /// durable after, a checkpoint every `checkpoint_every` commits —
+    /// with a crash site at every step boundary. A journal append
+    /// failure refuses the command *before* it runs (the durability
+    /// contract is write-ahead, not best-effort).
+    fn execute_journaled(
+        &self,
+        mut guard: MutexGuard<'_, Option<Journal>>,
+        command: &Command<'_>,
+    ) -> Result<Outcome, RimeError> {
+        let journal = guard.as_mut().expect("journaled path");
+        let ordinal = journal.committed();
+        journal.record_intent(ordinal, command)?;
+        self.crash_point(); // intent durable, nothing dispatched
+        let (result, effects) = self.run(command);
+        self.crash_point(); // dispatched + published, outcome not durable
+        journal.record_outcome(ordinal, &result, &effects)?;
+        self.crash_point(); // committed; checkpoint may still be due
+        let every = journal.config().checkpoint_every;
+        if every > 0 && journal.committed().is_multiple_of(every) {
+            let state = self.checkpoint_bytes();
+            self.crash_point(); // mid-checkpoint: state built, not appended
+            journal.record_checkpoint(&state)?;
+            self.crash_point(); // checkpoint durable
+        }
         result
     }
 
@@ -309,7 +384,11 @@ impl Executor {
         };
         hub.seq += 1;
         hub.stats.record(&event);
-        self.metrics.observe(&event);
+        if self.replaying.load(Ordering::Relaxed) {
+            self.metrics.note_replayed();
+        } else {
+            self.metrics.observe(&event);
+        }
         for sink in &hub.sinks {
             lock_recover(sink).record(&event);
         }
@@ -368,6 +447,9 @@ impl Executor {
         let delta = chip.counters().delta_since(&before);
         drop(chip);
         fx.record_chip(idx, delta);
+        // Crash site: the chip mutated and its delta is captured, but
+        // the command has not committed (mid-write, mid-init, mid-rearm).
+        self.crash_point();
         out
     }
 
@@ -600,6 +682,15 @@ impl Executor {
                 .extract_range_batch(begin, end, format, direction, need)
                 .map_err(RimeError::from);
             let delta = chip.counters().delta_since(&before);
+            drop(chip);
+            // Harness hook: a chip "fails" mid-batch *after* doing the
+            // work — its partial delta must still reach the journal.
+            let res = match self.take_extract_fault(chip_idx) {
+                Some(err) => Err(err),
+                None => res,
+            };
+            // Crash site: mid-extraction, possibly on a worker thread.
+            self.crash_point();
             (chip_idx, chip_base, delta, res)
         };
         type Refill = (u32, u64, OpCounters, Result<Vec<ExtractHit>, RimeError>);
@@ -869,6 +960,463 @@ impl Executor {
             .map(|c| lock_recover(c).wear_by_mat())
             .collect()
     }
+
+    // ---- Durability (write-ahead journal + recovery) ----
+
+    /// Attaches a write-ahead journal: every subsequent command is
+    /// logged intent-first, outcome-after, with periodic checkpoints.
+    /// An initial checkpoint of the *current* state is written
+    /// immediately, so the journal alone reconstructs the device even
+    /// when commands ran before attach. Call while quiescent (no
+    /// concurrent `execute` in flight).
+    pub fn attach_journal(
+        &self,
+        store: Box<dyn JournalStore>,
+        config: JournalConfig,
+    ) -> Result<(), RimeError> {
+        let mut guard = lock_recover(&self.journal);
+        let mut journal = Journal::new(store, config)?;
+        journal.record_checkpoint(&self.checkpoint_bytes())?;
+        *guard = Some(journal);
+        Ok(())
+    }
+
+    /// Detaches the journal (no further records are written). Returns
+    /// whether one was attached.
+    pub fn detach_journal(&self) -> bool {
+        lock_recover(&self.journal).take().is_some()
+    }
+
+    /// Commands committed to the attached journal, or `None` without
+    /// one.
+    pub fn journal_committed(&self) -> Option<u64> {
+        lock_recover(&self.journal).as_ref().map(Journal::committed)
+    }
+
+    /// Forces a checkpoint now. `Ok(true)` when one was written,
+    /// `Ok(false)` when no journal is attached.
+    pub fn checkpoint_now(&self) -> Result<bool, RimeError> {
+        let mut guard = lock_recover(&self.journal);
+        match guard.as_mut() {
+            None => Ok(false),
+            Some(journal) => {
+                let state = self.checkpoint_bytes();
+                journal.record_checkpoint(&state)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Per-chip raw snapshots (the crash harness's bit-identity
+    /// fingerprint; also what checkpoints marshal).
+    pub fn chip_states(&self) -> Vec<ChipState> {
+        self.chips.iter().map(|c| lock_recover(c).state()).collect()
+    }
+
+    /// The driver allocation map as `(reserved_slots, sorted live
+    /// (start, len) extents)` — canonical, so two bit-identical devices
+    /// compare equal.
+    pub fn allocation_map(&self) -> (u64, Vec<(u64, u64)>) {
+        let allocator = lock_recover(&self.allocator);
+        (allocator.reserved_slots(), allocator.live_allocations())
+    }
+
+    /// Live region handles, sorted by id. `Region` is otherwise only
+    /// obtainable from `Alloc`, so this is how a process that recovered
+    /// a device from a journal rehydrates its handles and resumes.
+    pub fn regions(&self) -> Vec<Region> {
+        let tables = read_recover(&self.tables);
+        let mut regions: Vec<Region> = tables
+            .regions
+            .iter()
+            .map(|(&id, &(start, len))| Region { id, start, len })
+            .collect();
+        regions.sort_by_key(|r| r.id);
+        regions
+    }
+
+    /// Marshals the full executor state into a checkpoint blob:
+    /// configuration fingerprint, telemetry seq + stats, driver
+    /// allocator, region/format tables, sessions (with buffered
+    /// candidates), and every chip's raw snapshot. All map-backed state
+    /// is serialized in sorted key order, so equal devices produce
+    /// byte-equal checkpoints.
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        journal::put_u32(&mut buf, self.chips.len() as u32);
+        journal::put_u64(&mut buf, self.config.chip_slots());
+        journal::put_u64(&mut buf, self.next_id.load(Ordering::SeqCst));
+        {
+            let hub = lock_recover(&self.hub);
+            journal::put_u64(&mut buf, hub.seq);
+            for counters in hub.stats.per_chip() {
+                journal::put_counters(&mut buf, counters);
+            }
+            journal::put_u64(&mut buf, hub.stats.interface_transfers());
+        }
+        {
+            let allocator = lock_recover(&self.allocator);
+            journal::put_u64(&mut buf, allocator.total_slots());
+            journal::put_u64(&mut buf, allocator.reserved_slots());
+            let free = allocator.free_extents();
+            journal::put_u32(&mut buf, free.len() as u32);
+            for &(start, len) in free {
+                journal::put_u64(&mut buf, start);
+                journal::put_u64(&mut buf, len);
+            }
+            let live = allocator.live_allocations();
+            journal::put_u32(&mut buf, live.len() as u32);
+            for (start, len) in live {
+                journal::put_u64(&mut buf, start);
+                journal::put_u64(&mut buf, len);
+            }
+        }
+        {
+            let tables = read_recover(&self.tables);
+            let mut regions: Vec<(u64, u64, u64)> = tables
+                .regions
+                .iter()
+                .map(|(&id, &(start, len))| (id, start, len))
+                .collect();
+            regions.sort_unstable();
+            journal::put_u32(&mut buf, regions.len() as u32);
+            for (id, start, len) in regions {
+                journal::put_u64(&mut buf, id);
+                journal::put_u64(&mut buf, start);
+                journal::put_u64(&mut buf, len);
+            }
+            let mut formats: Vec<(u64, KeyFormat)> =
+                tables.formats.iter().map(|(&id, &f)| (id, f)).collect();
+            formats.sort_unstable_by_key(|&(id, _)| id);
+            journal::put_u32(&mut buf, formats.len() as u32);
+            for (id, format) in formats {
+                journal::put_u64(&mut buf, id);
+                journal::put_format(&mut buf, format);
+            }
+        }
+        {
+            let sessions = read_recover(&self.sessions);
+            let mut ids: Vec<u64> = sessions.keys().copied().collect();
+            ids.sort_unstable();
+            journal::put_u32(&mut buf, ids.len() as u32);
+            for id in ids {
+                let session = lock_recover(&sessions[&id]);
+                journal::put_u64(&mut buf, id);
+                journal::put_u8(
+                    &mut buf,
+                    match session.direction {
+                        None => 0,
+                        Some(Direction::Min) => 1,
+                        Some(Direction::Max) => 2,
+                    },
+                );
+                journal::put_u64(&mut buf, session.begin);
+                journal::put_u64(&mut buf, session.end);
+                journal::put_format(&mut buf, session.format);
+                let mut chips: Vec<u32> = session.queues.keys().copied().collect();
+                chips.sort_unstable();
+                journal::put_u32(&mut buf, chips.len() as u32);
+                for chip in chips {
+                    journal::put_u32(&mut buf, chip);
+                    let queue = &session.queues[&chip];
+                    journal::put_u32(&mut buf, queue.len() as u32);
+                    for &(slot, raw) in queue {
+                        journal::put_u64(&mut buf, slot);
+                        journal::put_u64(&mut buf, raw);
+                    }
+                }
+            }
+        }
+        for chip in &self.chips {
+            journal::put_chip_state(&mut buf, &lock_recover(chip).state());
+        }
+        buf
+    }
+
+    /// Rebuilds an executor from a checkpoint blob, validating the
+    /// configuration fingerprint against `config` first.
+    fn from_checkpoint(config: RimeConfig, bytes: &[u8]) -> Result<Executor, JournalError> {
+        let mut d = journal::Dec::new(bytes);
+        let chip_count = d.u32()? as usize;
+        if chip_count != config.total_chips() as usize {
+            return Err(JournalError::CheckpointMismatch {
+                what: format!(
+                    "checkpoint has {chip_count} chips, device has {}",
+                    config.total_chips()
+                ),
+            });
+        }
+        let chip_slots = d.u64()?;
+        if chip_slots != config.chip_slots() {
+            return Err(JournalError::CheckpointMismatch {
+                what: format!(
+                    "checkpoint chips hold {chip_slots} slots, configured chips hold {}",
+                    config.chip_slots()
+                ),
+            });
+        }
+        let next_id = d.u64()?;
+        let seq = d.u64()?;
+        let per_chip: Vec<OpCounters> = (0..chip_count)
+            .map(|_| journal::get_counters(&mut d))
+            .collect::<Result<_, _>>()?;
+        let transfers = d.u64()?;
+        let total_slots = d.u64()?;
+        if total_slots != config.total_slots() {
+            return Err(JournalError::CheckpointMismatch {
+                what: format!(
+                    "checkpoint spans {total_slots} slots, device spans {}",
+                    config.total_slots()
+                ),
+            });
+        }
+        let reserved_slots = d.u64()?;
+        let nfree = d.len_prefix(16)?;
+        let free: Vec<(u64, u64)> = (0..nfree)
+            .map(|_| Ok((d.u64()?, d.u64()?)))
+            .collect::<Result<_, JournalError>>()?;
+        let nlive = d.len_prefix(16)?;
+        let live: Vec<(u64, u64)> = (0..nlive)
+            .map(|_| Ok((d.u64()?, d.u64()?)))
+            .collect::<Result<_, JournalError>>()?;
+        let allocator =
+            ContiguousAllocator::from_parts(config.driver, total_slots, reserved_slots, free, live);
+        let mut tables = Tables::default();
+        let nregions = d.len_prefix(24)?;
+        for _ in 0..nregions {
+            let id = d.u64()?;
+            let start = d.u64()?;
+            let len = d.u64()?;
+            tables.regions.insert(id, (start, len));
+        }
+        let nformats = d.len_prefix(8)?;
+        for _ in 0..nformats {
+            let id = d.u64()?;
+            tables.formats.insert(id, journal::get_format(&mut d)?);
+        }
+        let mut sessions = HashMap::new();
+        let nsessions = d.len_prefix(1)?;
+        for _ in 0..nsessions {
+            let id = d.u64()?;
+            let direction = match d.u8()? {
+                0 => None,
+                1 => Some(Direction::Min),
+                2 => Some(Direction::Max),
+                tag => {
+                    return Err(JournalError::Decode {
+                        what: format!("invalid direction tag {tag}"),
+                    })
+                }
+            };
+            let begin = d.u64()?;
+            let end = d.u64()?;
+            let format = journal::get_format(&mut d)?;
+            let mut queues = HashMap::new();
+            let nqueues = d.len_prefix(4)?;
+            for _ in 0..nqueues {
+                let chip = d.u32()?;
+                let qlen = d.len_prefix(16)?;
+                let mut queue = VecDeque::with_capacity(qlen);
+                for _ in 0..qlen {
+                    queue.push_back((d.u64()?, d.u64()?));
+                }
+                queues.insert(chip, queue);
+            }
+            sessions.insert(
+                id,
+                Arc::new(Mutex::new(Session {
+                    direction,
+                    begin,
+                    end,
+                    format,
+                    queues,
+                })),
+            );
+        }
+        let mut chips = Vec::with_capacity(chip_count);
+        for idx in 0..chip_count {
+            let state = journal::get_chip_state(&mut d)?;
+            let mut chip = Chip::new(config.chip_geometry);
+            if !chip.restore_state(&state) {
+                return Err(JournalError::CheckpointMismatch {
+                    what: format!("chip {idx} snapshot does not fit the configured geometry"),
+                });
+            }
+            chips.push(Mutex::new(chip));
+        }
+        d.finish("checkpoint")?;
+        Ok(Executor {
+            chips,
+            allocator: Mutex::new(allocator),
+            tables: RwLock::new(tables),
+            sessions: RwLock::new(sessions),
+            next_id: AtomicU64::new(next_id),
+            hub: Mutex::new(Hub {
+                seq,
+                stats: DeviceStats::restore(per_chip, transfers),
+                sinks: Vec::new(),
+            }),
+            metrics: MetricsSink::new(MetricsRegistry::new(), config.timing),
+            journal: Mutex::new(None),
+            replaying: AtomicBool::new(false),
+            #[cfg(feature = "crash-test")]
+            crash: Mutex::new(None),
+            #[cfg(feature = "crash-test")]
+            extract_faults: Mutex::new(Vec::new()),
+            config,
+        })
+    }
+
+    /// Reconstructs a bit-identical executor from a journal: loads the
+    /// newest checkpoint, re-executes the committed tail (demanding
+    /// recorded results and effects match exactly — any divergence is a
+    /// typed refusal, not a silently different device), truncates a
+    /// torn final record, and re-attaches the journal so execution can
+    /// resume where the crash left off.
+    ///
+    /// Recovery is *detectable*: the [`RecoveryReport`] says how much
+    /// was replayed, whether a command's intent was left without an
+    /// outcome (that command did **not** commit and is not re-run — the
+    /// caller decides whether to resubmit), and whether the tail was
+    /// torn.
+    pub fn recover(
+        config: RimeConfig,
+        store: Box<dyn JournalStore>,
+        journal_config: JournalConfig,
+    ) -> Result<(Executor, RecoveryReport), RimeError> {
+        let bytes = store.read_all().map_err(RimeError::from)?;
+        if bytes.is_empty() {
+            // Never journaled: bring up fresh and start a log.
+            let executor = Executor::new(config);
+            executor.attach_journal(store, journal_config)?;
+            let report = RecoveryReport {
+                committed: 0,
+                replayed: 0,
+                interrupted: None,
+                torn_tail: false,
+                from_checkpoint: false,
+            };
+            return Ok((executor, report));
+        }
+        let scanned = journal::scan(&bytes).map_err(RimeError::from)?;
+        let mut base = 0u64;
+        let mut checkpoint: Option<(usize, &[u8])> = None;
+        for (idx, (_, record)) in scanned.records.iter().enumerate() {
+            if let JournalRecord::Checkpoint { committed, state } = record {
+                base = *committed;
+                checkpoint = Some((idx, state));
+            }
+        }
+        let executor = match checkpoint {
+            Some((_, state)) => Executor::from_checkpoint(config, state)?,
+            None => Executor::new(config),
+        };
+        // Pair intents with outcomes past the newest checkpoint. A
+        // repeated intent for the same ordinal is the resume of a
+        // command whose first attempt crashed mid-dispatch.
+        let start = checkpoint.map_or(0, |(idx, _)| idx + 1);
+        let mut pending: Option<(u64, Command<'static>)> = None;
+        let mut tail: Vec<(u64, Command<'static>, Result<Outcome, RimeError>, Effects)> =
+            Vec::new();
+        for (_, record) in &scanned.records[start..] {
+            match record {
+                JournalRecord::Intent { ordinal, command } => {
+                    pending = Some((*ordinal, command.clone()));
+                }
+                JournalRecord::Outcome {
+                    ordinal,
+                    result,
+                    effects,
+                } => match pending.take() {
+                    Some((intent_ordinal, command)) if intent_ordinal == *ordinal => {
+                        tail.push((*ordinal, command, result.clone(), effects.clone()));
+                    }
+                    _ => {
+                        return Err(RimeError::Journal(JournalError::Decode {
+                            what: format!(
+                                "outcome for ordinal {ordinal} without a matching intent"
+                            ),
+                        }))
+                    }
+                },
+                JournalRecord::Checkpoint { .. } => {
+                    // Unreachable by construction (we started past the
+                    // newest checkpoint), but harmless.
+                }
+            }
+        }
+        let replayed = tail.len() as u64;
+        executor.replaying.store(true, Ordering::SeqCst);
+        for (ordinal, command, recorded_result, recorded_effects) in &tail {
+            let (result, effects) = executor.run(command);
+            if result != *recorded_result || effects != *recorded_effects {
+                executor.replaying.store(false, Ordering::SeqCst);
+                return Err(RimeError::Journal(JournalError::ReplayDivergence {
+                    ordinal: *ordinal,
+                }));
+            }
+        }
+        executor.replaying.store(false, Ordering::SeqCst);
+        let interrupted = pending.map(|(ordinal, _)| ordinal);
+        if scanned.torn_tail {
+            store.truncate(scanned.valid_len).map_err(RimeError::from)?;
+        }
+        let committed = base + replayed;
+        let mut journal = Journal::new(store, journal_config).map_err(RimeError::from)?;
+        journal.set_committed(committed);
+        *lock_recover(&executor.journal) = Some(journal);
+        let report = RecoveryReport {
+            committed,
+            replayed,
+            interrupted,
+            torn_tail: scanned.torn_tail,
+            from_checkpoint: checkpoint.is_some(),
+        };
+        Ok((executor, report))
+    }
+
+    /// Installs (or clears) the crash-site fault injector.
+    #[cfg(feature = "crash-test")]
+    pub fn install_crash_point(&self, point: Option<Arc<CrashPoint>>) {
+        *lock_recover(&self.crash) = point;
+    }
+
+    /// Queues a one-shot error for `chip`'s next batched extraction —
+    /// the chip does its work (and its counter delta is recorded) but
+    /// the result is replaced by `error`, modeling a chip failing
+    /// mid-`ExtractBatch`.
+    #[cfg(feature = "crash-test")]
+    pub fn inject_extract_fault(&self, chip: u32, error: RimeError) {
+        lock_recover(&self.extract_faults).push((chip, error));
+    }
+
+    #[cfg(feature = "crash-test")]
+    fn take_extract_fault(&self, chip: u32) -> Option<RimeError> {
+        let mut faults = lock_recover(&self.extract_faults);
+        let pos = faults.iter().position(|&(c, _)| c == chip)?;
+        Some(faults.remove(pos).1)
+    }
+
+    #[cfg(not(feature = "crash-test"))]
+    #[inline(always)]
+    fn take_extract_fault(&self, _chip: u32) -> Option<RimeError> {
+        None
+    }
+
+    /// Registers passage through one crash site with the installed
+    /// injector. With the `crash-test` feature off this is an empty
+    /// inline no-op (the `ExtractionProbe` pattern).
+    #[cfg(feature = "crash-test")]
+    fn crash_point(&self) {
+        let point = lock_recover(&self.crash).clone();
+        if let Some(point) = point {
+            point.hit();
+        }
+    }
+
+    #[cfg(not(feature = "crash-test"))]
+    #[inline(always)]
+    fn crash_point(&self) {}
 
     #[cfg(test)]
     fn poison_chip(&self, idx: usize) {
@@ -1188,5 +1736,285 @@ mod tests {
         for (idx, chip) in exec.chips.iter().enumerate() {
             assert_eq!(per_chip[idx], *lock_recover(chip).counters(), "chip {idx}");
         }
+    }
+
+    // ---- Journal + recovery ----
+
+    use crate::journal::MemJournalStore;
+    use crate::metrics::MetricValue;
+
+    fn journaled_exec(checkpoint_every: u64) -> (Executor, MemJournalStore) {
+        let exec = exec();
+        let store = MemJournalStore::new();
+        exec.attach_journal(Box::new(store.clone()), JournalConfig { checkpoint_every })
+            .unwrap();
+        (exec, store)
+    }
+
+    /// Alloc + write + init + a batched extraction: touches the
+    /// allocator, tables, sessions (with leftover buffered candidates),
+    /// and every chip the region spans.
+    fn run_workload(exec: &Executor) -> Region {
+        let r = region_of(exec.execute(Command::Alloc { len: 4 }).unwrap());
+        exec.execute(Command::Write {
+            region: r,
+            offset: 0,
+            raw: Cow::Borrowed(&[9, 2, 7, 5]),
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        exec.execute(Command::Init {
+            region: r,
+            offset: 0,
+            len: 4,
+            format: KeyFormat::UNSIGNED64,
+        })
+        .unwrap();
+        exec.execute(Command::ExtractBatch {
+            region: r,
+            format: KeyFormat::UNSIGNED64,
+            direction: Direction::Min,
+            k: 2,
+        })
+        .unwrap();
+        r
+    }
+
+    /// Everything "bit-identical" means: raw chip snapshots, the
+    /// allocation map, and the full telemetry ledger.
+    #[allow(clippy::type_complexity)]
+    fn fingerprint(
+        exec: &Executor,
+    ) -> (
+        Vec<ChipState>,
+        (u64, Vec<(u64, u64)>),
+        OpCounters,
+        Vec<OpCounters>,
+        u64,
+    ) {
+        (
+            exec.chip_states(),
+            exec.allocation_map(),
+            exec.counters(),
+            exec.per_chip_counters(),
+            exec.interface_transfers(),
+        )
+    }
+
+    #[test]
+    fn recovery_rebuilds_a_bit_identical_device() {
+        // checkpoint_every=3 puts a checkpoint mid-stream, so recovery
+        // exercises both the checkpoint load and a journal-tail replay.
+        let (exec, store) = journaled_exec(3);
+        let r = run_workload(&exec);
+        let want = fingerprint(&exec);
+        let committed = exec.journal_committed().unwrap();
+        drop(exec); // the "crash": the process is simply gone
+        let (rec, report) = Executor::recover(
+            RimeConfig::small(),
+            Box::new(store),
+            JournalConfig {
+                checkpoint_every: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.committed, committed);
+        assert!(report.from_checkpoint);
+        assert!(report.replayed >= 1, "the tail past the checkpoint re-ran");
+        assert_eq!(report.interrupted, None);
+        assert!(!report.torn_tail);
+        assert_eq!(fingerprint(&rec), want, "recovery is bit-identical");
+        // Replayed commands are flagged, not silently recounted: the
+        // nondeterministic `rime_replayed_commands_total` carries them,
+        // and masking zeroes it so masked snapshots stay deterministic.
+        let snap = rec.metrics().snapshot();
+        let replayed = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "rime_replayed_commands_total")
+            .expect("replay counter registered");
+        assert!(replayed.nondeterministic);
+        assert_eq!(replayed.value, MetricValue::Counter(report.replayed));
+        let masked = snap.masked();
+        let masked_replayed = masked
+            .metrics
+            .iter()
+            .find(|m| m.name == "rime_replayed_commands_total")
+            .unwrap();
+        assert_eq!(masked_replayed.value, MetricValue::Counter(0));
+        // The device keeps working and the journal keeps counting.
+        assert_eq!(
+            rec.execute(Command::Extract {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+            })
+            .unwrap(),
+            Outcome::Hit(Some((2, 7)))
+        );
+        assert_eq!(rec.journal_committed(), Some(committed + 1));
+    }
+
+    #[test]
+    fn an_unmatched_intent_is_reported_not_replayed() {
+        // An intent without an outcome is a command that never
+        // committed: recovery must not guess at it.
+        let store = MemJournalStore::new();
+        let mut journal = Journal::new(Box::new(store.clone()), JournalConfig::default()).unwrap();
+        journal
+            .record_intent(0, &Command::Alloc { len: 2 })
+            .unwrap();
+        drop(journal);
+        let (rec, report) = Executor::recover(
+            RimeConfig::small(),
+            Box::new(store),
+            JournalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            report,
+            RecoveryReport {
+                committed: 0,
+                replayed: 0,
+                interrupted: Some(0),
+                torn_tail: false,
+                from_checkpoint: false,
+            }
+        );
+        assert_eq!(
+            rec.allocation_map().1,
+            Vec::new(),
+            "in-doubt command not applied"
+        );
+        // The caller resubmits; it commits at the same ordinal.
+        region_of(rec.execute(Command::Alloc { len: 2 }).unwrap());
+        assert_eq!(rec.journal_committed(), Some(1));
+    }
+
+    #[test]
+    fn divergent_replay_is_refused() {
+        // Doctor an outcome record so the log claims a result the
+        // device cannot reproduce — recovery must refuse, not hand back
+        // a silently different device.
+        let store = MemJournalStore::new();
+        let mut journal = Journal::new(Box::new(store.clone()), JournalConfig::default()).unwrap();
+        journal
+            .record_intent(0, &Command::Alloc { len: 4 })
+            .unwrap();
+        let wrong = Ok(Outcome::Region(Region {
+            id: 7,
+            start: 512,
+            len: 4,
+        }));
+        journal
+            .record_outcome(0, &wrong, &Effects::default())
+            .unwrap();
+        drop(journal);
+        let err = Executor::recover(
+            RimeConfig::small(),
+            Box::new(store),
+            JournalConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RimeError::Journal(JournalError::ReplayDivergence { ordinal: 0 })
+        );
+    }
+
+    #[test]
+    fn checkpoint_for_a_different_device_is_refused() {
+        let (exec, store) = journaled_exec(32);
+        run_workload(&exec);
+        let mut other = RimeConfig::small();
+        other.chips_per_channel = 1;
+        let err = Executor::recover(other, Box::new(store), JournalConfig::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RimeError::Journal(JournalError::CheckpointMismatch { .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn a_torn_tail_is_amputated_and_the_command_resubmitted() {
+        let (exec, store) = journaled_exec(32);
+        let r = run_workload(&exec);
+        let want = fingerprint(&exec);
+        drop(exec);
+        // Tear the final outcome record (the batch extraction), as a
+        // crash mid-append would.
+        let bytes = store.snapshot();
+        let torn = MemJournalStore::from_bytes(bytes[..bytes.len() - 3].to_vec());
+        let (rec, report) = Executor::recover(
+            RimeConfig::small(),
+            Box::new(torn.clone()),
+            JournalConfig::default(),
+        )
+        .unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.interrupted, Some(3), "the batch never committed");
+        assert_eq!(report.committed, 3);
+        // The torn record was truncated away: the log scans clean.
+        let rescanned = journal::scan(&torn.snapshot()).unwrap();
+        assert!(!rescanned.torn_tail);
+        // Resubmitting the in-doubt command converges on the uncrashed
+        // device, bit for bit.
+        assert_eq!(
+            rec.execute(Command::ExtractBatch {
+                region: r,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+                k: 2,
+            })
+            .unwrap(),
+            Outcome::Hits(vec![(1, 2), (3, 5)])
+        );
+        assert_eq!(fingerprint(&rec), want);
+    }
+
+    #[test]
+    fn recovery_of_an_empty_store_is_a_fresh_start() {
+        let (rec, report) = Executor::recover(
+            RimeConfig::small(),
+            Box::new(MemJournalStore::new()),
+            JournalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.replayed, 0);
+        assert!(!report.from_checkpoint);
+        assert_eq!(
+            rec.journal_committed(),
+            Some(0),
+            "journaling starts at once"
+        );
+        run_workload(&rec);
+        assert_eq!(rec.journal_committed(), Some(4));
+    }
+
+    #[test]
+    fn checkpoints_detach_and_forced_cadence_work() {
+        let exec = exec();
+        assert_eq!(exec.journal_committed(), None);
+        assert!(!exec.checkpoint_now().unwrap(), "no journal, no checkpoint");
+        assert!(!exec.detach_journal());
+        let store = MemJournalStore::new();
+        exec.attach_journal(Box::new(store.clone()), JournalConfig::default())
+            .unwrap();
+        assert_eq!(exec.journal_committed(), Some(0));
+        assert!(exec.checkpoint_now().unwrap());
+        let scanned = journal::scan(&store.snapshot()).unwrap();
+        let checkpoints = scanned
+            .records
+            .iter()
+            .filter(|(_, r)| matches!(r, JournalRecord::Checkpoint { .. }))
+            .count();
+        assert_eq!(checkpoints, 2, "attach + forced");
+        assert!(exec.detach_journal());
+        assert!(!exec.detach_journal());
+        assert_eq!(exec.journal_committed(), None);
     }
 }

@@ -538,6 +538,91 @@ impl RimeDevice {
     pub fn wear_matrix(&self) -> Vec<Vec<u64>> {
         self.exec.wear_matrix()
     }
+
+    // ---- Durability (see `crate::journal` and DESIGN.md §12) ----
+
+    /// Attaches a write-ahead journal: every subsequent command is
+    /// logged intent-first, outcome-after, with periodic checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::Journal`] when the store cannot be written or holds
+    /// a foreign file.
+    pub fn attach_journal(
+        &self,
+        store: Box<dyn crate::journal::JournalStore>,
+        config: crate::journal::JournalConfig,
+    ) -> Result<(), RimeError> {
+        self.exec.attach_journal(store, config)
+    }
+
+    /// Detaches the journal. Returns whether one was attached.
+    pub fn detach_journal(&self) -> bool {
+        self.exec.detach_journal()
+    }
+
+    /// Commands committed to the attached journal (`None` without one).
+    pub fn journal_committed(&self) -> Option<u64> {
+        self.exec.journal_committed()
+    }
+
+    /// Forces a checkpoint now; `Ok(false)` when no journal is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::Journal`] when the checkpoint cannot be appended.
+    pub fn checkpoint_now(&self) -> Result<bool, RimeError> {
+        self.exec.checkpoint_now()
+    }
+
+    /// Reconstructs a bit-identical device from a journal and reports
+    /// what recovery found (see [`crate::journal::RecoveryReport`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RimeError::Journal`] on store I/O failures, interior
+    /// corruption, a checkpoint for a different device shape, or a
+    /// replay that diverges from the recorded outcomes.
+    pub fn recover(
+        config: RimeConfig,
+        store: Box<dyn crate::journal::JournalStore>,
+        journal_config: crate::journal::JournalConfig,
+    ) -> Result<(RimeDevice, crate::journal::RecoveryReport), RimeError> {
+        let (exec, report) = Executor::recover(config, store, journal_config)?;
+        Ok((RimeDevice { exec }, report))
+    }
+
+    /// Per-chip raw snapshots — what checkpoints marshal, and the
+    /// bit-identity fingerprint recovery is checked against.
+    pub fn chip_states(&self) -> Vec<rime_memristive::ChipState> {
+        self.exec.chip_states()
+    }
+
+    /// The driver allocation map as `(reserved_slots, sorted live
+    /// (start, len) extents)`.
+    pub fn allocation_map(&self) -> (u64, Vec<(u64, u64)>) {
+        self.exec.allocation_map()
+    }
+
+    /// Live region handles, sorted by id — how a process that
+    /// [`RimeDevice::recover`]ed a device rehydrates the handles its
+    /// predecessor allocated and resumes region-scoped work.
+    pub fn regions(&self) -> Vec<Region> {
+        self.exec.regions()
+    }
+
+    /// Installs (or clears) the crash-site fault injector (see
+    /// [`crate::journal::CrashPoint`]).
+    #[cfg(feature = "crash-test")]
+    pub fn install_crash_point(&self, point: Option<std::sync::Arc<crate::journal::CrashPoint>>) {
+        self.exec.install_crash_point(point);
+    }
+
+    /// Queues a one-shot error for `chip`'s next batched extraction.
+    #[cfg(feature = "crash-test")]
+    pub fn inject_extract_fault(&self, chip: u32, error: RimeError) {
+        self.exec.inject_extract_fault(chip, error);
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,40 @@ impl ContiguousAllocator {
         self.free.len()
     }
 
+    /// The sorted, coalesced free list (checkpoint marshalling).
+    pub(crate) fn free_extents(&self) -> &[(u64, u64)] {
+        &self.free
+    }
+
+    /// Live allocations as sorted `(start, len)` pairs — the canonical
+    /// order checkpoints and the crash harness's allocation-map
+    /// fingerprint both use.
+    pub(crate) fn live_allocations(&self) -> Vec<(u64, u64)> {
+        let mut live: Vec<(u64, u64)> = self.live.iter().map(|(&s, &l)| (s, l)).collect();
+        live.sort_unstable();
+        live
+    }
+
+    /// Rebuilds an allocator from checkpointed parts. Trusts the parts
+    /// (they were produced by `free_extents`/`live_allocations` and are
+    /// CRC-protected in the journal); `config` comes from the device
+    /// configuration, not the checkpoint.
+    pub(crate) fn from_parts(
+        config: DriverConfig,
+        total_slots: u64,
+        reserved_slots: u64,
+        free: Vec<(u64, u64)>,
+        live: Vec<(u64, u64)>,
+    ) -> ContiguousAllocator {
+        ContiguousAllocator {
+            config,
+            total_slots,
+            reserved_slots,
+            free,
+            live: live.into_iter().collect(),
+        }
+    }
+
     /// `rime_malloc`: allocates `len` physically contiguous slots.
     ///
     /// # Errors

@@ -38,6 +38,9 @@ pub enum RimeError {
     },
     /// An underlying chip-model fault (address decode, width, …).
     Chip(ChipError),
+    /// The write-ahead journal failed (I/O, corruption, or a recovery
+    /// that could not reconstruct a bit-identical device).
+    Journal(crate::journal::JournalError),
 }
 
 impl fmt::Display for RimeError {
@@ -62,6 +65,7 @@ impl fmt::Display for RimeError {
                 )
             }
             RimeError::Chip(e) => write!(f, "chip fault: {e}"),
+            RimeError::Journal(e) => write!(f, "journal fault: {e}"),
         }
     }
 }
@@ -70,6 +74,7 @@ impl StdError for RimeError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             RimeError::Chip(e) => Some(e),
+            RimeError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -78,6 +83,12 @@ impl StdError for RimeError {
 impl From<ChipError> for RimeError {
     fn from(e: ChipError) -> RimeError {
         RimeError::Chip(e)
+    }
+}
+
+impl From<crate::journal::JournalError> for RimeError {
+    fn from(e: crate::journal::JournalError) -> RimeError {
+        RimeError::Journal(e)
     }
 }
 
@@ -100,6 +111,15 @@ mod tests {
         let chip = ChipError::NotInitialized;
         let e: RimeError = chip.clone().into();
         assert_eq!(e, RimeError::Chip(chip));
+        assert!(StdError::source(&e).is_some());
+    }
+
+    #[test]
+    fn journal_errors_convert_and_chain() {
+        let journal = crate::journal::JournalError::BadMagic;
+        let e: RimeError = journal.clone().into();
+        assert_eq!(e, RimeError::Journal(journal));
+        assert!(e.to_string().contains("journal"));
         assert!(StdError::source(&e).is_some());
     }
 

@@ -31,6 +31,11 @@
 //!   figure-regeneration harness at paper scale.
 //! * [`trace`] — operation trace recording and deterministic replay for
 //!   debugging and regression testing.
+//! * [`journal`] — the crash-consistency layer: an append-only,
+//!   checksummed write-ahead log of commands with commit markers and
+//!   periodic checkpoints, plus the typed [`journal::scan`] reader and
+//!   the `crash-test`-gated fault injector behind
+//!   [`cmd::Executor::recover`].
 //!
 //! # Quickstart
 //!
@@ -61,6 +66,7 @@ pub mod device;
 pub mod dimm;
 pub mod driver;
 pub mod error;
+pub mod journal;
 pub mod metrics;
 pub mod mmio;
 pub mod ops;
@@ -72,6 +78,12 @@ pub use cmd::{Command, Executor, Outcome};
 pub use device::{Region, RimeConfig, RimeDevice};
 pub use driver::{ContiguousAllocator, DriverConfig};
 pub use error::RimeError;
+#[cfg(feature = "crash-test")]
+pub use journal::{CrashPoint, CrashSignal};
+pub use journal::{
+    FileJournalStore, Journal, JournalConfig, JournalError, JournalRecord, JournalStore,
+    MemJournalStore, RecoveryReport, ScanReport,
+};
 pub use metrics::{ChipProbe, MetricValue, MetricsRegistry, MetricsSink, Snapshot};
 pub use perf::{Placement, RimePerfConfig};
 pub use telemetry::{SharedSink, Telemetry, TelemetryEvent};

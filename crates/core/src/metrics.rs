@@ -1082,6 +1082,7 @@ fn error_code(err: &RimeError) -> &'static str {
         RimeError::NotInitialized => "not_initialized",
         RimeError::TypeMismatch { .. } => "type_mismatch",
         RimeError::Chip(_) => "chip_fault",
+        RimeError::Journal(_) => "journal",
     }
 }
 
@@ -1120,6 +1121,7 @@ pub struct MetricsSink {
     timing: ArrayTiming,
     seq: Gauge,
     transfers_total: Counter,
+    replayed: Counter,
 }
 
 impl MetricsSink {
@@ -1136,12 +1138,31 @@ impl MetricsSink {
             &[],
             "values transferred over the DDR4 interface",
         );
+        // Flagged nondeterministic: whether (and how much) a run
+        // replayed depends on where a crash landed, so masked snapshots
+        // of a recovered device must still match an uncrashed run's.
+        let replayed = registry.counter_with(
+            "rime_replayed_commands_total",
+            &[],
+            "commands re-executed during journal recovery (not fresh work)",
+            true,
+        );
         MetricsSink {
             registry,
             timing,
             seq,
             transfers_total,
+            replayed,
         }
+    }
+
+    /// Counts one journal-replay re-execution. Replayed commands skip
+    /// the regular per-command metrics (they are not new device work —
+    /// the recovered chips re-earn their counters, but command totals
+    /// must stay identical to the uncrashed run) and tick only this
+    /// nondeterministic-flagged counter.
+    pub(crate) fn note_replayed(&self) {
+        self.replayed.inc();
     }
 
     /// The registry this sink publishes into.

@@ -105,6 +105,9 @@ pub mod errcode {
     pub const BAD_FORMAT: u64 = 7;
     /// Unknown command code written to the doorbell.
     pub const BAD_COMMAND: u64 = 8;
+    /// The write-ahead journal refused the command (I/O fault or a
+    /// durability invariant would break).
+    pub const JOURNAL: u64 = 9;
 }
 
 /// Maps a device error onto its [`errcode`] register value.
@@ -116,6 +119,7 @@ fn errcode_of(error: &RimeError) -> u64 {
         RimeError::TypeMismatch { .. } => errcode::TYPE_MISMATCH,
         RimeError::OutOfContiguousMemory { .. } => errcode::OUT_OF_MEMORY,
         RimeError::Chip(_) => errcode::CHIP,
+        RimeError::Journal(_) => errcode::JOURNAL,
     }
 }
 

@@ -172,6 +172,15 @@ impl DeviceStats {
         }
         self.interface_transfers = 0;
     }
+
+    /// Rebuilds a stats block from checkpointed values (journal
+    /// recovery); replayed events then re-accumulate on top.
+    pub(crate) fn restore(per_chip: Vec<OpCounters>, interface_transfers: u64) -> DeviceStats {
+        DeviceStats {
+            per_chip,
+            interface_transfers,
+        }
+    }
 }
 
 impl Telemetry for DeviceStats {

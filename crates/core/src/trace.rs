@@ -29,6 +29,7 @@ use rime_memristive::{Direction, KeyFormat};
 use crate::cmd::{Command, Outcome};
 use crate::device::{Region, RimeConfig, RimeDevice};
 use crate::error::RimeError;
+use crate::journal::{self, JournalError};
 use crate::telemetry::{Telemetry, TelemetryEvent};
 
 /// One recorded API call. Regions are identified by their ordinal
@@ -361,6 +362,179 @@ impl TracedDevice {
     }
 }
 
+// ---------------------------------------------------------------------
+// Trace serialization
+// ---------------------------------------------------------------------
+
+/// Trace file magic: identifies format and version in one probe.
+const TRACE_MAGIC: &[u8; 8] = b"RIMETRC1";
+
+/// Serializes a trace for persistence: `RIMETRC1` magic, op count, the
+/// ops (journal codec), and a trailing CRC-32 over everything before
+/// it. The CRC makes torn writes *detectable*: a truncated or corrupted
+/// file decodes to a typed [`JournalError`], never to a silently
+/// shortened trace.
+pub fn encode_trace(trace: &[TraceOp]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(TRACE_MAGIC);
+    journal::put_u32(&mut buf, trace.len() as u32);
+    for op in trace {
+        put_trace_op(&mut buf, op);
+    }
+    let crc = journal::crc32(&buf);
+    journal::put_u32(&mut buf, crc);
+    buf
+}
+
+/// Decodes a trace serialized by [`encode_trace`]. All-or-nothing: any
+/// truncation, corruption, or undecodable content is a typed error and
+/// no ops are returned.
+///
+/// # Errors
+///
+/// [`JournalError::BadMagic`] for a foreign file,
+/// [`JournalError::TruncatedRecord`] when the buffer is too short to
+/// even frame, [`JournalError::BadChecksum`] when the body fails its
+/// CRC (torn write or bit rot), and [`JournalError::Decode`] for
+/// CRC-valid but structurally invalid content.
+pub fn decode_trace(bytes: &[u8]) -> Result<Vec<TraceOp>, JournalError> {
+    if bytes.len() < TRACE_MAGIC.len() {
+        return Err(JournalError::TruncatedRecord {
+            offset: bytes.len() as u64,
+        });
+    }
+    if &bytes[..TRACE_MAGIC.len()] != TRACE_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    if bytes.len() < TRACE_MAGIC.len() + 8 {
+        return Err(JournalError::TruncatedRecord {
+            offset: bytes.len() as u64,
+        });
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if journal::crc32(body) != want {
+        return Err(JournalError::BadChecksum { offset: 0 });
+    }
+    let mut d = journal::Dec::new(&body[TRACE_MAGIC.len()..]);
+    let n = d.len_prefix(1)?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(get_trace_op(&mut d)?);
+    }
+    d.finish("trace")?;
+    Ok(ops)
+}
+
+fn put_trace_op(buf: &mut Vec<u8>, op: &TraceOp) {
+    match *op {
+        TraceOp::Alloc { len } => {
+            journal::put_u8(buf, 0);
+            journal::put_u64(buf, len);
+        }
+        TraceOp::Free { region } => {
+            journal::put_u8(buf, 1);
+            journal::put_u64(buf, region as u64);
+        }
+        TraceOp::Write {
+            region,
+            offset,
+            ref raw,
+            format,
+        } => {
+            journal::put_u8(buf, 2);
+            journal::put_u64(buf, region as u64);
+            journal::put_u64(buf, offset);
+            journal::put_u32(buf, raw.len() as u32);
+            for &word in raw {
+                journal::put_u64(buf, word);
+            }
+            journal::put_format(buf, format);
+        }
+        TraceOp::Init {
+            region,
+            offset,
+            len,
+            format,
+        } => {
+            journal::put_u8(buf, 3);
+            journal::put_u64(buf, region as u64);
+            journal::put_u64(buf, offset);
+            journal::put_u64(buf, len);
+            journal::put_format(buf, format);
+        }
+        TraceOp::Extract {
+            region,
+            format,
+            direction,
+        } => {
+            journal::put_u8(buf, 4);
+            journal::put_u64(buf, region as u64);
+            journal::put_format(buf, format);
+            journal::put_direction(buf, direction);
+        }
+        TraceOp::ExtractBatch {
+            region,
+            format,
+            direction,
+            k,
+        } => {
+            journal::put_u8(buf, 5);
+            journal::put_u64(buf, region as u64);
+            journal::put_format(buf, format);
+            journal::put_direction(buf, direction);
+            journal::put_u64(buf, k as u64);
+        }
+        TraceOp::FifoNext { region } => {
+            journal::put_u8(buf, 6);
+            journal::put_u64(buf, region as u64);
+        }
+    }
+}
+
+fn get_trace_op(d: &mut journal::Dec<'_>) -> Result<TraceOp, JournalError> {
+    let ordinal = |v: u64| -> Result<usize, JournalError> {
+        usize::try_from(v).map_err(|_| JournalError::Decode {
+            what: format!("region ordinal {v} exceeds usize"),
+        })
+    };
+    match d.u8()? {
+        0 => Ok(TraceOp::Alloc { len: d.u64()? }),
+        1 => Ok(TraceOp::Free {
+            region: ordinal(d.u64()?)?,
+        }),
+        2 => Ok(TraceOp::Write {
+            region: ordinal(d.u64()?)?,
+            offset: d.u64()?,
+            raw: d.u64_vec()?,
+            format: journal::get_format(d)?,
+        }),
+        3 => Ok(TraceOp::Init {
+            region: ordinal(d.u64()?)?,
+            offset: d.u64()?,
+            len: d.u64()?,
+            format: journal::get_format(d)?,
+        }),
+        4 => Ok(TraceOp::Extract {
+            region: ordinal(d.u64()?)?,
+            format: journal::get_format(d)?,
+            direction: journal::get_direction(d)?,
+        }),
+        5 => Ok(TraceOp::ExtractBatch {
+            region: ordinal(d.u64()?)?,
+            format: journal::get_format(d)?,
+            direction: journal::get_direction(d)?,
+            k: ordinal(d.u64()?)?,
+        }),
+        6 => Ok(TraceOp::FifoNext {
+            region: ordinal(d.u64()?)?,
+        }),
+        tag => Err(JournalError::Decode {
+            what: format!("unknown trace op tag {tag}"),
+        }),
+    }
+}
+
 /// Replays a trace on a fresh device with `config`, returning the raw
 /// bits every extraction produced (in order; `None` entries mark
 /// exhausted ranges or dry FIFO drains; each `ExtractBatch` contributes
@@ -572,5 +746,96 @@ mod tests {
             .any(|op| matches!(op, TraceOp::FifoNext { .. })));
         let replayed = replay(&trace, RimeConfig::small()).unwrap();
         assert_eq!(replayed, live);
+    }
+
+    /// One of every op, with non-default formats and both directions.
+    fn exemplar_trace() -> Vec<TraceOp> {
+        vec![
+            TraceOp::Alloc { len: 6 },
+            TraceOp::Write {
+                region: 0,
+                offset: 1,
+                raw: vec![9, 2, 7],
+                format: KeyFormat::SIGNED32,
+            },
+            TraceOp::Init {
+                region: 0,
+                offset: 0,
+                len: 6,
+                format: KeyFormat::FLOAT64,
+            },
+            TraceOp::Extract {
+                region: 0,
+                format: KeyFormat::UNSIGNED64,
+                direction: Direction::Min,
+            },
+            TraceOp::ExtractBatch {
+                region: 0,
+                format: KeyFormat::UNSIGNED32,
+                direction: Direction::Max,
+                k: 3,
+            },
+            TraceOp::FifoNext { region: 0 },
+            TraceOp::Free { region: 0 },
+        ]
+    }
+
+    #[test]
+    fn every_trace_op_round_trips_through_the_codec() {
+        let trace = exemplar_trace();
+        let bytes = encode_trace(&trace);
+        assert_eq!(decode_trace(&bytes).unwrap(), trace);
+        // An empty trace is a valid (if dull) file.
+        let empty = encode_trace(&[]);
+        assert_eq!(decode_trace(&empty).unwrap(), Vec::<TraceOp>::new());
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error_never_a_partial_trace() {
+        // A torn write leaves a prefix of the file. Every possible cut
+        // must yield a typed JournalError — no panic, and (since decode
+        // is all-or-nothing) no partially applied trace.
+        let bytes = encode_trace(&exemplar_trace());
+        for cut in 0..bytes.len() {
+            let err = decode_trace(&bytes[..cut])
+                .expect_err(&format!("cut at {cut} of {} decoded", bytes.len()));
+            assert!(
+                matches!(
+                    err,
+                    JournalError::TruncatedRecord { .. } | JournalError::BadChecksum { .. }
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_corruption_fails_the_checksum() {
+        let mut bytes = encode_trace(&exemplar_trace());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(
+            decode_trace(&bytes).unwrap_err(),
+            JournalError::BadChecksum { offset: 0 }
+        );
+    }
+
+    #[test]
+    fn foreign_magic_is_refused() {
+        assert_eq!(
+            decode_trace(b"NOTATRCE-rest-doesnt-matter").unwrap_err(),
+            JournalError::BadMagic
+        );
+        // Valid CRC but an unknown op tag: structurally undecodable.
+        let mut body = Vec::new();
+        body.extend_from_slice(b"RIMETRC1");
+        crate::journal::put_u32(&mut body, 1);
+        crate::journal::put_u8(&mut body, 200);
+        let crc = crate::journal::crc32(&body);
+        crate::journal::put_u32(&mut body, crc);
+        assert!(matches!(
+            decode_trace(&body).unwrap_err(),
+            JournalError::Decode { .. }
+        ));
     }
 }

@@ -42,6 +42,24 @@ impl ColumnSignals {
 /// Key bits per array row; the row-major store packs them in a `u64`.
 const KEY_BITS: usize = 64;
 
+/// Serializable snapshot of one array's durable state.
+///
+/// Captures exactly what nonvolatile cells hold: the *raw* (pre-fault)
+/// row patterns, the per-row write counts, and the injected stuck-at
+/// faults. Volatile periphery — the select latches and the derived
+/// column shadow — is intentionally absent: latches are CMOS state that
+/// every extraction re-arms before use, and the shadow is recomputed on
+/// restore. Used by `rime-core`'s checkpoint/recovery path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayState {
+    /// Raw row patterns as written (before stuck-at faults apply).
+    pub rows: Vec<u64>,
+    /// Per-row write counts (endurance bookkeeping, §VII-C).
+    pub wear: Vec<u32>,
+    /// Injected stuck-at faults as `(row, bit, stuck value)`.
+    pub faults: Vec<(usize, u16, bool)>,
+}
+
 /// One memristive array: `rows` key slots of up to 64 key bits each.
 ///
 /// The array stores each row's key bits packed in a `u64` — bit-identical
@@ -329,6 +347,48 @@ impl Array {
         self.select.first_one()
     }
 
+    /// Snapshots the array's durable state (raw rows, wear, faults).
+    /// Select latches are volatile and excluded — see [`ArrayState`].
+    pub fn state(&self) -> ArrayState {
+        ArrayState {
+            rows: self.rows.clone(),
+            wear: self.wear.clone(),
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// Rebuilds an array from a snapshot: rows, wear, and faults are
+    /// installed verbatim (no wear is induced — this models power-up of
+    /// nonvolatile cells, not writes), the column shadow is re-transposed
+    /// through the fault list, and the select latches come up cleared.
+    ///
+    /// Returns `None` when the snapshot is internally inconsistent
+    /// (mismatched lengths or out-of-range fault coordinates).
+    pub fn from_state(state: &ArrayState) -> Option<Array> {
+        let rows = state.rows.len();
+        if state.wear.len() != rows {
+            return None;
+        }
+        if state
+            .faults
+            .iter()
+            .any(|&(r, b, _)| r >= rows || b >= KEY_BITS as u16)
+        {
+            return None;
+        }
+        let mut array = Array {
+            rows: state.rows.clone(),
+            cols: (0..KEY_BITS).map(|_| Bitmap::zeros(rows)).collect(),
+            select: Bitmap::zeros(rows),
+            wear: state.wear.clone(),
+            faults: state.faults.clone(),
+        };
+        for row in 0..rows {
+            array.sync_row(row);
+        }
+        Some(array)
+    }
+
     /// Per-row write counts for the endurance study.
     pub fn wear(&self) -> &[u32] {
         &self.wear
@@ -543,6 +603,51 @@ mod tests {
         a.load_select_window(&bits, 3);
         // Window [3, 11): even global indices 4, 6, 8, 10 → local 1, 3, 5, 7.
         assert_eq!(a.select().iter_ones().collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_without_wear() {
+        let mut a = Array::new(70);
+        for row in 0..70 {
+            a.write_row(row, (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        a.inject_stuck_cell(3, 7, true);
+        a.inject_stuck_cell(64, 0, false);
+        a.set_select_bit(5, true); // volatile; must NOT survive restore
+        let restored = Array::from_state(&a.state()).unwrap();
+        // Durable state is bit-identical: effective reads, wear, faults.
+        for row in 0..70 {
+            assert_eq!(restored.read_row(row), a.read_row(row), "row {row}");
+        }
+        assert_eq!(restored.wear(), a.wear());
+        assert_eq!(restored.fault_count(), a.fault_count());
+        // The column shadow was re-synced through the fault list.
+        for pos in 0..64u16 {
+            let mut all = restored.clone();
+            let mut all_a = a.clone();
+            for row in 0..70 {
+                all.set_select_bit(row, true);
+                all_a.set_select_bit(row, true);
+            }
+            assert_eq!(all.sense_column(pos), all_a.sense_column(pos), "{pos}");
+        }
+        // Select latches come up cleared; restore induced no wear.
+        assert_eq!(restored.selected_count(), 0);
+        assert_eq!(restored.total_writes(), a.total_writes());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_snapshots() {
+        let a = Array::new(4);
+        let mut bad = a.state();
+        bad.wear.pop();
+        assert!(Array::from_state(&bad).is_none());
+        let mut bad = a.state();
+        bad.faults.push((9, 0, true)); // row out of range
+        assert!(Array::from_state(&bad).is_none());
+        let mut bad = a.state();
+        bad.faults.push((0, 64, true)); // bit out of range
+        assert!(Array::from_state(&bad).is_none());
     }
 
     #[test]

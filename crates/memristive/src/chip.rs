@@ -38,7 +38,7 @@ use crate::encoding::KeyFormat;
 use crate::error::Error;
 use crate::geometry::ChipGeometry;
 use crate::htree::IndexTree;
-use crate::mat::Mat;
+use crate::mat::{Mat, MatState};
 use crate::plan::{Direction, SearchPlan};
 use crate::pool::MatPool;
 use crate::probe::{timed, Phase, SharedProbe};
@@ -64,8 +64,12 @@ pub struct ExtractHit {
 pub enum ParallelPolicy {
     /// Walk the mats on the calling thread — the differential oracle.
     Sequential,
-    /// Route wide ranges through the persistent mat-shard pool, sized to
-    /// the host's parallelism (cached once per chip). The default.
+    /// Route ranges spanning at least 16 mats
+    /// (`AUTO_PARALLEL_MIN_MATS`) through the persistent mat-shard pool
+    /// with `min(host parallelism, mats in range)` workers, where host
+    /// parallelism is `available_parallelism`, cached once per chip.
+    /// Narrower ranges — and hosts whose cached parallelism is 1 — stay
+    /// on the calling thread. The default.
     #[default]
     Auto,
     /// Drive the persistent pool with exactly this many workers
@@ -89,8 +93,31 @@ enum Fanout {
 }
 
 /// Under [`ParallelPolicy::Auto`], ranges spanning fewer mats than this
-/// stay on the calling thread — spawn overhead would dominate.
+/// stay on the calling thread: the pool doesn't spawn per step, but the
+/// per-session shard hand-off and epoch-tagged broadcasts still cost
+/// more than they recover on narrow spans.
 const AUTO_PARALLEL_MIN_MATS: usize = 16;
+
+/// Serializable snapshot of one chip's durable state, for
+/// checkpoint/recovery: per-mat cell contents (lazily materialized mats
+/// stay `None`), the exclusion flags, the active format/range, and the
+/// accumulated [`OpCounters`]. Scheduling knobs ([`ParallelPolicy`],
+/// probes, the worker pool) and volatile select latches are not state —
+/// a restored chip keeps its own and re-arms latches on the next
+/// extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipState {
+    /// Per-mat snapshots in mat order; `None` for never-materialized mats.
+    pub mats: Vec<Option<MatState>>,
+    /// Exclusion flags (one bit per key slot).
+    pub excluded: Bitmap,
+    /// Format recorded by the last `store_keys`/`init_range`.
+    pub format: Option<KeyFormat>,
+    /// Active `[begin, end)` range, if initialized.
+    pub range: Option<(u64, u64)>,
+    /// Accumulated operation counters.
+    pub counters: OpCounters,
+}
 
 /// One RIME memristive chip.
 ///
@@ -844,6 +871,55 @@ impl Chip {
         }
     }
 
+    /// Snapshots the chip's durable state — see [`ChipState`] for the
+    /// capture boundary.
+    pub fn state(&self) -> ChipState {
+        ChipState {
+            mats: self
+                .mats
+                .iter()
+                .map(|m| m.as_ref().map(Mat::state))
+                .collect(),
+            excluded: self.excluded.clone(),
+            format: self.format,
+            range: self.range,
+            counters: self.counters,
+        }
+    }
+
+    /// Restores the chip's durable state from a snapshot taken on a chip
+    /// of the same geometry. Select latches come up cleared (every
+    /// extraction re-arms them), the H-tree is rebuilt fresh, and any
+    /// leased worker pool is dropped. Scheduling knobs are kept.
+    ///
+    /// Returns `false` — leaving the chip untouched — when the snapshot
+    /// disagrees with this chip's geometry or is internally inconsistent.
+    pub fn restore_state(&mut self, state: &ChipState) -> bool {
+        if state.mats.len() != self.mats.len() || state.excluded.len() != self.excluded.len() {
+            return false;
+        }
+        let mut mats: Vec<Option<Mat>> = Vec::with_capacity(state.mats.len());
+        for mat_state in &state.mats {
+            match mat_state {
+                None => mats.push(None),
+                Some(ms) => {
+                    match Mat::from_state(ms, self.geometry.arrays_per_mat, self.geometry.rows) {
+                        Some(mat) => mats.push(Some(mat)),
+                        None => return false,
+                    }
+                }
+            }
+        }
+        self.mats = mats;
+        self.tree = IndexTree::new(state.mats.len(), self.geometry.slots_per_mat());
+        self.excluded = state.excluded.clone();
+        self.format = state.format;
+        self.range = state.range;
+        self.counters = state.counters;
+        self.pool = None;
+        true
+    }
+
     /// Injects a stuck-at fault into the cell holding bit `bit` of the
     /// key at `slot` — for failure-injection tests (§VII-C endurance
     /// failures freeze cells in one resistance state).
@@ -1365,6 +1441,57 @@ mod tests {
         assert_eq!(chip.read_key(3).unwrap(), 77);
         assert_eq!(chip.read_key(4).unwrap(), 0);
         assert!(chip.read_key(1 << 40).is_err());
+    }
+
+    #[test]
+    fn auto_policy_gates_at_sixteen_mats_and_host_parallelism() {
+        // Pins the Auto fan-out decision exactly as documented (and as
+        // DESIGN.md §10 describes): < 16 mats stays on the calling
+        // thread, ≥ 16 leases the pool with min(host, mats) workers.
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        chip.auto_threads = 4;
+        assert!(matches!(chip.fanout(15), Fanout::Host(1)));
+        assert!(matches!(chip.fanout(16), Fanout::Pool(4)));
+        assert!(matches!(chip.fanout(17), Fanout::Pool(4)));
+        // A single-threaded host never leases the pool, whatever the span.
+        chip.auto_threads = 1;
+        assert!(matches!(chip.fanout(16), Fanout::Host(1)));
+        assert!(matches!(chip.fanout(1000), Fanout::Host(1)));
+        // Worker count is clamped to the mats actually in range.
+        chip.auto_threads = 32;
+        assert!(matches!(chip.fanout(17), Fanout::Pool(17)));
+        // Single-mat spans short-circuit before the policy is consulted.
+        assert!(matches!(chip.fanout(1), Fanout::Host(1)));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_extraction_bit_identically() {
+        // Drain half the keys, snapshot, keep draining on both the
+        // original and a restored twin: hits, counters, and wear must be
+        // bit-identical (exclusion flags carried the session across).
+        let keys = [43u32, 7, 99, 0, 255, 7, 128, 1];
+        let mut chip = chip_with(&keys);
+        let _ = chip.extract_batch(Direction::Min, 4).unwrap();
+        let state = chip.state();
+        let mut restored = Chip::new(ChipGeometry::tiny());
+        assert!(restored.restore_state(&state));
+        assert_eq!(restored.state(), state, "snapshot is a fixed point");
+        let a = chip.extract_batch(Direction::Min, 10).unwrap();
+        let b = restored.extract_batch(Direction::Min, 10).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(chip.counters(), restored.counters());
+        assert_eq!(chip.wear_by_mat(), restored.wear_by_mat());
+        assert_eq!(chip.max_wear(), restored.max_wear());
+    }
+
+    #[test]
+    fn restore_state_rejects_geometry_mismatch() {
+        let chip = Chip::new(ChipGeometry::tiny());
+        let state = chip.state();
+        let mut other = Chip::new(ChipGeometry::small());
+        assert!(!other.restore_state(&state));
+        // Unmaterialized mats stay unmaterialized through a roundtrip.
+        assert!(state.mats.iter().all(Option::is_none));
     }
 
     #[test]

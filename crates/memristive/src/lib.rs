@@ -87,16 +87,16 @@ pub mod storage;
 pub mod timing;
 pub mod verify;
 
-pub use array::Array;
+pub use array::{Array, ArrayState};
 pub use bitmap::Bitmap;
-pub use chip::{Chip, ExtractHit, ParallelPolicy};
+pub use chip::{Chip, ChipState, ExtractHit, ParallelPolicy};
 pub use counters::OpCounters;
 pub use encoding::{KeyFormat, SortableBits};
 pub use error::Error;
 pub use geometry::ChipGeometry;
 pub use htree::IndexTree;
 pub use lifetime::EnduranceTracker;
-pub use mat::{Mat, MatCommand, MatResponse};
+pub use mat::{Mat, MatCommand, MatResponse, MatState};
 pub use plan::{Direction, SearchPlan};
 pub use pool::MatPool;
 pub use probe::{ExtractionProbe, Phase, SharedProbe};

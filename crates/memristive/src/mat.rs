@@ -9,7 +9,7 @@
 //!
 //! Key slots within a mat are numbered `array * rows + row`.
 
-use crate::array::{Array, ColumnSignals};
+use crate::array::{Array, ArrayState, ColumnSignals};
 use crate::bitmap::Bitmap;
 use crate::error::Error;
 
@@ -65,6 +65,15 @@ pub enum MatResponse {
     Deselected(u32),
     /// Acknowledgement for writes and select-range commands.
     Ack,
+}
+
+/// Serializable snapshot of one mat's durable state: its arrays'
+/// [`ArrayState`]s in array order. See [`ArrayState`] for what is (and
+/// deliberately is not) captured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatState {
+    /// Per-array snapshots, in array order.
+    pub arrays: Vec<ArrayState>,
 }
 
 /// Four memristive arrays under one mat controller.
@@ -317,6 +326,34 @@ impl Mat {
         self.arrays[array].inject_stuck_cell(row, bit, stuck);
     }
 
+    /// Snapshots the mat's durable state (all arrays, in array order).
+    pub fn state(&self) -> MatState {
+        MatState {
+            arrays: self.arrays.iter().map(Array::state).collect(),
+        }
+    }
+
+    /// Rebuilds a mat from a snapshot against the expected geometry.
+    /// Returns `None` when the snapshot disagrees with `arrays_per_mat` /
+    /// `rows` or any array snapshot is internally inconsistent.
+    pub fn from_state(state: &MatState, arrays_per_mat: u16, rows: u32) -> Option<Mat> {
+        if state.arrays.len() != arrays_per_mat as usize {
+            return None;
+        }
+        let arrays: Vec<Array> = state
+            .arrays
+            .iter()
+            .map(Array::from_state)
+            .collect::<Option<_>>()?;
+        if arrays.iter().any(|a| a.rows() != rows as usize) {
+            return None;
+        }
+        Some(Mat {
+            arrays,
+            rows_per_array: rows,
+        })
+    }
+
     /// The most-written slot's write count (endurance).
     pub fn max_wear(&self) -> u32 {
         self.arrays.iter().map(Array::max_wear).max().unwrap_or(0)
@@ -519,6 +556,23 @@ mod tests {
             assert_eq!(word.select_bit(slot), bits.select_bit(slot), "slot {slot}");
         }
         assert_eq!(word.selected_count(), bits.selected_count());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_and_validates_geometry() {
+        let mut mat = loaded_mat(&[9, 1, 4, 7, 2]);
+        mat.inject_stuck_cell(2, 3, true);
+        let state = mat.state();
+        let restored = Mat::from_state(&state, 4, 4).unwrap();
+        for slot in 0..16 {
+            assert_eq!(restored.read_slot(slot), mat.read_slot(slot), "{slot}");
+        }
+        assert_eq!(restored.max_wear(), mat.max_wear());
+        assert_eq!(restored.total_writes(), mat.total_writes());
+        assert_eq!(restored.selected_count(), 0, "latches come up cleared");
+        // Geometry disagreements are rejected, not mis-mapped.
+        assert!(Mat::from_state(&state, 2, 4).is_none());
+        assert!(Mat::from_state(&state, 4, 8).is_none());
     }
 
     #[test]

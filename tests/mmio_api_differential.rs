@@ -260,3 +260,141 @@ proptest! {
         );
     }
 }
+
+/// One-chip-fails-mid-`ExtractBatch` sequences (needs `--features
+/// crash-test` for the fault injectors): the register file must park
+/// the *lowest-indexed* failing chip's error code, and the journal's
+/// outcome record must still carry every chip's counter delta — the
+/// chips did the work even though the command failed.
+#[cfg(feature = "crash-test")]
+mod chip_fault_injection {
+    use super::*;
+    use rime_core::journal::{self, JournalConfig, JournalRecord, MemJournalStore};
+    use rime_core::OpCounters;
+    use rime_memristive::{ArrayTiming, ChipGeometry};
+
+    /// 4 tiny chips (64 slots each) on one channel, so a 136-slot
+    /// initialized range spans chips 0, 1, and 2.
+    const SPAN: u64 = 136;
+
+    fn tiny4() -> RimeConfig {
+        RimeConfig {
+            channels: 1,
+            chips_per_channel: 4,
+            chip_geometry: ChipGeometry::tiny(),
+            timing: ArrayTiming::table1(),
+            driver: rime_core::DriverConfig::default(),
+        }
+    }
+
+    /// A journaled MMIO device with keys stored and initialized across
+    /// three chips, ready for a batched extraction.
+    fn faulted_batch_setup() -> (MmioInterface, MemJournalStore) {
+        let mut mmio = MmioInterface::new(tiny4());
+        let store = MemJournalStore::new();
+        mmio.device()
+            .attach_journal(
+                Box::new(store.clone()),
+                JournalConfig {
+                    checkpoint_every: 1024,
+                },
+            )
+            .unwrap();
+        for slot in 0..SPAN {
+            mmio.write(DATA_BASE + 8 * slot, (slot * 37) % 251 + 1);
+        }
+        mmio.write(regs::BEGIN, 0);
+        mmio.write(regs::END, SPAN);
+        mmio.write(regs::COMMAND, cmd::INIT);
+        assert_eq!(mmio.read(regs::STATUS), status::OK);
+        (mmio, store)
+    }
+
+    #[test]
+    fn lowest_chip_index_error_wins_when_chips_fail_mid_batch() {
+        let (mut mmio, _store) = faulted_batch_setup();
+        // Two chips fail, injected in *descending* order: the surfaced
+        // error must be chip 1's (the lowest failing index), proving
+        // the deterministic chip-order fold, not injection order or
+        // worker scheduling, decides.
+        mmio.device()
+            .inject_extract_fault(2, RimeError::NotInitialized);
+        mmio.device()
+            .inject_extract_fault(1, RimeError::OutOfBounds { offset: 5, len: 1 });
+        mmio.write(regs::COUNT, 3);
+        mmio.write(regs::COMMAND, cmd::MIN_K);
+        assert_eq!(mmio.read(regs::STATUS), status::ERROR);
+        assert_eq!(mmio.read(regs::ERROR), errcode::OUT_OF_BOUNDS);
+        // The injected faults are one-shot: the retry engages the chips
+        // again and succeeds, with the global minimum latched.
+        mmio.write(regs::COMMAND, cmd::MIN_K);
+        assert_eq!(mmio.read(regs::STATUS), status::OK);
+        assert_eq!(mmio.read(regs::ERROR), errcode::NONE);
+        assert_eq!(mmio.read(regs::RESULT_VALUE), 1);
+    }
+
+    #[test]
+    fn a_failed_batch_still_journals_every_chips_delta() {
+        let (mut mmio, store) = faulted_batch_setup();
+        let before = mmio.device().journal_committed().unwrap();
+        mmio.device()
+            .inject_extract_fault(0, RimeError::NotInitialized);
+        mmio.write(regs::COUNT, 2);
+        mmio.write(regs::COMMAND, cmd::MIN_K);
+        assert_eq!(mmio.read(regs::ERROR), errcode::NOT_INITIALIZED);
+        // The failure committed: intent and outcome are both durable.
+        assert_eq!(mmio.device().journal_committed(), Some(before + 1));
+        let scanned = journal::scan(&store.snapshot()).unwrap();
+        let (ordinal, result, effects) = scanned
+            .records
+            .iter()
+            .rev()
+            .find_map(|(_, r)| match r {
+                JournalRecord::Outcome {
+                    ordinal,
+                    result,
+                    effects,
+                } => Some((*ordinal, result.clone(), effects.clone())),
+                _ => None,
+            })
+            .expect("an outcome record");
+        assert_eq!(ordinal, before);
+        assert_eq!(result, Err(RimeError::NotInitialized));
+        // Every spanned chip ran and its delta survived into the
+        // journal — including chip 0, whose result was replaced by the
+        // injected fault *after* the work was done.
+        let mut chips: Vec<u32> = effects.chip_deltas().iter().map(|&(c, _)| c).collect();
+        chips.sort_unstable();
+        assert_eq!(chips, vec![0, 1, 2]);
+        for (chip, delta) in effects.chip_deltas() {
+            assert_ne!(
+                *delta,
+                OpCounters::default(),
+                "chip {chip} recorded an empty delta"
+            );
+        }
+        // An injected fault is *not replayable*: recovery re-executes
+        // the tail, gets a success where the journal says failure, and
+        // refuses with a typed divergence instead of handing back a
+        // silently different device.
+        drop(mmio);
+        let err = RimeDevice::recover(
+            tiny4(),
+            Box::new(store),
+            JournalConfig {
+                checkpoint_every: 1024,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RimeError::Journal(rime_core::JournalError::ReplayDivergence { ordinal: o })
+                    if o == before
+            ),
+            "{err:?}"
+        );
+        // (With no fault injected, the same journal recovers cleanly —
+        // tests/crash_recovery.rs proves that exhaustively.)
+    }
+}
