@@ -2,14 +2,19 @@
 //! per-step `thread::scope` fan-out, plus chip-parallel executor
 //! dispatch.
 //!
-//! **Mat level** (8 and 64 mats): batched extraction throughput under
-//! `Sequential` (inline walk), `SpawnPerStep(T)` (the retired default —
-//! a fresh thread scope per column-search step), and `Threads(T)` (the
-//! persistent pool, one lease per batch with epoch-tagged step
-//! broadcasts). `T` is fixed at 4 so the protocols are compared at the
-//! same fan-out on any host; the interesting ratio is pool vs spawn —
-//! the same work scheduled with standing workers instead of ~2 spawns
-//! per key bit.
+//! **Mat level** (8/16/32/64/128 mats): batched extraction throughput
+//! under `Sequential` (inline walk), `SpawnPerStep(T)` (the retired
+//! default — a fresh thread scope per column-search step), and
+//! `Threads(T)` (the persistent pool; since PR 7 a whole bit-serial
+//! descent ships as *one* speculative broadcast→fold round trip).
+//! `T` is fixed at 4 so the protocols are compared at the same fan-out
+//! on any host. The sweep also reports the chip's *measured* Auto
+//! crossover next to the empirically observed one (the narrowest swept
+//! width where the pool beats sequential).
+//!
+//! Every pool run is cross-checked against the Sequential hit stream —
+//! with `--assert-pool` the bench exits nonzero on any divergence or if
+//! pool_vs_spawn drops below 2.0 anywhere (the CI perf-smoke gate).
 //!
 //! **Chip level** (1/2/4 chips): full-device batched drain through the
 //! executor, whose multi-chip prefill dispatches independent chips on
@@ -57,14 +62,18 @@ fn loaded_chip(mats: u16, rows: u32, policy: ParallelPolicy) -> (Chip, u64) {
 /// `chip` each repetition (clone/setup — including pool spin-up, which
 /// clones do not inherit — excluded from the measurement only insofar
 /// as it happens before `init_range`; the first lease is part of the
-/// measured session, as it would be in real use).
-fn best_of(reps: usize, chip: &Chip, mut f: impl FnMut(Chip)) -> Duration {
+/// measured session, as it would be in real use). The clone is dropped
+/// *outside* the timed region: tearing a chip down joins its pool's
+/// worker threads, which is shutdown cost, not extraction throughput —
+/// and a cost the poolless Sequential clone never pays.
+fn best_of(reps: usize, chip: &Chip, mut f: impl FnMut(&mut Chip)) -> Duration {
     let mut best = Duration::MAX;
     for _ in 0..reps {
-        let fresh = chip.clone();
+        let mut fresh = chip.clone();
         let t = Instant::now();
-        f(fresh);
+        f(&mut fresh);
         best = best.min(t.elapsed());
+        drop(fresh);
     }
     best
 }
@@ -79,6 +88,8 @@ struct MatResult {
     seq_kps: f64,
     spawn_kps: f64,
     pool_kps: f64,
+    /// The pool's hit stream (slots + raw bits) matched Sequential's.
+    pool_matches_seq: bool,
 }
 
 impl MatResult {
@@ -93,6 +104,7 @@ impl MatResult {
 fn run_mat_config(mats: u16, rows: u32, batch_k: usize, reps: usize) -> MatResult {
     let mut kps = [0.0f64; 3];
     let mut keys = 0;
+    let mut hit_streams: Vec<Vec<rime_memristive::ExtractHit>> = Vec::new();
     let policies = [
         ParallelPolicy::Sequential,
         ParallelPolicy::SpawnPerStep(FANOUT),
@@ -101,10 +113,13 @@ fn run_mat_config(mats: u16, rows: u32, batch_k: usize, reps: usize) -> MatResul
     for (idx, policy) in policies.into_iter().enumerate() {
         let (chip, n) = loaded_chip(mats, rows, policy);
         keys = n;
-        let elapsed = best_of(reps, &chip, |mut chip| {
+        let hits = std::cell::RefCell::new(Vec::new());
+        let elapsed = best_of(reps, &chip, |chip| {
             chip.init_range(0, n, KeyFormat::UNSIGNED64).unwrap();
-            std::hint::black_box(chip.extract_batch(Direction::Min, batch_k).unwrap());
+            *hits.borrow_mut() =
+                std::hint::black_box(chip.extract_batch(Direction::Min, batch_k).unwrap());
         });
+        hit_streams.push(hits.into_inner());
         kps[idx] = keys_per_sec(batch_k as u64, elapsed);
     }
     MatResult {
@@ -113,6 +128,7 @@ fn run_mat_config(mats: u16, rows: u32, batch_k: usize, reps: usize) -> MatResul
         seq_kps: kps[0],
         spawn_kps: kps[1],
         pool_kps: kps[2],
+        pool_matches_seq: hit_streams[2] == hit_streams[0],
     }
 }
 
@@ -155,6 +171,16 @@ fn run_chip_config(chips: u32, rows: u32, batch_k: usize, reps: usize) -> ChipRe
     }
 }
 
+/// The narrowest swept width where the pool actually beat sequential
+/// (`None` if it never did) — the empirical twin of the calibrated
+/// crossover.
+fn observed_crossover(mat: &[MatResult]) -> Option<u16> {
+    mat.iter()
+        .filter(|r| r.pool_vs_seq() > 1.0)
+        .map(|r| r.mats)
+        .min()
+}
+
 fn write_json(
     path: &str,
     mode: &str,
@@ -162,6 +188,7 @@ fn write_json(
     chip: &[ChipResult],
     rows: u32,
     batch_k: usize,
+    measured_crossover: usize,
 ) {
     let mut out = String::from("{\n  \"bench\": \"parallel_scaling\",\n");
     out.push_str(&format!(
@@ -171,7 +198,8 @@ fn write_json(
         out.push_str(&format!(
             "    {{\"mats\": {}, \"keys\": {}, \"seq_kps\": {:.0}, \
              \"spawn_kps\": {:.0}, \"pool_kps\": {:.0}, \
-             \"pool_vs_spawn\": {:.2}, \"pool_vs_seq\": {:.2}}}{}\n",
+             \"pool_vs_spawn\": {:.2}, \"pool_vs_seq\": {:.2}, \
+             \"pool_matches_seq\": {}}}{}\n",
             r.mats,
             r.keys,
             r.seq_kps,
@@ -179,6 +207,7 @@ fn write_json(
             r.pool_kps,
             r.pool_vs_spawn(),
             r.pool_vs_seq(),
+            r.pool_matches_seq,
             if i + 1 < mat.len() { "," } else { "" },
         ));
     }
@@ -192,21 +221,36 @@ fn write_json(
             if i + 1 < chip.len() { "," } else { "" },
         ));
     }
+    // The one-shot calibration sample Auto's gate is derived from, plus
+    // both crossovers (calibrated and empirically observed).
+    let cal = rime_memristive::pool_calibration();
+    out.push_str(&format!(
+        "  ],\n  \"calibration\": {{\"round_trip_ns\": {}, \"word_picos\": {}, \
+         \"crossover_mats\": {}, \"observed_crossover_mats\": {}}},\n",
+        cal.round_trip_ns,
+        cal.word_picos,
+        measured_crossover,
+        observed_crossover(mat).map_or(-1i64, i64::from),
+    ));
     // One extra fully instrumented pass of the pool configuration,
-    // outside any timed region, whose masked (deterministic) metrics
-    // snapshot rides along in the committed file.
-    let metrics = rime_bench::instrumented_metrics_json(
+    // outside any timed region: the masked (deterministic) snapshot
+    // rides along for byte-stable diffs, while the unmasked pool
+    // wall-clock evidence is distilled into "pool_metrics" so the
+    // committed file proves the probes fired (PR-7 regression).
+    let (metrics, pool_metrics) = rime_bench::instrumented_metrics_and_pool_stats(
         geometry(64, rows),
         ParallelPolicy::Threads(FANOUT),
         batch_k,
     );
-    out.push_str(&format!("  ],\n  \"metrics\": {metrics}\n}}\n"));
+    out.push_str(&format!("  \"pool_metrics\": {pool_metrics},\n"));
+    out.push_str(&format!("  \"metrics\": {metrics}\n}}\n"));
     std::fs::write(path, out).expect("write bench snapshot");
     println!("snapshot written to {path}");
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick" || a == "quick");
+    let assert_pool = std::env::args().any(|a| a == "--assert-pool");
     let (rows, batch_k, reps) = if quick {
         (64u32, 64usize, 2usize)
     } else {
@@ -214,7 +258,7 @@ fn main() {
     };
 
     println!(
-        "parallel scaling: persistent pool vs per-step spawns ({} mode, fan-out {})",
+        "parallel scaling: speculative pool descents vs per-step spawns ({} mode, fan-out {})",
         if quick { "quick" } else { "full" },
         FANOUT,
     );
@@ -223,10 +267,10 @@ fn main() {
         "mats", "keys", "seq k/s", "spawn k/s", "pool k/s", "pool/spawn", "pool/seq"
     );
     let mut mat_results = Vec::new();
-    for mats in [8u16, 64] {
+    for mats in [8u16, 16, 32, 64, 128] {
         let r = run_mat_config(mats, rows, batch_k, reps);
         println!(
-            "{:>5} {:>8} | {:>12.0} {:>12.0} {:>12.0} | {:>9.2}x {:>9.2}x",
+            "{:>5} {:>8} | {:>12.0} {:>12.0} {:>12.0} | {:>9.2}x {:>9.2}x{}",
             r.mats,
             r.keys,
             r.seq_kps,
@@ -234,8 +278,20 @@ fn main() {
             r.pool_kps,
             r.pool_vs_spawn(),
             r.pool_vs_seq(),
+            if r.pool_matches_seq { "" } else { "  DIVERGED" },
         );
         mat_results.push(r);
+    }
+
+    let measured_crossover = Chip::new(geometry(64, rows)).pool_crossover_mats();
+    println!();
+    match observed_crossover(&mat_results) {
+        Some(m) => println!(
+            "crossover: calibrated {measured_crossover} mats, pool first beats sequential at {m} mats"
+        ),
+        None => println!(
+            "crossover: calibrated {measured_crossover} mats, pool never beat sequential in this sweep"
+        ),
     }
 
     println!();
@@ -250,6 +306,42 @@ fn main() {
 
     if let Ok(path) = std::env::var("RIME_BENCH_JSON") {
         let mode = if quick { "quick" } else { "full" };
-        write_json(&path, mode, &mat_results, &chip_results, rows, batch_k);
+        write_json(
+            &path,
+            mode,
+            &mat_results,
+            &chip_results,
+            rows,
+            batch_k,
+            measured_crossover,
+        );
+    }
+
+    // CI perf-smoke gate: the batched-epoch protocol must keep the pool
+    // comfortably ahead of per-step spawning at every swept width, and
+    // its hit stream bit-identical to Sequential.
+    if assert_pool {
+        let mut failed = false;
+        for r in &mat_results {
+            if !r.pool_matches_seq {
+                eprintln!(
+                    "ASSERT: pool hit stream diverged from Sequential at {} mats",
+                    r.mats
+                );
+                failed = true;
+            }
+            if r.pool_vs_spawn() < 2.0 {
+                eprintln!(
+                    "ASSERT: pool_vs_spawn {:.2} < 2.0 at {} mats",
+                    r.pool_vs_spawn(),
+                    r.mats
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("--assert-pool: all pool checks passed");
     }
 }

@@ -246,7 +246,20 @@ impl MetricsRegistry {
 
     /// Registers (or fetches) a deterministic gauge.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
-        match self.get_or_register(name, labels, help, false, || {
+        self.gauge_with(name, labels, help, false)
+    }
+
+    /// Registers (or fetches) a gauge, flagged nondeterministic when it
+    /// reflects wall-clock-derived quantities (e.g. the measured pool
+    /// crossover).
+    pub fn gauge_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        nondeterministic: bool,
+    ) -> Gauge {
+        match self.get_or_register(name, labels, help, nondeterministic, || {
             Handle::Gauge(Arc::new(AtomicI64::new(0)))
         }) {
             Handle::Gauge(g) => Gauge(g),
@@ -1278,6 +1291,7 @@ pub struct ChipProbe {
     imbalance: Gauge,
     leased_mats: Gauge,
     pool_step_wall: Histogram,
+    pool_crossover: Gauge,
 }
 
 impl ChipProbe {
@@ -1344,6 +1358,12 @@ impl ChipProbe {
                 "wall-clock broadcast-to-fold latency per pool epoch step",
                 true,
             ),
+            pool_crossover: registry.gauge_with(
+                "rime_pool_crossover_mats",
+                &chip_label,
+                "measured Auto crossover: span width in mats where the pool wins",
+                true,
+            ),
             registry: registry.clone(),
             chip,
             timing,
@@ -1397,6 +1417,11 @@ impl ExtractionProbe for ChipProbe {
 
     fn pool_step(&self, wall_ns: u64) {
         self.pool_step_wall.observe(wall_ns);
+    }
+
+    fn pool_crossover(&self, mats: usize) {
+        self.pool_crossover
+            .set(i64::try_from(mats).unwrap_or(i64::MAX));
     }
 
     fn pool_worker(&self, worker: usize, busy_ns: u64, session_ns: u64) {
@@ -1623,6 +1648,7 @@ mod tests {
         probe.pool_lease(4, 16, 4, 4);
         probe.pool_step(100);
         probe.pool_worker(0, 80, 100);
+        probe.pool_crossover(24);
         probe.pool_unlease();
         let snap = reg.snapshot();
         let get = |name: &str, phase: Option<&str>| {
@@ -1668,9 +1694,15 @@ mod tests {
             MetricValue::Gauge(v) => assert_eq!(v, 0),
             other => panic!("{other:?}"),
         }
-        // Wall-clock metrics carry the flag; modeled ones don't.
+        match get("rime_pool_crossover_mats", None) {
+            MetricValue::Gauge(v) => assert_eq!(v, 24),
+            other => panic!("{other:?}"),
+        }
+        // Wall-clock(-derived) metrics carry the flag; modeled ones don't.
         for m in &snap.metrics {
-            let wall = m.name.contains("wall_ns") || m.name.contains("_ns_total");
+            let wall = m.name.contains("wall_ns")
+                || m.name.contains("_ns_total")
+                || m.name == "rime_pool_crossover_mats";
             assert_eq!(m.nondeterministic, wall, "{}", m.name);
         }
     }

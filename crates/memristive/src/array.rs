@@ -86,6 +86,9 @@ pub struct Array {
     /// `r` (through any injected faults).
     cols: Vec<Bitmap>,
     select: Bitmap,
+    /// Cached `select.count_ones()`, maintained by every select mutator so
+    /// the per-step survivor checks cost O(1) instead of a popcount pass.
+    selected: usize,
     wear: Vec<u32>,
     /// Injected stuck-at cell faults: (row, bit, stuck value). Endurance
     /// failures manifest as cells stuck in one resistance state; the
@@ -101,6 +104,7 @@ impl Array {
             rows: vec![0; rows],
             cols: (0..KEY_BITS).map(|_| Bitmap::zeros(rows)).collect(),
             select: Bitmap::zeros(rows),
+            selected: 0,
             wear: vec![0; rows],
             faults: Vec::new(),
         }
@@ -197,6 +201,7 @@ impl Array {
     /// Panics if the length differs from the row count.
     pub fn set_select(&mut self, select: Bitmap) {
         assert_eq!(select.len(), self.rows.len(), "select vector length");
+        self.selected = select.count_ones();
         self.select = select;
     }
 
@@ -209,21 +214,31 @@ impl Array {
     /// Panics if the window runs past `bits.len()`.
     pub fn load_select_window(&mut self, bits: &Bitmap, start: usize) {
         self.select.assign_slice(bits, start);
+        self.selected = self.select.count_ones();
     }
 
     /// Sets or clears one select latch.
     pub fn set_select_bit(&mut self, row: usize, value: bool) {
-        self.select.set(row, value);
+        let was = self.select.get(row);
+        if was != value {
+            self.select.set(row, value);
+            if value {
+                self.selected += 1;
+            } else {
+                self.selected -= 1;
+            }
+        }
     }
 
     /// Clears the whole select vector.
     pub fn clear_select(&mut self) {
         self.select.clear();
+        self.selected = 0;
     }
 
-    /// Number of selected rows.
+    /// Number of selected rows (cached; O(1)).
     pub fn selected_count(&self) -> usize {
-        self.select.count_ones()
+        self.selected
     }
 
     /// Senses column `pos` across the selected rows (Fig. 7): returns the
@@ -239,19 +254,32 @@ impl Array {
     ///
     /// Panics if `pos >= 64`.
     pub fn sense_column(&self, pos: u16) -> ColumnSignals {
+        if self.selected == 0 {
+            return ColumnSignals::default();
+        }
         let col = self.cols[pos as usize].words();
-        let mut signals = ColumnSignals::default();
-        for (&sel, &col) in self.select.words().iter().zip(col) {
-            if sel == 0 {
-                continue;
-            }
-            signals.any_one |= sel & col != 0;
-            signals.any_zero |= sel & !col != 0;
-            if signals.any_one && signals.any_zero {
-                break;
+        let sel = self.select.words();
+        let (mut one, mut zero) = (0u64, 0u64);
+        let mut chunks = sel.chunks_exact(4).zip(col.chunks_exact(4));
+        for (s, c) in chunks.by_ref() {
+            one |= (s[0] & c[0]) | (s[1] & c[1]) | (s[2] & c[2]) | (s[3] & c[3]);
+            zero |= (s[0] & !c[0]) | (s[1] & !c[1]) | (s[2] & !c[2]) | (s[3] & !c[3]);
+            if one != 0 && zero != 0 {
+                return ColumnSignals {
+                    any_one: true,
+                    any_zero: true,
+                };
             }
         }
-        signals
+        let (s_rem, c_rem) = (sel.chunks_exact(4), col.chunks_exact(4));
+        for (&s, &c) in s_rem.remainder().iter().zip(c_rem.remainder()) {
+            one |= s & c;
+            zero |= s & !c;
+        }
+        ColumnSignals {
+            any_one: one != 0,
+            any_zero: zero != 0,
+        }
     }
 
     /// The match vector for column `pos` against reference bit `keep`,
@@ -283,9 +311,9 @@ impl Array {
     /// Loads the match vector into the select latches (selective row
     /// exclusion, §IV-A.2). Returns the number of rows deselected.
     pub fn load_select(&mut self, matches: &Bitmap) -> usize {
-        let before = self.select.count_ones();
-        self.select.and_assign(matches);
-        before - self.select.count_ones()
+        let removed = self.select.and_assign_count_removed(matches);
+        self.selected -= removed;
+        removed
     }
 
     /// Fused match-and-load (§IV-A.2): because `select &= select & col`
@@ -298,14 +326,14 @@ impl Array {
     ///
     /// Panics if `pos >= 64`.
     pub fn apply_exclusion(&mut self, pos: u16, keep: bool) -> usize {
-        let before = self.select.count_ones();
         let col = &self.cols[pos as usize];
-        if keep {
-            self.select.and_assign(col);
+        let removed = if keep {
+            self.select.and_assign_count_removed(col)
         } else {
-            self.select.and_not_assign(col);
-        }
-        before - self.select.count_ones()
+            self.select.and_not_assign_count_removed(col)
+        };
+        self.selected -= removed;
+        removed
     }
 
     /// Scalar row-major `sense_column` — the differential oracle for the
@@ -380,6 +408,7 @@ impl Array {
             rows: state.rows.clone(),
             cols: (0..KEY_BITS).map(|_| Bitmap::zeros(rows)).collect(),
             select: Bitmap::zeros(rows),
+            selected: 0,
             wear: state.wear.clone(),
             faults: state.faults.clone(),
         };
@@ -648,6 +677,39 @@ mod tests {
         let mut bad = a.state();
         bad.faults.push((0, 64, true)); // bit out of range
         assert!(Array::from_state(&bad).is_none());
+    }
+
+    #[test]
+    fn cached_selected_count_tracks_every_mutator() {
+        let mut a = Array::new(70);
+        for row in 0..70 {
+            a.write_row(row, row as u64 ^ 0xA5);
+        }
+        let check = |a: &Array, ctx: &str| {
+            assert_eq!(a.selected_count(), a.select().count_ones(), "{ctx}");
+        };
+        check(&a, "new");
+        a.set_select((0..70).map(|i| i % 2 == 0).collect());
+        check(&a, "set_select");
+        a.set_select_bit(1, true);
+        a.set_select_bit(1, true); // idempotent set must not double-count
+        a.set_select_bit(0, false);
+        a.set_select_bit(0, false);
+        check(&a, "set_select_bit");
+        let bits: Bitmap = (0..140).map(|i| i % 3 != 0).collect();
+        a.load_select_window(&bits, 35);
+        check(&a, "load_select_window");
+        let matches: Bitmap = (0..70).map(|i| i % 5 != 2).collect();
+        a.load_select(&matches);
+        check(&a, "load_select");
+        a.apply_exclusion(3, true);
+        check(&a, "apply_exclusion keep");
+        a.apply_exclusion(2, false);
+        check(&a, "apply_exclusion drop");
+        let restored = Array::from_state(&a.state()).unwrap();
+        check(&restored, "from_state");
+        a.clear_select();
+        check(&a, "clear_select");
     }
 
     #[test]

@@ -126,8 +126,23 @@ impl Bitmap {
     }
 
     /// Number of one bits.
+    ///
+    /// Four-wide unrolled so the popcounts pipeline instead of feeding a
+    /// single serial accumulator.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        let mut chunks = self.words.chunks_exact(4);
+        let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+        for w in chunks.by_ref() {
+            c0 += w[0].count_ones() as usize;
+            c1 += w[1].count_ones() as usize;
+            c2 += w[2].count_ones() as usize;
+            c3 += w[3].count_ones() as usize;
+        }
+        let mut count = c0 + c1 + c2 + c3;
+        for &w in chunks.remainder() {
+            count += w.count_ones() as usize;
+        }
+        count
     }
 
     /// Whether no bit is set.
@@ -156,12 +171,23 @@ impl Bitmap {
 
     /// In-place intersection with `other`.
     ///
+    /// Four-wide unrolled (a `u64x4` in stable scalar form) so the
+    /// independent word ANDs issue without a loop-carried dependency.
+    ///
     /// # Panics
     ///
     /// Panics if lengths differ.
     pub fn and_assign(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        let mut dst = self.words.chunks_exact_mut(4);
+        let mut src = other.words.chunks_exact(4);
+        for (a, b) in dst.by_ref().zip(src.by_ref()) {
+            a[0] &= b[0];
+            a[1] &= b[1];
+            a[2] &= b[2];
+            a[3] &= b[3];
+        }
+        for (a, &b) in dst.into_remainder().iter_mut().zip(src.remainder()) {
             *a &= b;
         }
     }
@@ -180,14 +206,87 @@ impl Bitmap {
 
     /// In-place difference: clears every bit that is set in `other`.
     ///
+    /// Four-wide unrolled like [`Bitmap::and_assign`].
+    ///
     /// # Panics
     ///
     /// Panics if lengths differ.
     pub fn and_not_assign(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        let mut dst = self.words.chunks_exact_mut(4);
+        let mut src = other.words.chunks_exact(4);
+        for (a, b) in dst.by_ref().zip(src.by_ref()) {
+            a[0] &= !b[0];
+            a[1] &= !b[1];
+            a[2] &= !b[2];
+            a[3] &= !b[3];
+        }
+        for (a, &b) in dst.into_remainder().iter_mut().zip(src.remainder()) {
             *a &= !b;
         }
+    }
+
+    /// Fused `self &= other` that also reports how many bits were cleared,
+    /// in a single pass: per word the removed count is
+    /// `(old ^ new).count_ones()`. Replaces the count / AND / count
+    /// three-pass shape on the exclusion hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_assign_count_removed(&mut self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let mut removed = 0usize;
+        let mut dst = self.words.chunks_exact_mut(4);
+        let mut src = other.words.chunks_exact(4);
+        for (a, b) in dst.by_ref().zip(src.by_ref()) {
+            let (n0, n1, n2, n3) = (a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]);
+            removed += ((a[0] ^ n0).count_ones()
+                + (a[1] ^ n1).count_ones()
+                + (a[2] ^ n2).count_ones()
+                + (a[3] ^ n3).count_ones()) as usize;
+            a[0] = n0;
+            a[1] = n1;
+            a[2] = n2;
+            a[3] = n3;
+        }
+        for (a, &b) in dst.into_remainder().iter_mut().zip(src.remainder()) {
+            let n = *a & b;
+            removed += (*a ^ n).count_ones() as usize;
+            *a = n;
+        }
+        removed
+    }
+
+    /// Fused `self &= !other` that also reports how many bits were
+    /// cleared — ANDN counterpart of
+    /// [`Bitmap::and_assign_count_removed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_not_assign_count_removed(&mut self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let mut removed = 0usize;
+        let mut dst = self.words.chunks_exact_mut(4);
+        let mut src = other.words.chunks_exact(4);
+        for (a, b) in dst.by_ref().zip(src.by_ref()) {
+            let (n0, n1, n2, n3) = (a[0] & !b[0], a[1] & !b[1], a[2] & !b[2], a[3] & !b[3]);
+            removed += ((a[0] ^ n0).count_ones()
+                + (a[1] ^ n1).count_ones()
+                + (a[2] ^ n2).count_ones()
+                + (a[3] ^ n3).count_ones()) as usize;
+            a[0] = n0;
+            a[1] = n1;
+            a[2] = n2;
+            a[3] = n3;
+        }
+        for (a, &b) in dst.into_remainder().iter_mut().zip(src.remainder()) {
+            let n = *a & !b;
+            removed += (*a ^ n).count_ones() as usize;
+            *a = n;
+        }
+        removed
     }
 
     /// The backing `u64` words, least-significant bit first. Bits beyond
@@ -608,6 +707,51 @@ mod tests {
         ] {
             let want = (start..end).filter(|&i| bm.get(i)).count();
             assert_eq!(bm.count_ones_in_range(start, end), want, "[{start}, {end})");
+        }
+    }
+
+    #[test]
+    fn fused_count_removed_matches_three_pass() {
+        // Lengths straddling the 4-word unroll boundary: remainder of
+        // 0..3 words plus the empty and sub-chunk cases.
+        for len in [0, 1, 63, 64, 129, 256, 257, 300, 511] {
+            let a: Bitmap = (0..len).map(|i| i % 3 != 1).collect();
+            let b: Bitmap = (0..len).map(|i| i % 5 < 3).collect();
+
+            let mut fused = a.clone();
+            let removed = fused.and_assign_count_removed(&b);
+            let mut three = a.clone();
+            let before = three.count_ones();
+            three.and_assign(&b);
+            assert_eq!(fused, three, "and result at len {len}");
+            assert_eq!(removed, before - three.count_ones(), "and removed {len}");
+
+            let mut fused = a.clone();
+            let removed = fused.and_not_assign_count_removed(&b);
+            let mut three = a.clone();
+            let before = three.count_ones();
+            three.and_not_assign(&b);
+            assert_eq!(fused, three, "andn result at len {len}");
+            assert_eq!(removed, before - three.count_ones(), "andn removed {len}");
+        }
+    }
+
+    #[test]
+    fn unrolled_kernels_match_per_bit_on_odd_lengths() {
+        for len in [1, 4, 65, 255, 256, 259] {
+            let a: Bitmap = (0..len).map(|i| i % 7 < 4).collect();
+            let b: Bitmap = (0..len).map(|i| i % 11 > 5).collect();
+            let mut and = a.clone();
+            and.and_assign(&b);
+            let mut andn = a.clone();
+            andn.and_not_assign(&b);
+            let mut want_ones = 0;
+            for idx in 0..len {
+                assert_eq!(and.get(idx), a.get(idx) && b.get(idx), "and {len}/{idx}");
+                assert_eq!(andn.get(idx), a.get(idx) && !b.get(idx), "andn {len}/{idx}");
+                want_ones += a.get(idx) as usize;
+            }
+            assert_eq!(a.count_ones(), want_ones, "count_ones at len {len}");
         }
     }
 

@@ -18,16 +18,25 @@
 //! signals meet at wire-OR nodes on the way up the H-tree (Fig. 9/10).
 //! The model mirrors that with a persistent mat-shard worker pool
 //! ([`crate::pool::MatPool`]): long-lived workers each own a fixed
-//! shard of the range's mats for the duration of an extraction session
-//! and are driven by epoch-tagged step broadcasts, with per-shard
-//! `ColumnSignals` and deselection counts merged in fixed worker order
-//! afterwards. Because the wire-OR and the removed-row sum are both
-//! commutative and the chip loop never short-circuits across mats, the
-//! merged result — and therefore every [`OpCounters`] field — is
+//! shard of the range's mats for the duration of an extraction session.
+//! A whole bit-serial descent ships to the workers as *one* broadcast —
+//! each worker speculates its shard's descent against its local wire-OR
+//! view and the controller folds the recorded traces in fixed worker
+//! order into the exact global decision sequence, replaying a divergent
+//! suffix only when a shard's local signals could have changed a global
+//! decision (see [`crate::pool`] for why the fold is exact). Because
+//! the fold reconstructs the same per-step wire-OR and removed-row sums
+//! the sequential walk computes, every [`OpCounters`] field is
 //! bit-identical whatever the thread count ([`ParallelPolicy`] is purely
 //! a scheduling knob). The retired per-step `thread::scope` fan-out
 //! survives as [`ParallelPolicy::SpawnPerStep`], kept as a benchmark
 //! baseline and an extra differential subject.
+//!
+//! [`ParallelPolicy::Auto`] gates pool use on a *measured* crossover:
+//! a one-shot process-wide calibration ([`crate::pool::pool_calibration`])
+//! prices a broadcast→fold round trip against per-mat step cost, and the
+//! chip derives the span width where leasing the pool starts winning
+//! (overridable via `RIME_POOL_CROSSOVER` for reproducible CI).
 
 use std::sync::Arc;
 
@@ -40,7 +49,7 @@ use crate::geometry::ChipGeometry;
 use crate::htree::IndexTree;
 use crate::mat::{Mat, MatState};
 use crate::plan::{Direction, SearchPlan};
-use crate::pool::MatPool;
+use crate::pool::{pool_calibration, Dirty, MatPool};
 use crate::probe::{timed, Phase, SharedProbe};
 
 /// Result of one in-situ min/max extraction.
@@ -64,12 +73,13 @@ pub struct ExtractHit {
 pub enum ParallelPolicy {
     /// Walk the mats on the calling thread — the differential oracle.
     Sequential,
-    /// Route ranges spanning at least 16 mats
-    /// (`AUTO_PARALLEL_MIN_MATS`) through the persistent mat-shard pool
-    /// with `min(host parallelism, mats in range)` workers, where host
-    /// parallelism is `available_parallelism`, cached once per chip.
-    /// Narrower ranges — and hosts whose cached parallelism is 1 — stay
-    /// on the calling thread. The default.
+    /// Route ranges spanning at least the *measured* crossover width
+    /// (see [`Chip::pool_crossover_mats`]) through the persistent
+    /// mat-shard pool with `min(host parallelism, mats in range)`
+    /// workers, where host parallelism is `available_parallelism`
+    /// (cached per chip, re-queried whenever the pool is rebuilt).
+    /// Narrower ranges — and hosts whose parallelism is 1 — stay on
+    /// the calling thread. The default.
     #[default]
     Auto,
     /// Drive the persistent pool with exactly this many workers
@@ -92,11 +102,24 @@ enum Fanout {
     Pool(usize),
 }
 
-/// Under [`ParallelPolicy::Auto`], ranges spanning fewer mats than this
-/// stay on the calling thread: the pool doesn't spawn per step, but the
-/// per-session shard hand-off and epoch-tagged broadcasts still cost
-/// more than they recover on narrow spans.
-const AUTO_PARALLEL_MIN_MATS: usize = 16;
+/// Clamp bounds for the Auto crossover (mats): below 2 the pool can
+/// never win (single-mat spans short-circuit anyway), and a pathological
+/// calibration sample must not push the crossover past any real span.
+const POOL_CROSSOVER_MIN: usize = 2;
+const POOL_CROSSOVER_MAX: usize = 1 << 20;
+
+/// Where a pooled descent's replay path finds the span's select
+/// membership: the batch loop already holds it as a shared `Arc`, while
+/// a single extraction rebuilds it from the exclusion flags on demand
+/// (replay never fires on the natural path, so the rebuild is free in
+/// the common case).
+#[derive(Clone, Copy)]
+enum MembershipSource<'a> {
+    /// Clone this shared membership vector (batch path).
+    Shared(&'a Arc<Bitmap>),
+    /// Rebuild `[begin, end)` minus the exclusion flags (single path).
+    Rebuild { begin: u64, end: u64 },
+}
 
 /// Serializable snapshot of one chip's durable state, for
 /// checkpoint/recovery: per-mat cell contents (lazily materialized mats
@@ -138,14 +161,29 @@ pub struct Chip {
     /// observationally identical — hits and counters bit-equal — which
     /// the differential suite proves.
     scalar_oracle: bool,
-    /// Host parallelism, queried once at construction (§satellite:
-    /// `available_parallelism` is a syscall-backed lookup; re-querying
-    /// per extraction range was measurable on the batch path).
+    /// Host parallelism, queried at construction and re-queried whenever
+    /// the pool is rebuilt (`available_parallelism` is a syscall-backed
+    /// lookup; re-querying per extraction range was measurable on the
+    /// batch path, but a parked-then-rebuilt pool must not keep a stale
+    /// thread count).
     auto_threads: usize,
+    /// Measured Auto crossover (mats), derived lazily from the one-shot
+    /// pool calibration (or `RIME_POOL_CROSSOVER`). Invalidated together
+    /// with `auto_threads` when the pool is rebuilt.
+    pool_crossover: Option<usize>,
+    /// Test knob: bail initial pool speculation after this many steps so
+    /// the fold exercises the divergence-replay path.
+    pool_force_replay: Option<u16>,
+    /// Test knob: explicit per-worker shard sizes for pool leases
+    /// (overrides the worker count with the plan's length).
+    pool_shard_plan: Option<Vec<usize>>,
     /// Persistent mat-shard workers, built lazily on first pooled
     /// extraction and kept across sessions. `None` until then (and in
     /// clones — worker threads are per-instance).
     pool: Option<MatPool>,
+    /// Reusable per-mat firsts buffer for the H-tree reduction —
+    /// allocation-free readout on the pooled path.
+    firsts_scratch: Vec<Option<u32>>,
     /// Extraction/pool observer (rime-core's metrics layer). `None` keeps
     /// every instrumented path free of clock reads.
     probe: Option<SharedProbe>,
@@ -164,6 +202,7 @@ impl std::fmt::Debug for Chip {
             .field("parallel", &self.parallel)
             .field("scalar_oracle", &self.scalar_oracle)
             .field("auto_threads", &self.auto_threads)
+            .field("pool_crossover", &self.pool_crossover)
             .field("pool", &self.pool)
             .field("probe", &self.probe.as_ref().map(|_| "installed"))
             .finish()
@@ -183,9 +222,13 @@ impl Clone for Chip {
             parallel: self.parallel,
             scalar_oracle: self.scalar_oracle,
             auto_threads: self.auto_threads,
+            pool_crossover: self.pool_crossover,
+            pool_force_replay: self.pool_force_replay,
+            pool_shard_plan: self.pool_shard_plan.clone(),
             // Worker threads are not shareable state; the clone builds
             // its own pool on first pooled extraction.
             pool: None,
+            firsts_scratch: Vec::new(),
             probe: self.probe.clone(),
         }
     }
@@ -206,7 +249,11 @@ impl Chip {
             parallel: ParallelPolicy::Auto,
             scalar_oracle: false,
             auto_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            pool_crossover: None,
+            pool_force_replay: None,
+            pool_shard_plan: None,
             pool: None,
+            firsts_scratch: Vec::new(),
             probe: None,
         }
     }
@@ -248,7 +295,7 @@ impl Chip {
 
     /// Decides how this session's span is scheduled. Single-mat spans
     /// always stay on the calling thread — no fan-out can help them.
-    fn fanout(&self, mats_in_range: usize) -> Fanout {
+    fn fanout(&mut self, mats_in_range: usize) -> Fanout {
         if mats_in_range <= 1 {
             return Fanout::Host(1);
         }
@@ -258,13 +305,73 @@ impl Chip {
             ParallelPolicy::Threads(0 | 1) => Fanout::Host(1),
             ParallelPolicy::Threads(n) => Fanout::Pool(n),
             ParallelPolicy::Auto => {
-                if mats_in_range < AUTO_PARALLEL_MIN_MATS || self.auto_threads <= 1 {
+                if self.auto_threads <= 1 || mats_in_range < self.pool_crossover_mats() {
                     Fanout::Host(1)
                 } else {
                     Fanout::Pool(self.auto_threads.min(mats_in_range))
                 }
             }
         }
+    }
+
+    /// Span width (in mats) where [`ParallelPolicy::Auto`] starts leasing
+    /// the pool. Derived lazily from the one-shot process-wide
+    /// calibration ([`crate::pool::pool_calibration`]) and cached until
+    /// the pool is rebuilt; `RIME_POOL_CROSSOVER=<mats>` overrides the
+    /// measurement for reproducible runs. Always in
+    /// `[2, 2^20]`.
+    pub fn pool_crossover_mats(&mut self) -> usize {
+        if let Some(crossover) = self.pool_crossover {
+            return crossover;
+        }
+        let crossover = std::env::var("RIME_POOL_CROSSOVER")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| self.measured_crossover())
+            .clamp(POOL_CROSSOVER_MIN, POOL_CROSSOVER_MAX);
+        self.pool_crossover = Some(crossover);
+        crossover
+    }
+
+    /// Prices the pool against the inline walk from the calibration
+    /// sample: a pooled descent costs one broadcast→fold round trip and
+    /// saves the host `(threads-1)/threads` of the span's per-mat step
+    /// work, so the pool wins once
+    /// `mats × steps × per_mat_step × (threads-1)/threads > round_trip`.
+    fn measured_crossover(&self) -> usize {
+        let cal = pool_calibration();
+        let words_per_mat =
+            u64::from(self.geometry.arrays_per_mat) * u64::from(self.geometry.rows).div_ceil(64);
+        // Each step touches every select word twice (sense + exclusion).
+        let per_mat_step_ps = 2 * words_per_mat * cal.word_picos;
+        let threads = self.auto_threads.max(2) as u64;
+        // A full-width descent (64 steps) is the unit the protocol
+        // amortizes the round trip over.
+        let saved_per_mat_ps = 64 * per_mat_step_ps * (threads - 1) / threads;
+        (cal.round_trip_ns.saturating_mul(1000))
+            .div_ceil(saved_per_mat_ps.max(1))
+            .try_into()
+            .unwrap_or(POOL_CROSSOVER_MAX)
+    }
+
+    /// Test knob: make pool workers bail their *initial* speculation
+    /// after `limit` steps, forcing the fold through the divergence
+    /// replay path (replayed runs always complete). `None` disarms.
+    /// Purely a scheduling knob — results and counters are unchanged,
+    /// which is exactly what the replay proptests pin.
+    pub fn set_pool_force_replay(&mut self, limit: Option<u16>) {
+        self.pool_force_replay = limit;
+    }
+
+    /// Test knob: pin an explicit shard plan for pool leases —
+    /// `plan[i]` mats go to worker `i`, in span order, and the worker
+    /// count follows the plan's length. Lets tests drive adversarial
+    /// splits (1-mat shards, maximal imbalance, empty shards) that the
+    /// default contiguous chunking never produces. The plan must cover
+    /// exactly the leased span or the lease panics. `None` restores
+    /// default chunking.
+    pub fn set_pool_shard_plan(&mut self, plan: Option<Vec<usize>>) {
+        self.pool_shard_plan = plan;
     }
 
     /// Key-slot capacity.
@@ -496,7 +603,13 @@ impl Chip {
             }
             Fanout::Pool(workers) => {
                 let mut pool = self.lease_pool(first_mat, last_mat, workers);
-                let hit = self.converge_pooled(first_mat, &mut pool, &plan, selected);
+                let hit = self.converge_pooled(
+                    first_mat,
+                    &mut pool,
+                    &plan,
+                    MembershipSource::Rebuild { begin, end },
+                    Dirty::All,
+                );
                 self.restore_pool(first_mat, pool);
                 hit
             }
@@ -613,11 +726,15 @@ impl Chip {
                 // the host path line for line.
                 let mut pool = self.lease_pool(first_mat, last_mat, workers);
                 let mut membership = Arc::new(membership);
+                let mut dirty_slot: Option<u64> = None;
                 for _ in 0..k {
-                    let mut rearm_ns = 0u64;
-                    timed(&probe, &mut rearm_ns, || pool.rearm(&membership));
+                    // The select-vector rearm is fused into the descend
+                    // broadcast (the workers latch their windows before
+                    // speculating), so its wall time lands inside the
+                    // descent; the modeled hardware event is the same
+                    // one-traversal select load as the host path.
                     if let Some(p) = &probe {
-                        p.phase(Phase::Rearm, rearm_ns, 1);
+                        p.phase(Phase::Rearm, 0, 1);
                     }
                     self.counters.select_loads += 1;
                     self.counters.htree_traversals += 1;
@@ -625,12 +742,26 @@ impl Chip {
                     if selected == 0 {
                         break;
                     }
-                    let hit = self.converge_pooled(first_mat, &mut pool, &plan, selected);
+                    // After the first key only the previous winner's
+                    // shard re-speculates; the rest serve their memoized
+                    // traces (bit-identical by purity — see MatPool).
+                    let dirty = match &dirty_slot {
+                        None => Dirty::All,
+                        Some(slot) => Dirty::Slots(std::slice::from_ref(slot)),
+                    };
+                    let hit = self.converge_pooled(
+                        first_mat,
+                        &mut pool,
+                        &plan,
+                        MembershipSource::Shared(&membership),
+                        dirty,
+                    );
                     // The next barrier (any reply-bearing request) has
                     // already passed by the time a hit returns, so the
                     // workers hold no clone and this mutates in place.
                     Arc::make_mut(&mut membership).set(hit.slot as usize, false);
                     selected -= 1;
+                    dirty_slot = Some(hit.slot);
                     hits.push(hit);
                 }
                 self.restore_pool(first_mat, pool);
@@ -647,21 +778,39 @@ impl Chip {
         for idx in first_mat..=last_mat {
             self.mat_mut(idx as u32);
         }
+        let workers = match &self.pool_shard_plan {
+            Some(plan) => plan.len(),
+            None => workers,
+        };
         let mut pool = match self.pool.take() {
             Some(pool) if pool.workers() == workers => pool,
-            _ => MatPool::new(workers),
+            _ => {
+                // Rebuilding the pool invalidates the host-derived
+                // caches: the machine's thread budget may have changed
+                // since they were computed, and a crossover priced for a
+                // stale thread count would mis-gate Auto (§satellite).
+                self.auto_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+                self.pool_crossover = None;
+                MatPool::new(workers)
+            }
         };
         pool.set_probe(self.probe.clone());
+        pool.set_force_replay(self.pool_force_replay);
+        let probe = self.probe.clone();
+        if let Some(p) = &probe {
+            p.pool_crossover(self.pool_crossover_mats());
+        }
         let span: Vec<Option<Mat>> = self.mats[first_mat..=last_mat]
             .iter_mut()
             .map(Option::take)
             .collect();
-        pool.lease(
-            first_mat,
-            span,
-            self.geometry.slots_per_mat() as usize,
-            self.scalar_oracle,
-        );
+        let slots_per_mat = self.geometry.slots_per_mat() as usize;
+        match self.pool_shard_plan.clone() {
+            Some(plan) => {
+                pool.lease_with_shards(first_mat, span, slots_per_mat, self.scalar_oracle, &plan);
+            }
+            None => pool.lease(first_mat, span, slots_per_mat, self.scalar_oracle),
+        }
         pool
     }
 
@@ -787,80 +936,95 @@ impl Chip {
     }
 
     /// Pool-scheduled twin of [`Chip::converge_host`]: the span's mats
-    /// live in `pool` (leased from `first_mat`); every step is one
-    /// epoch-tagged broadcast with a fixed-order reply reduction. The
-    /// counter arithmetic matches the host path line for line, which is
-    /// what makes [`OpCounters`] scheduling-invariant.
+    /// live in `pool` (leased from `first_mat`), and the whole bit-serial
+    /// descent runs as a *single* broadcast→fold round trip
+    /// ([`MatPool::descend`]) — workers speculate their shard's descent
+    /// locally and the fold reconstructs the exact global decision
+    /// sequence, so the counter arithmetic still matches the host path
+    /// line for line and [`OpCounters`] stays scheduling-invariant.
     fn converge_pooled(
         &mut self,
         first_mat: usize,
         pool: &mut MatPool,
         plan: &SearchPlan,
-        mut selected: u64,
+        membership: MembershipSource<'_>,
+        dirty: Dirty<'_>,
     ) -> ExtractHit {
         let probe = self.probe.clone();
-        let (mut sense_ns, mut exclude_ns, mut reduce_ns, mut readout_ns) = (0u64, 0, 0, 0);
-        let mut exclusions = 0u64;
-        let mut survivors_negative = false;
-        let mut steps_executed = 0u16;
-        for step in 0..plan.steps() {
-            if selected <= 1 {
-                break; // §IV-B.2: stop once a single value remains
-            }
-            steps_executed += 1;
-            let pos = plan.position(step);
-
-            let (global, active_mats) = timed(&probe, &mut sense_ns, || pool.sense(pos));
-            self.counters.column_search_steps += 1;
-            self.counters.mat_column_searches += active_mats;
-
-            if plan.is_sign_step(step) {
-                survivors_negative = plan.survivors_negative(global.any_one, global.any_zero);
-            }
-
-            if !global.all_same() {
-                let keep = plan.keep_bit(step, survivors_negative);
-                let removed = timed(&probe, &mut exclude_ns, || pool.exclude(pos, keep));
-                self.counters.select_loads += 1;
-                selected -= removed;
-                exclusions += 1;
-                if let Some(p) = &probe {
-                    p.excluded_step(removed);
+        let (mut descend_ns, mut reduce_ns) = (0u64, 0u64);
+        let outcome = {
+            let excluded = &self.excluded;
+            let capacity = self.geometry.capacity_slots() as usize;
+            // Shared membership doubles as the fused rearm payload: the
+            // workers re-latch their select windows inside the descend
+            // request (one wake cycle, not two). The rebuild path loads
+            // selects host-side before leasing, so no rearm rides along.
+            let rearm = match membership {
+                MembershipSource::Shared(m) => Some(m),
+                MembershipSource::Rebuild { .. } => None,
+            };
+            // Replay membership (global slot indexing), materialized only
+            // if the fold actually replays — never on the natural path.
+            let mut membership_fn = || match membership {
+                MembershipSource::Shared(m) => Arc::clone(m),
+                MembershipSource::Rebuild { begin, end } => {
+                    let mut m = Bitmap::zeros(capacity);
+                    m.set_range(begin as usize, end as usize);
+                    m.and_not_assign(excluded);
+                    Arc::new(m)
                 }
+            };
+            timed(&probe, &mut descend_ns, || {
+                pool.descend(plan, rearm, dirty, &mut membership_fn)
+            })
+        };
+        let steps_executed = outcome.steps_executed;
+        self.counters.column_search_steps += u64::from(steps_executed);
+        self.counters.mat_column_searches += outcome.mat_searches;
+        let exclusions = outcome.removed_per_step.len() as u64;
+        self.counters.select_loads += exclusions;
+        if let Some(p) = &probe {
+            for &removed in &outcome.removed_per_step {
+                p.excluded_step(removed);
             }
         }
 
         // Upstream index reduction across all mats (Fig. 10): span
-        // entries come from the workers in mat order; mats outside the
-        // span stayed home (their selects were cleared by the caller).
+        // entries came home with the fold, in mat order; mats outside
+        // the span stayed put (their selects were cleared by the
+        // caller). The scratch buffer keeps this allocation-free.
         let slot = timed(&probe, &mut reduce_ns, || {
-            let mut hits: Vec<Option<u32>> = self
-                .mats
-                .iter()
-                .map(|m| m.as_ref().and_then(Mat::first_selected))
-                .collect();
-            let firsts = pool.first_selected();
-            hits[first_mat..first_mat + firsts.len()].copy_from_slice(&firsts);
+            self.firsts_scratch.clear();
+            self.firsts_scratch.extend(
+                self.mats
+                    .iter()
+                    .map(|m| m.as_ref().and_then(Mat::first_selected)),
+            );
+            self.firsts_scratch[first_mat..first_mat + outcome.firsts.len()]
+                .copy_from_slice(&outcome.firsts);
             self.tree
-                .reduce(&hits)
+                .reduce(&self.firsts_scratch)
                 .expect("non-empty selection must reduce to a winner")
         });
         self.counters.htree_traversals += 1;
 
-        // Read the winner out of its owning shard and flag it excluded.
-        let (mat, local) = self.geometry.split_slot(slot);
-        let raw_bits = timed(&probe, &mut readout_ns, || {
-            pool.read_slot(mat as usize - first_mat, local)
-        });
+        // The winner's raw bits also came home with the fold — no extra
+        // round trip to its shard.
+        let (mat, _local) = self.geometry.split_slot(slot);
+        let raw_bits = outcome.raws[mat as usize - first_mat];
         self.counters.row_reads += 1;
         self.excluded.set(slot as usize, true);
         self.counters.extractions += 1;
 
         if let Some(p) = &probe {
-            p.phase(Phase::Sense, sense_ns, u64::from(steps_executed));
-            p.phase(Phase::Exclude, exclude_ns, exclusions);
+            // Phase attribution mirrors the host path: the descent wall
+            // time lands on Sense (it is overwhelmingly sensing), and the
+            // op counts — which the metrics layer prices and pins against
+            // OpCounters — are exact.
+            p.phase(Phase::Sense, descend_ns, u64::from(steps_executed));
+            p.phase(Phase::Exclude, 0, exclusions);
             p.phase(Phase::IndexReduce, reduce_ns, 1);
-            p.phase(Phase::Readout, readout_ns, 1);
+            p.phase(Phase::Readout, 0, 1);
             p.extraction(steps_executed);
         }
 
@@ -1444,12 +1608,14 @@ mod tests {
     }
 
     #[test]
-    fn auto_policy_gates_at_sixteen_mats_and_host_parallelism() {
-        // Pins the Auto fan-out decision exactly as documented (and as
-        // DESIGN.md §10 describes): < 16 mats stays on the calling
-        // thread, ≥ 16 leases the pool with min(host, mats) workers.
+    fn auto_policy_gates_on_measured_crossover_and_host_parallelism() {
+        // Pins the Auto fan-out decision (DESIGN.md §13): spans narrower
+        // than the cached crossover stay on the calling thread, wider
+        // ones lease the pool with min(host, mats) workers. The
+        // crossover is injected here so the test is calibration-free.
         let mut chip = Chip::new(ChipGeometry::tiny());
         chip.auto_threads = 4;
+        chip.pool_crossover = Some(16);
         assert!(matches!(chip.fanout(15), Fanout::Host(1)));
         assert!(matches!(chip.fanout(16), Fanout::Pool(4)));
         assert!(matches!(chip.fanout(17), Fanout::Pool(4)));
@@ -1462,6 +1628,13 @@ mod tests {
         assert!(matches!(chip.fanout(17), Fanout::Pool(17)));
         // Single-mat spans short-circuit before the policy is consulted.
         assert!(matches!(chip.fanout(1), Fanout::Host(1)));
+        // The measured crossover is always inside the documented clamp
+        // (this exercises the real calibration once per process).
+        chip.pool_crossover = None;
+        let measured = chip.pool_crossover_mats();
+        assert!((POOL_CROSSOVER_MIN..=POOL_CROSSOVER_MAX).contains(&measured));
+        // ... and it is cached until the pool is rebuilt.
+        assert_eq!(chip.pool_crossover, Some(measured));
     }
 
     #[test]

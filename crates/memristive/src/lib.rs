@@ -98,7 +98,7 @@ pub use htree::IndexTree;
 pub use lifetime::EnduranceTracker;
 pub use mat::{Mat, MatCommand, MatResponse, MatState};
 pub use plan::{Direction, SearchPlan};
-pub use pool::MatPool;
+pub use pool::{pool_calibration, MatPool, PoolCalibration};
 pub use probe::{ExtractionProbe, Phase, SharedProbe};
 pub use selftest::{march_test, SelfTestReport};
 pub use storage::NormalStorageView;

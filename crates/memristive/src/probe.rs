@@ -84,6 +84,12 @@ pub trait ExtractionProbe: Send + Sync {
     /// requests (busy) versus the whole session duration; the difference
     /// is time parked on the channel.
     fn pool_worker(&self, _worker: usize, _busy_ns: u64, _session_ns: u64) {}
+
+    /// The measured (or overridden) [`crate::ParallelPolicy::Auto`]
+    /// crossover, in mats, as cached when a pool session opens. Derived
+    /// from wall-clock calibration, so nondeterministic unless pinned
+    /// via `RIME_POOL_CROSSOVER`.
+    fn pool_crossover(&self, _mats: usize) {}
 }
 
 /// Shared probe handle as stored by [`crate::Chip`] and [`crate::MatPool`].
@@ -160,5 +166,6 @@ mod tests {
         q.pool_unlease();
         q.pool_step(10);
         q.pool_worker(0, 5, 9);
+        q.pool_crossover(16);
     }
 }

@@ -8,6 +8,15 @@
 //! sizes. This is the executable form of the pool's fixed-order
 //! reduction argument (wire-OR and removed-row sums are commutative
 //! over disjoint shards, merged in worker order).
+//!
+//! Since the batched-epoch protocol (PR 7) the pool runs each descent
+//! *speculatively* — workers race ahead on their local wire-OR view and
+//! the controller folds their traces into the global decision sequence,
+//! replaying divergent suffixes. The same properties therefore also run
+//! with the force-replay knob armed (every descent takes the replay
+//! path) and under adversarial shard plans (1-mat shards, maximal
+//! imbalance with empty shards), pinning that speculation + replay is
+//! bit-identical to `Sequential` too.
 
 use proptest::prelude::*;
 use rime_memristive::{
@@ -41,8 +50,28 @@ fn run_policy<T: SortableBits>(
     k: usize,
     policy: ParallelPolicy,
 ) -> (Vec<ExtractHit>, Option<ExtractHit>, OpCounters) {
+    run_policy_with(keys, mats, faults, direction, k, policy, None, None)
+}
+
+/// [`run_policy`] with the speculative-path knobs armed: `force_replay`
+/// bails every initial speculation after that many steps (driving the
+/// fold through divergence replay) and `shard_plan` pins an explicit
+/// per-worker shard split for every pool lease.
+#[allow(clippy::too_many_arguments)]
+fn run_policy_with<T: SortableBits>(
+    keys: &[T],
+    mats: u16,
+    faults: &[(u64, u16, bool)],
+    direction: Direction,
+    k: usize,
+    policy: ParallelPolicy,
+    force_replay: Option<u16>,
+    shard_plan: Option<Vec<usize>>,
+) -> (Vec<ExtractHit>, Option<ExtractHit>, OpCounters) {
     let mut chip = Chip::new(geometry(mats));
     chip.set_parallel_policy(policy);
+    chip.set_pool_force_replay(force_replay);
+    chip.set_pool_shard_plan(shard_plan);
     let raw: Vec<u64> = keys.iter().map(|v| v.to_raw_bits()).collect();
     chip.store_keys(0, &raw, T::FORMAT).unwrap();
     for &(slot, bit, stuck) in faults {
@@ -76,6 +105,38 @@ fn assert_policies_agree<T: SortableBits>(
         prop_assert_eq!(&got.0, &want.0, "hit stream under {:?}", policy);
         prop_assert_eq!(got.1, want.1, "continuation under {:?}", policy);
         prop_assert_eq!(got.2, want.2, "counters under {:?}", policy);
+    }
+
+    // Speculative-path adversaries: forced divergence replay at several
+    // bail points, and shard plans the default chunking never produces —
+    // every shard a single mat, and one worker owning the whole span
+    // while the rest sit on empty shards. All must still be
+    // bit-identical to the Sequential oracle.
+    let span = (keys.len() - 1) / SLOTS_PER_MAT as usize + 1;
+    let single_mat_shards = vec![1usize; span];
+    let mut max_imbalance = vec![0usize; 3];
+    max_imbalance[0] = span;
+    let scenarios: [(Option<u16>, Option<Vec<usize>>); 4] = [
+        (Some(0), None),
+        (Some(9), None),
+        (None, Some(single_mat_shards)),
+        (Some(3), Some(max_imbalance)),
+    ];
+    for (force, plan) in scenarios {
+        let label = (force, plan.clone());
+        let got = run_policy_with(
+            keys,
+            mats,
+            faults,
+            direction,
+            k,
+            ParallelPolicy::Threads(threads),
+            force,
+            plan,
+        );
+        prop_assert_eq!(&got.0, &want.0, "hit stream under knobs {:?}", &label);
+        prop_assert_eq!(got.1, want.1, "continuation under knobs {:?}", &label);
+        prop_assert_eq!(got.2, want.2, "counters under knobs {:?}", &label);
     }
     Ok(())
 }
@@ -179,4 +240,22 @@ fn wide_span_drain_is_policy_invariant() {
             }
         }
     }
+
+    // Same drain with the speculative knobs armed: every descent bails
+    // into the replay path and the lease splits 16/0/2 across three
+    // workers (one near-total shard, one empty, one tiny).
+    let (want_hits, want_counters) = reference.expect("reference recorded");
+    let mut chip = Chip::new(geometry(mats));
+    chip.set_parallel_policy(ParallelPolicy::Threads(3));
+    chip.set_pool_force_replay(Some(5));
+    chip.set_pool_shard_plan(Some(vec![16, 0, 2]));
+    chip.store_keys(0, &keys, u64::FORMAT).unwrap();
+    chip.init_range(0, n, u64::FORMAT).unwrap();
+    let mut hits = chip
+        .extract_batch(Direction::Min, (n / 2) as usize)
+        .unwrap();
+    chip.init_range(0, n, u64::FORMAT).unwrap();
+    hits.extend(chip.extract_batch(Direction::Max, 8).unwrap());
+    assert_eq!(hits, want_hits, "forced replay + adversarial shards");
+    assert_eq!(*chip.counters(), want_counters);
 }

@@ -1,0 +1,53 @@
+//! Determinism of the Auto crossover under the `RIME_POOL_CROSSOVER`
+//! env override — the knob CI uses to keep Auto's gate reproducible
+//! across heterogeneous runners (the measured calibration is
+//! wall-clock-derived and machine-specific).
+//!
+//! This lives in its own integration-test binary because it mutates
+//! process environment: Rust runs the tests of one binary in threads
+//! sharing that environment, so the single `#[test]` here owns the
+//! variable for the whole process lifetime.
+
+use rime_memristive::{Chip, ChipGeometry, Direction, KeyFormat, ParallelPolicy};
+
+#[test]
+fn env_override_pins_the_crossover_deterministically() {
+    // Single-threaded env mutation before any chip consults it.
+    // SAFETY-equivalent contract (stable set_var is not unsafe on this
+    // toolchain): no other thread is running yet in this test binary.
+    std::env::set_var("RIME_POOL_CROSSOVER", "7");
+
+    // Every chip, however many times asked, resolves the same value —
+    // no calibration noise can leak into the gate.
+    for _ in 0..3 {
+        let mut chip = Chip::new(ChipGeometry::tiny());
+        assert_eq!(chip.pool_crossover_mats(), 7);
+        assert_eq!(chip.pool_crossover_mats(), 7, "cached lookup is stable");
+    }
+
+    // The override survives pool rebuilds (which invalidate the cached
+    // crossover and re-read the environment).
+    let mut chip = Chip::new(ChipGeometry::tiny());
+    let keys: Vec<u64> = (0..64).map(|i| i * 37 % 251).collect();
+    chip.store_keys(0, &keys, KeyFormat::UNSIGNED64).unwrap();
+    chip.init_range(0, 64, KeyFormat::UNSIGNED64).unwrap();
+    chip.set_parallel_policy(ParallelPolicy::Threads(2));
+    let _ = chip.extract_batch(Direction::Min, 4).unwrap();
+    chip.set_parallel_policy(ParallelPolicy::Threads(3)); // forces a rebuild
+    let _ = chip.extract_batch(Direction::Min, 4).unwrap();
+    assert_eq!(chip.pool_crossover_mats(), 7);
+
+    // Out-of-clamp and garbage values fall back safely: clamped into
+    // [2, 2^20] or replaced by the measured value (never a panic).
+    std::env::set_var("RIME_POOL_CROSSOVER", "1");
+    let mut chip = Chip::new(ChipGeometry::tiny());
+    assert_eq!(chip.pool_crossover_mats(), 2, "clamped to the minimum");
+
+    std::env::set_var("RIME_POOL_CROSSOVER", "not-a-number");
+    let mut chip = Chip::new(ChipGeometry::tiny());
+    let measured = chip.pool_crossover_mats();
+    assert!(
+        (2..=1 << 20).contains(&measured),
+        "fell back to measurement"
+    );
+}

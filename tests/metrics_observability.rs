@@ -155,6 +155,92 @@ fn masked_run(policy: ParallelPolicy) -> (String, rime_core::Snapshot, rime_core
     (snapshot.masked().to_json(false), snapshot, dev.counters())
 }
 
+/// Regression for the PR-7 observability gap: a pooled extraction must
+/// actually land samples in the pool wall-clock metrics — the committed
+/// full-mode bench snapshot showed them all-zero because only the
+/// *masked* snapshot (which rightly zeroes nondeterministic series) was
+/// exported, hiding whether the probes ever fired. Pin the unmasked
+/// truth: nonzero step-latency count, nonzero worker busy/park totals,
+/// a crossover gauge, and masking zeroing all of them.
+#[test]
+fn pooled_extraction_lands_nonzero_pool_metrics() {
+    let dev = RimeDevice::new(config());
+    dev.enable_extraction_metrics();
+    dev.set_parallel_policy(ParallelPolicy::Threads(3));
+    let n = dev.capacity();
+    let region = dev.alloc(n).expect("alloc");
+    let data = keys(n);
+    dev.write_raw(region, 0, &data, KeyFormat::UNSIGNED64)
+        .expect("store");
+    dev.init_raw(region, 0, n, KeyFormat::UNSIGNED64)
+        .expect("init");
+    let hits = dev
+        .next_extremes_raw(region, KeyFormat::UNSIGNED64, Direction::Min, 16)
+        .expect("batch");
+    assert_eq!(hits.len(), 16);
+
+    let snapshot = dev.metrics_snapshot();
+    let find = |name: &str| {
+        snapshot
+            .metrics
+            .iter()
+            .filter(move |m| m.name == name)
+            .collect::<Vec<_>>()
+    };
+    let steps = find("rime_pool_step_wall_ns");
+    assert!(!steps.is_empty(), "pool step latency metric registered");
+    let step_count: u64 = steps
+        .iter()
+        .map(|m| match &m.value {
+            MetricValue::Histogram(h) => h.count,
+            other => panic!("step latency is not a histogram: {other:?}"),
+        })
+        .sum();
+    assert!(step_count > 0, "pooled extraction recorded no step latency");
+
+    let busy: i128 = find("rime_pool_worker_busy_ns_total")
+        .iter()
+        .map(|m| match &m.value {
+            MetricValue::Counter(v) => i128::from(*v),
+            other => panic!("busy total is not a counter: {other:?}"),
+        })
+        .sum();
+    assert!(busy > 0, "workers reported no busy time");
+    assert!(
+        !find("rime_pool_worker_park_ns_total").is_empty(),
+        "park totals registered"
+    );
+
+    let crossover = find("rime_pool_crossover_mats");
+    assert!(!crossover.is_empty(), "crossover gauge registered");
+    assert!(
+        crossover
+            .iter()
+            .any(|m| matches!(m.value, MetricValue::Gauge(v) if v >= 2)),
+        "crossover gauge holds a measured value"
+    );
+    for m in &crossover {
+        assert!(m.nondeterministic, "crossover is wall-clock-derived");
+    }
+
+    // Masking — the determinism contract — zeroes all of the above.
+    let masked = snapshot.masked();
+    for m in &masked.metrics {
+        if m.name == "rime_pool_step_wall_ns" {
+            match &m.value {
+                MetricValue::Histogram(h) => assert_eq!(h.count, 0),
+                other => panic!("{other:?}"),
+            }
+        }
+        if m.name == "rime_pool_worker_busy_ns_total" {
+            assert!(matches!(m.value, MetricValue::Counter(0)));
+        }
+        if m.name == "rime_pool_crossover_mats" {
+            assert!(matches!(m.value, MetricValue::Gauge(0)));
+        }
+    }
+}
+
 #[test]
 fn masked_snapshots_are_byte_identical_across_runs() {
     let (first, _, _) = masked_run(ParallelPolicy::Threads(3));
